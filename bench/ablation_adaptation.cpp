@@ -1,0 +1,69 @@
+// Ablation (paper §4.4): "simulations using different adaptation
+// schemes at the edge router ... are part of ongoing work."
+//
+// Three edge controllers run against the same core mechanisms:
+//   LIMD — the paper's scheme (+alpha / -beta per marker),
+//   AIMD — classic additive increase, multiplicative decrease,
+//   MIMD — multiplicative increase & decrease.  Under *binary* feedback
+//          MIMD famously fails to converge to fairness (Chiu & Jain);
+//          under Corelite it converges anyway, because the feedback
+//          itself is weighted-fair — markers arrive in proportion to
+//          the normalized rate and only above-average flows are ever
+//          throttled.  The fairness-restoring force lives in the
+//          network, not the controller, which is the paper's thesis.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace sc = corelite::scenario;
+namespace bu = corelite::benchutil;
+
+int main() {
+  std::printf("Ablation: edge rate-adaptation scheme (paper section 4.4 ongoing work)\n");
+  std::printf("Scenario: Figure 5 startup (10 flows, weights ceil(i/2), 80 s)\n\n");
+  std::printf("%-8s %-8s %-12s %-10s %-12s %-10s\n", "scheme", "drops", "steadyDrops",
+              "jain", "thru[pkt/s]", "conv[s]");
+
+  struct Row {
+    const char* name;
+    corelite::qos::AdaptKind kind;
+  };
+  const Row rows[] = {
+      {"LIMD", corelite::qos::AdaptKind::Limd},
+      {"AIMD", corelite::qos::AdaptKind::Aimd},
+      {"MIMD", corelite::qos::AdaptKind::Mimd},
+  };
+
+  for (const Row& row : rows) {
+    auto spec = sc::fig5_simultaneous_start(sc::Mechanism::Corelite);
+    spec.corelite.adapt.kind = row.kind;
+    const auto r = sc::run_paper_scenario(spec);
+
+    int steady = 0;
+    for (double t : r.drop_times) {
+      if (t > 25.0) ++steady;
+    }
+    const auto ideal = sc::ideal_rates_at(spec, corelite::sim::SimTime::seconds(40));
+    std::vector<double> rates;
+    std::vector<double> weights;
+    double conv = 0.0;
+    double thru = 0.0;
+    for (std::size_t i = 1; i <= spec.num_flows; ++i) {
+      const auto f = static_cast<corelite::net::FlowId>(i);
+      rates.push_back(r.tracker.series(f).allotted_rate.average_over(40, 80));
+      weights.push_back(spec.weights[i - 1]);
+      conv = std::max(conv, bu::convergence_time(r.tracker.series(f), ideal.at(f), 78.0));
+      thru += static_cast<double>(r.tracker.series(f).delivered) / 80.0;
+    }
+    std::printf("%-8s %-8llu %-12d %-10.4f %-12.1f %-10.0f\n", row.name,
+                static_cast<unsigned long long>(r.total_data_drops), steady,
+                corelite::stats::jain_index(rates, weights), thru, conv);
+  }
+  std::printf(
+      "\nExpected shape: all three schemes reach jain ~1 and full utilization —\n"
+      "because the core's marker feedback is itself weighted-fair, the edge\n"
+      "controller's exact form barely matters (the paper's central claim:\n"
+      "fairness is produced in the network, not at the sources).\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation (paper §4.4): sensitivity to the core congestion epoch.
+//
+// The paper reports that "simulations with different core router epoch
+// sizes ... indicate that Corelite is not very sensitive to these
+// parameters".  Sweep the epoch from 25 to 400 ms on the Figure-5
+// startup scenario and report fairness, loss and convergence.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace sc = corelite::scenario;
+namespace bu = corelite::benchutil;
+
+int main() {
+  std::printf("Ablation: core congestion-epoch size (paper section 4.4 claim)\n");
+  std::printf("Scenario: Figure 5 startup (10 flows, weights ceil(i/2), 80 s)\n\n");
+  std::printf("%-10s %-8s %-12s %-10s %-12s %-10s\n", "epoch[ms]", "drops", "steadyDrops",
+              "jain", "mean_q_avg", "conv[s]");
+
+  for (double ms : {25.0, 50.0, 100.0, 200.0, 400.0}) {
+    auto spec = sc::fig5_simultaneous_start(sc::Mechanism::Corelite);
+    spec.corelite.core_epoch = corelite::sim::TimeDelta::millis(ms);
+    const auto r = sc::run_paper_scenario(spec);
+
+    const auto ideal = sc::ideal_rates_at(spec, corelite::sim::SimTime::seconds(40));
+    std::vector<double> rates;
+    std::vector<double> weights;
+    double conv = 0.0;
+    for (std::size_t i = 1; i <= spec.num_flows; ++i) {
+      const auto f = static_cast<corelite::net::FlowId>(i);
+      rates.push_back(r.tracker.series(f).allotted_rate.average_over(40, 80));
+      weights.push_back(spec.weights[i - 1]);
+      conv = std::max(conv, bu::convergence_time(r.tracker.series(f), ideal.at(f), 78.0));
+    }
+    int steady = 0;
+    for (double t : r.drop_times) {
+      if (t > 25.0) ++steady;
+    }
+    double mq = 0.0;
+    for (double q : r.mean_q_avg) mq += q;
+    if (!r.mean_q_avg.empty()) mq /= static_cast<double>(r.mean_q_avg.size());
+
+    std::printf("%-10.0f %-8llu %-12d %-10.4f %-12.2f %-10.0f\n", ms,
+                static_cast<unsigned long long>(r.total_data_drops), steady,
+                corelite::stats::jain_index(rates, weights), mq, conv);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation (paper §3.1): replacing the congestion-estimation module.
+//
+// "the congestion estimation module can be replaced with no impact on
+// the rest of the Corelite mechanisms."  Three detectors share the same
+// F_n mapping but measure congestion differently:
+//   epoch-average  — time-weighted q_avg per 100 ms epoch (paper),
+//   busy+idle      — DECbit-style cycle averaging (Jain & Ramakrishnan),
+//   ewma           — RED-style exponentially weighted average.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace sc = corelite::scenario;
+namespace bu = corelite::benchutil;
+
+int main() {
+  std::printf("Ablation: congestion-estimation module (paper section 3.1 claim)\n");
+  std::printf("Scenario: Figure 5 startup (10 flows, weights ceil(i/2), 80 s)\n\n");
+  std::printf("%-16s %-8s %-12s %-12s %-10s %-10s\n", "detector", "drops", "steadyDrops",
+              "mean_q_avg", "jain", "conv[s]");
+
+  struct Row {
+    const char* name;
+    corelite::qos::DetectorKind kind;
+  };
+  const Row rows[] = {
+      {"epoch-average", corelite::qos::DetectorKind::EpochAverage},
+      {"busy+idle", corelite::qos::DetectorKind::BusyIdleCycle},
+      {"ewma", corelite::qos::DetectorKind::Ewma},
+  };
+
+  for (const Row& row : rows) {
+    auto spec = sc::fig5_simultaneous_start(sc::Mechanism::Corelite);
+    spec.corelite.detector = row.kind;
+    const auto r = sc::run_paper_scenario(spec);
+
+    int steady = 0;
+    for (double t : r.drop_times) {
+      if (t > 25.0) ++steady;
+    }
+    double mq = 0.0;
+    for (double q : r.mean_q_avg) mq += q;
+    if (!r.mean_q_avg.empty()) mq /= static_cast<double>(r.mean_q_avg.size());
+
+    const auto ideal = sc::ideal_rates_at(spec, corelite::sim::SimTime::seconds(40));
+    std::vector<double> rates;
+    std::vector<double> weights;
+    double conv = 0.0;
+    for (std::size_t i = 1; i <= spec.num_flows; ++i) {
+      const auto f = static_cast<corelite::net::FlowId>(i);
+      rates.push_back(r.tracker.series(f).allotted_rate.average_over(40, 80));
+      weights.push_back(spec.weights[i - 1]);
+      conv = std::max(conv, bu::convergence_time(r.tracker.series(f), ideal.at(f), 78.0));
+    }
+    std::printf("%-16s %-8llu %-12d %-12.2f %-10.4f %-10.0f\n", row.name,
+                static_cast<unsigned long long>(r.total_data_drops), steady, mq,
+                corelite::stats::jain_index(rates, weights), conv);
+  }
+  std::printf(
+      "\nExpected shape: all three detectors keep the system fair and stable —\n"
+      "the weighted-fair marker selection, not the congestion measure, is what\n"
+      "produces the service model.\n");
+  return 0;
+}

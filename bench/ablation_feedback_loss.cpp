@@ -1,0 +1,52 @@
+// Ablation / failure injection: lossy signalling.
+//
+// Corelite's markers and feedback are piggybacked headers the paper
+// treats as reliable.  This sweep drops a fraction of every control
+// packet (markers, feedback) on every link and reports how the closed
+// loop degrades — fairness, loss and queue pressure vs the loss rate.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace sc = corelite::scenario;
+
+int main() {
+  std::printf("Failure injection: control-packet (marker/feedback) loss\n");
+  std::printf("Scenario: Figure 5 startup (10 flows, weights ceil(i/2), 80 s)\n\n");
+  std::printf("%-10s %-10s %-12s %-12s %-10s %-12s\n", "loss", "dataDrops", "steadyDrops",
+              "mean_q_avg", "jain", "thru[pkt/s]");
+
+  for (double loss : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4}) {
+    auto spec = sc::fig5_simultaneous_start(sc::Mechanism::Corelite);
+    spec.control_loss_rate = loss;
+    const auto r = sc::run_paper_scenario(spec);
+
+    int steady = 0;
+    for (double t : r.drop_times) {
+      if (t > 25.0) ++steady;
+    }
+    double mq = 0.0;
+    for (double q : r.mean_q_avg) mq += q;
+    if (!r.mean_q_avg.empty()) mq /= static_cast<double>(r.mean_q_avg.size());
+
+    std::vector<double> rates;
+    std::vector<double> weights;
+    double thru = 0.0;
+    for (std::size_t i = 1; i <= spec.num_flows; ++i) {
+      const auto f = static_cast<corelite::net::FlowId>(i);
+      rates.push_back(r.tracker.series(f).allotted_rate.average_over(40, 80));
+      weights.push_back(spec.weights[i - 1]);
+      thru += static_cast<double>(r.tracker.series(f).delivered) / 80.0;
+    }
+    std::printf("%-10.2f %-10llu %-12d %-12.2f %-10.4f %-12.1f\n", loss,
+                static_cast<unsigned long long>(r.total_data_drops), steady, mq,
+                corelite::stats::jain_index(rates, weights), thru);
+  }
+  std::printf(
+      "\nExpected shape: fairness holds at every loss rate (lost feedback hits\n"
+      "flows in proportion to their marker rates); rising loss weakens the brake,\n"
+      "so queues ride higher and tail drops grow — graceful degradation, not\n"
+      "collapse.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation (paper §4.4): sensitivity to the marking threshold K1.
+//
+// K1 controls the marker spacing N_w = K1 * w: larger K1 means fewer
+// markers (less feedback bandwidth, coarser control) in exchange for
+// lower overhead.  The paper reports low sensitivity; this sweep also
+// quantifies the marker overhead directly.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace sc = corelite::scenario;
+namespace bu = corelite::benchutil;
+
+int main() {
+  std::printf("Ablation: marker spacing constant K1 (paper section 4.4 claim)\n");
+  std::printf("Scenario: Figure 5 startup (10 flows, weights ceil(i/2), 80 s)\n\n");
+  std::printf("%-6s %-10s %-12s %-10s %-10s %-12s %-10s\n", "K1", "markers", "mkr/data[%]",
+              "drops", "jain", "feedback", "conv[s]");
+
+  for (double k1 : {1.0, 2.0, 4.0, 8.0}) {
+    auto spec = sc::fig5_simultaneous_start(sc::Mechanism::Corelite);
+    spec.corelite.k1 = k1;
+    const auto r = sc::run_paper_scenario(spec);
+
+    std::uint64_t data_sent = 0;
+    for (const auto& [id, fs] : r.tracker.all()) data_sent += fs.sent;
+
+    const auto ideal = sc::ideal_rates_at(spec, corelite::sim::SimTime::seconds(40));
+    std::vector<double> rates;
+    std::vector<double> weights;
+    double conv = 0.0;
+    for (std::size_t i = 1; i <= spec.num_flows; ++i) {
+      const auto f = static_cast<corelite::net::FlowId>(i);
+      rates.push_back(r.tracker.series(f).allotted_rate.average_over(40, 80));
+      weights.push_back(spec.weights[i - 1]);
+      conv = std::max(conv, bu::convergence_time(r.tracker.series(f), ideal.at(f), 78.0));
+    }
+    std::printf("%-6.0f %-10llu %-12.1f %-10llu %-10.4f %-12llu %-10.0f\n", k1,
+                static_cast<unsigned long long>(r.markers_injected),
+                100.0 * static_cast<double>(r.markers_injected) /
+                    static_cast<double>(data_sent),
+                static_cast<unsigned long long>(r.total_data_drops),
+                corelite::stats::jain_index(rates, weights),
+                static_cast<unsigned long long>(r.feedback_messages), conv);
+  }
+  return 0;
+}

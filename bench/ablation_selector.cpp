@@ -1,0 +1,89 @@
+// Ablation: all four in-network mechanisms side by side on the same
+// workload — Corelite with the stateless selector (§3.2), Corelite with
+// the marker cache (§2.2), weighted CSFQ, plain drop-tail FIFO, and RED.
+//
+// This checks the §3.2 equivalence claim (cache vs stateless) and the
+// related-work discussion (FIFO and RED "provide no fairness
+// guarantees").
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace sc = corelite::scenario;
+namespace bu = corelite::benchutil;
+
+namespace {
+
+struct Row {
+  const char* name;
+  sc::Mechanism mechanism;
+  corelite::qos::SelectorKind selector = corelite::qos::SelectorKind::Stateless;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: in-network mechanism comparison\n");
+  std::printf("Scenario: Figure 5 startup (10 flows, weights ceil(i/2), 80 s)\n\n");
+  std::printf("%-22s %-8s %-12s %-10s %-12s %-8s %-11s %-11s\n", "mechanism", "drops",
+              "steadyDrops", "jain", "thru[pkt/s]", "conv[s]", "delay50[ms]", "delay99[ms]");
+
+  const Row rows[] = {
+      {"corelite/stateless", sc::Mechanism::Corelite, corelite::qos::SelectorKind::Stateless},
+      {"corelite/markercache", sc::Mechanism::Corelite, corelite::qos::SelectorKind::MarkerCache},
+      {"csfq (weighted)", sc::Mechanism::Csfq},
+      {"droptail FIFO", sc::Mechanism::DropTail},
+      {"RED", sc::Mechanism::Red},
+      {"FRED", sc::Mechanism::Fred},
+      {"WFQ (stateful)", sc::Mechanism::Wfq},
+      {"ECN bit (DECbit)", sc::Mechanism::EcnBit},
+      {"CHOKe", sc::Mechanism::Choke},
+      {"SFQ (16 bands)", sc::Mechanism::Sfq},
+  };
+
+  for (const auto& row : rows) {
+    auto spec = sc::fig5_simultaneous_start(row.mechanism);
+    spec.corelite.selector = row.selector;
+    const auto r = sc::run_paper_scenario(spec);
+
+    const auto ideal = sc::ideal_rates_at(spec, corelite::sim::SimTime::seconds(40));
+    std::vector<double> rates;
+    std::vector<double> weights;
+    double conv = 0.0;
+    double thru = 0.0;
+    for (std::size_t i = 1; i <= spec.num_flows; ++i) {
+      const auto f = static_cast<corelite::net::FlowId>(i);
+      rates.push_back(r.tracker.series(f).allotted_rate.average_over(40, 80));
+      weights.push_back(spec.weights[i - 1]);
+      conv = std::max(conv, bu::convergence_time(r.tracker.series(f), ideal.at(f), 78.0));
+      thru += static_cast<double>(r.tracker.series(f).delivered) / 80.0;
+    }
+    int steady = 0;
+    for (double t : r.drop_times) {
+      if (t > 25.0) ++steady;
+    }
+    // Pooled one-way delay across flows (the queueing cost of the
+    // mechanism: Corelite's incipient-congestion control should keep
+    // queues — and hence delay — lower than the loss-driven baselines).
+    std::vector<double> delays;
+    for (const auto& [id, fs] : r.tracker.all()) {
+      delays.insert(delays.end(), fs.delay_samples.begin(), fs.delay_samples.end());
+    }
+    const auto dsum = corelite::stats::summarize(delays);
+    std::printf("%-22s %-8llu %-12d %-10.4f %-12.1f %-8.0f %-11.1f %-11.1f\n", row.name,
+                static_cast<unsigned long long>(r.total_data_drops), steady,
+                corelite::stats::jain_index(rates, weights), thru, conv, dsum.p50 * 1000.0,
+                dsum.p99 * 1000.0);
+  }
+  std::printf(
+      "\nExpected shape: both Corelite variants, CSFQ and the stateful WFQ reference\n"
+      "reach jain ~1; Corelite is loss-free in steady state while the others drop\n"
+      "packets by design; droptail/RED/FRED ignore the rate weights entirely.\n"
+      "Corelite matches WFQ's weighted allocation with ZERO per-flow core state —\n"
+      "the paper's central claim.  The ECN-bit row shows why: binary congestion\n"
+      "marks arrive in proportion to the PACKET rate, so the same LIMD edges\n"
+      "converge to EQUAL rates — the normalized-rate marker is what encodes the\n"
+      "weights.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation (paper §3.1): sensitivity of the F_n computation to the
+// input traffic pattern.
+//
+// F_n is derived under M/M/1 (Poisson arrival) assumptions.  The paper
+// reports "the computation for F_n works reasonably well even if the
+// Poisson traffic assumptions do not hold".  This sweep drives the same
+// Figure-5 population with three source pacing disciplines — smooth
+// CBR, Poisson gaps, and on/off bursts — and reports queue behaviour,
+// loss and fairness for each.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace sc = corelite::scenario;
+
+int main() {
+  std::printf("Ablation: input traffic pattern vs the F_n M/M/1 assumptions (section 3.1)\n");
+  std::printf("Scenario: Figure 5 startup (10 flows, weights ceil(i/2), 80 s)\n\n");
+  std::printf("%-22s %-8s %-12s %-12s %-10s %-12s\n", "pacing", "drops", "steadyDrops",
+              "mean_q_avg", "jain", "thru[pkt/s]");
+
+  struct Mode {
+    const char* name;
+    corelite::qos::PacingMode pacing;
+    double burst_ms = 0.0;
+    double idle_ms = 0.0;
+  };
+  const Mode modes[] = {
+      {"CBR (paper)", corelite::qos::PacingMode::Paced},
+      {"Poisson", corelite::qos::PacingMode::Poisson},
+      {"on/off 200ms/200ms", corelite::qos::PacingMode::OnOff, 200.0, 200.0},
+      {"on/off 50ms/150ms", corelite::qos::PacingMode::OnOff, 50.0, 150.0},
+      {"on/off 500ms/500ms", corelite::qos::PacingMode::OnOff, 500.0, 500.0},
+  };
+
+  for (const Mode& mode : modes) {
+    auto spec = sc::fig5_simultaneous_start(sc::Mechanism::Corelite);
+    spec.corelite.pacing = mode.pacing;
+    if (mode.burst_ms > 0.0) {
+      spec.corelite.on_off_burst = corelite::sim::TimeDelta::millis(mode.burst_ms);
+      spec.corelite.on_off_idle = corelite::sim::TimeDelta::millis(mode.idle_ms);
+    }
+    const auto r = sc::run_paper_scenario(spec);
+
+    int steady = 0;
+    for (double t : r.drop_times) {
+      if (t > 25.0) ++steady;
+    }
+    double mq = 0.0;
+    for (double q : r.mean_q_avg) mq += q;
+    if (!r.mean_q_avg.empty()) mq /= static_cast<double>(r.mean_q_avg.size());
+
+    std::vector<double> rates;
+    std::vector<double> weights;
+    double thru = 0.0;
+    for (std::size_t i = 1; i <= spec.num_flows; ++i) {
+      const auto f = static_cast<corelite::net::FlowId>(i);
+      rates.push_back(r.tracker.series(f).allotted_rate.average_over(40, 80));
+      weights.push_back(spec.weights[i - 1]);
+      thru += static_cast<double>(r.tracker.series(f).delivered) / 80.0;
+    }
+    std::printf("%-22s %-8llu %-12d %-12.2f %-10.4f %-12.1f\n", mode.name,
+                static_cast<unsigned long long>(r.total_data_drops), steady, mq,
+                corelite::stats::jain_index(rates, weights), thru);
+  }
+  std::printf(
+      "\nExpected shape: fairness (jain) holds across patterns; burstier input\n"
+      "raises the average queue and may cost some loss, but the feedback loop\n"
+      "remains stable (the paper's robustness claim for F_n).\n");
+  return 0;
+}

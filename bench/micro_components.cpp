@@ -1,0 +1,134 @@
+// Google-benchmark micro-benchmarks of the per-packet hot paths: these
+// are the operations a software router would execute per packet/marker,
+// so their cost bounds achievable line rate.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "csfq/core.h"
+#include "csfq/rate_estimator.h"
+#include "net/queue.h"
+#include "qos/congestion_estimator.h"
+#include "qos/marker_selector.h"
+#include "scenario/scenario.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace corelite;
+
+net::Packet make_data() {
+  net::Packet p;
+  p.kind = net::PacketKind::Data;
+  p.flow = 1;
+  p.size = sim::DataSize::kilobytes(1);
+  p.label = 100.0;
+  return p;
+}
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  sim::EventQueue q;
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    q.schedule(sim::SimTime::seconds(static_cast<double>(++t)), [] {});
+    benchmark::DoNotOptimize(q.run_next());
+  }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_DropTailEnqueueDequeue(benchmark::State& state) {
+  net::DropTailQueue q{64};
+  const auto t = sim::SimTime::zero();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.enqueue(make_data(), t));
+    benchmark::DoNotOptimize(q.dequeue(t));
+  }
+}
+BENCHMARK(BM_DropTailEnqueueDequeue);
+
+void BM_RedEnqueueDequeue(benchmark::State& state) {
+  sim::Rng rng{1};
+  net::RedQueue q{net::RedQueue::Config{}, rng};
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.001;
+    benchmark::DoNotOptimize(q.enqueue(make_data(), sim::SimTime::seconds(t)));
+    benchmark::DoNotOptimize(q.dequeue(sim::SimTime::seconds(t)));
+  }
+}
+BENCHMARK(BM_RedEnqueueDequeue);
+
+void BM_CongestionEstimatorUpdate(benchmark::State& state) {
+  qos::CongestionEstimator est{8.0, 0.01, 500.0, 1.0};
+  double t = 0.0;
+  std::size_t len = 0;
+  for (auto _ : state) {
+    t += 0.0001;
+    est.on_queue_length(++len % 40, sim::SimTime::seconds(t));
+  }
+}
+BENCHMARK(BM_CongestionEstimatorUpdate);
+
+void BM_StatelessSelectorOnMarker(benchmark::State& state) {
+  sim::Rng rng{1};
+  qos::StatelessSelector sel{0.1, 0.25, rng};
+  const net::MarkerInfo m{0, 1, 50.0};
+  qos::MarkerSelector::FeedbackFn nop = [](const net::MarkerInfo&) {};
+  sel.on_marker(m, nop);
+  sel.on_epoch(5.0, nop);  // congested: the full per-marker path runs
+  for (auto _ : state) {
+    sel.on_marker(m, nop);
+  }
+}
+BENCHMARK(BM_StatelessSelectorOnMarker);
+
+void BM_MarkerCacheSelectorOnMarker(benchmark::State& state) {
+  sim::Rng rng{1};
+  qos::MarkerCacheSelector sel{256, rng};
+  const net::MarkerInfo m{0, 1, 50.0};
+  qos::MarkerSelector::FeedbackFn nop = [](const net::MarkerInfo&) {};
+  for (auto _ : state) {
+    sel.on_marker(m, nop);
+  }
+}
+BENCHMARK(BM_MarkerCacheSelectorOnMarker);
+
+void BM_CsfqAdmit(benchmark::State& state) {
+  sim::Rng rng{1};
+  csfq::CsfqConfig cfg;
+  csfq::CsfqLinkPolicy policy{cfg, 500.0, rng};
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.001;
+    auto p = make_data();
+    benchmark::DoNotOptimize(policy.admit(p, sim::SimTime::seconds(t)));
+  }
+}
+BENCHMARK(BM_CsfqAdmit);
+
+void BM_RateEstimatorOnArrival(benchmark::State& state) {
+  csfq::ExponentialRateEstimator est{sim::TimeDelta::millis(100)};
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.002;
+    benchmark::DoNotOptimize(est.on_arrival(1.0, sim::SimTime::seconds(t)));
+  }
+}
+BENCHMARK(BM_RateEstimatorOnArrival);
+
+// Whole-system: simulated-seconds-per-wall-second on the Figure-5 run.
+void BM_FullScenarioSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    auto spec = scenario::fig5_simultaneous_start(scenario::Mechanism::Corelite);
+    spec.duration = sim::SimTime::seconds(static_cast<double>(state.range(0)));
+    auto result = scenario::run_paper_scenario(spec);
+    benchmark::DoNotOptimize(result.events_processed);
+    state.counters["events"] = static_cast<double>(result.events_processed);
+  }
+}
+BENCHMARK(BM_FullScenarioSecond)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Scalability: the point of core-statelessness.
+//
+// The paper's motivation (§1): core routers serve "hundreds of
+// thousands of flows simultaneously", so per-flow state in the core
+// does not scale.  This bench grows the flow population on the Figure-2
+// topology and reports, per mechanism:
+//   - the amount of per-flow state a core router carries (Corelite: two
+//     scalars per LINK regardless of flows; WFQ: tag state per flow),
+//   - fairness at scale, and
+//   - simulator throughput (events and simulated-vs-wall time).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace sc = corelite::scenario;
+
+int main() {
+  std::printf("Scalability: flow population sweep (Figure-2 topology, 60 s runs)\n\n");
+  std::printf("%-8s %-10s %-10s %-10s %-12s %-14s %-12s\n", "flows", "mech", "jain",
+              "drops", "events", "wall[ms]", "core state");
+
+  for (std::size_t n : {10u, 20u, 40u, 80u}) {
+    for (const auto mech : {sc::Mechanism::Corelite, sc::Mechanism::Csfq}) {
+      sc::ScenarioSpec spec;
+      spec.mechanism = mech;
+      spec.num_flows = n;
+      spec.duration = corelite::sim::SimTime::seconds(60);
+      spec.weights.resize(n);
+      for (std::size_t i = 0; i < n; ++i) spec.weights[i] = static_cast<double>(i % 3 + 1);
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r = sc::run_paper_scenario(spec);
+      const auto wall =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
+
+      const auto ideal = sc::ideal_rates_at(spec, corelite::sim::SimTime::seconds(30));
+      std::vector<double> rates;
+      std::vector<double> weights;
+      for (std::size_t i = 1; i <= n; ++i) {
+        const auto f = static_cast<corelite::net::FlowId>(i);
+        rates.push_back(r.tracker.series(f).allotted_rate.average_over(30, 60));
+        weights.push_back(spec.weights[i - 1]);
+      }
+      // Per-flow state at a core router: Corelite keeps r_av + w_av (+
+      // deficit/p_w) per LINK — O(1) in flows; CSFQ keeps A, F, alpha
+      // per link — also O(1) (its contribution); WFQ would be O(flows).
+      const char* state = mech == sc::Mechanism::Corelite ? "O(1)/link" : "O(1)/link";
+      std::printf("%-8zu %-10s %-10.4f %-10llu %-12llu %-14.1f %-12s\n", n,
+                  sc::mechanism_name(mech).c_str(),
+                  corelite::stats::jain_index(rates, weights),
+                  static_cast<unsigned long long>(r.total_data_drops),
+                  static_cast<unsigned long long>(r.events_processed), wall, state);
+    }
+  }
+  std::printf(
+      "\nExpected shape: weighted fairness holds as the population grows (the\n"
+      "per-unit-weight share shrinks toward the LIMD oscillation amplitude, so\n"
+      "jain decays gently); core state stays O(1) per link for both core-\n"
+      "stateless schemes at every scale — the paper's scalability argument.\n");
+  return 0;
+}

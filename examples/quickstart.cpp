@@ -1,0 +1,96 @@
+// Quickstart: the smallest complete Corelite deployment.
+//
+// Two flows with rate weights 1 and 3 share one 4 Mbps bottleneck
+// (500 pkt/s at 1 KB packets).  Weighted max-min fairness says they
+// should converge to ~125 and ~375 pkt/s.  This example wires the
+// pieces by hand so you can see the full public API surface:
+//
+//   Simulator            — the discrete-event kernel
+//   Network              — nodes + links + routing
+//   CoreliteCoreRouter   — congestion detection + weighted marker feedback
+//   CoreliteEdgeRouter   — shaping, marker injection, LIMD adaptation
+//   FlowTracker          — measurement
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "net/network.h"
+#include "qos/core_router.h"
+#include "qos/edge_router.h"
+#include "sim/simulator.h"
+#include "stats/flow_tracker.h"
+
+using namespace corelite;
+
+int main() {
+  // 1. The simulation kernel.  Every run is deterministic in the seed.
+  sim::Simulator simulator{/*seed=*/2026};
+
+  // 2. Topology: two ingress edges -> one core router -> one sink.
+  //    The core->sink link is the bottleneck.
+  net::Network network{simulator};
+  const net::NodeId edge_a = network.add_node("edgeA");
+  const net::NodeId edge_b = network.add_node("edgeB");
+  const net::NodeId core = network.add_node("core");
+  const net::NodeId sink = network.add_node("sink");
+
+  const auto fast = sim::Rate::mbps(10);
+  const auto slow = sim::Rate::mbps(4);  // 500 pkt/s at 1 KB
+  const auto delay = sim::TimeDelta::millis(10);
+  network.connect_duplex(edge_a, core, fast, delay, /*queue=*/100);
+  network.connect_duplex(edge_b, core, fast, delay, /*queue=*/100);
+  network.connect_duplex(core, sink, slow, delay, /*queue=*/40);
+  network.build_routes();
+
+  // 3. QoS machinery.  The core router keeps NO per-flow state: it
+  //    watches its queues and echoes markers when congestion is incipient.
+  qos::CoreliteConfig config;  // paper defaults: 100 ms epochs, q_thresh 8, K1 1
+  qos::CoreliteCoreRouter core_router{network, core, config};
+
+  stats::FlowTracker tracker;
+  qos::CoreliteEdgeRouter edge_router_a{network, edge_a, config, &tracker};
+  qos::CoreliteEdgeRouter edge_router_b{network, edge_b, config, &tracker};
+
+  // 4. Two flows with rate weights 1 and 3.
+  net::FlowSpec flow1;
+  flow1.id = 1;
+  flow1.ingress = edge_a;
+  flow1.egress = sink;
+  flow1.weight = 1.0;
+  edge_router_a.add_flow(flow1);
+
+  net::FlowSpec flow2;
+  flow2.id = 2;
+  flow2.ingress = edge_b;
+  flow2.egress = sink;
+  flow2.weight = 3.0;
+  edge_router_b.add_flow(flow2);
+
+  // Count deliveries at the sink.
+  network.node(sink).set_local_sink([&tracker](net::Packet&& p) {
+    if (p.is_data()) tracker.on_delivered(p.flow);
+  });
+
+  // 5. Run for two simulated minutes.
+  simulator.run_until(sim::SimTime::seconds(120));
+
+  // 6. Report.
+  std::printf("Corelite quickstart: weights 1:3 on a 500 pkt/s bottleneck\n\n");
+  std::printf("%-6s %-7s %-10s %-12s %-10s\n", "flow", "weight", "expected", "allotted",
+              "delivered");
+  for (net::FlowId f : {1u, 2u}) {
+    const auto& s = tracker.series(f);
+    const double expected = f == 1 ? 125.0 : 375.0;
+    std::printf("%-6u %-7.0f %-10.1f %-12.1f %llu\n", f, s.weight, expected,
+                s.allotted_rate.average_over(60, 120),
+                static_cast<unsigned long long>(s.delivered));
+  }
+  std::printf("\nbottleneck drops: %llu (Corelite adapts before queues overflow)\n",
+              static_cast<unsigned long long>(
+                  network.find_link(core, sink)->stats().dropped));
+  std::printf("feedback markers echoed by the core: %llu\n",
+              static_cast<unsigned long long>(core_router.total_feedback_sent()));
+  std::printf("simulated events: %llu\n",
+              static_cast<unsigned long long>(simulator.events_processed()));
+  return 0;
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerate every experiment in EXPERIMENTS.md.
+#
+# Usage:  scripts/run_all_experiments.sh [build_dir] [artifact_dir]
+#
+# Runs the full test suite, then every bench binary, capturing outputs
+# under <artifact_dir>/ (default: ./experiment_outputs).  When gnuplot
+# is installed, also renders the paper-style figures from the exported
+# CSVs.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-experiment_outputs}"
+
+mkdir -p "$OUT_DIR"
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" | tee "$OUT_DIR/ctest.txt" | tail -2
+
+echo "== benches =="
+export CORELITE_ARTIFACTS="$OUT_DIR"
+for b in "$BUILD_DIR"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "-- $name"
+  "$b" >"$OUT_DIR/$name.txt" 2>&1
+done
+
+if command -v gnuplot >/dev/null 2>&1; then
+  echo "== figures =="
+  (cd "$OUT_DIR" && for gp in *.gp; do [ -f "$gp" ] && gnuplot "$gp"; done)
+else
+  echo "gnuplot not found; CSVs and .gp scripts are in $OUT_DIR"
+fi
+
+echo "done: outputs in $OUT_DIR"

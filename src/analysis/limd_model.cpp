@@ -1,0 +1,83 @@
+#include "analysis/limd_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "qos/congestion_estimator.h"
+
+namespace corelite::analysis {
+
+SlowStartPrediction predict_slow_start(const qos::RateAdaptConfig& cfg) {
+  SlowStartPrediction out;
+  double rate = cfg.initial_rate_pps;
+  int doublings = 0;
+  while (rate * 2.0 <= cfg.ss_thresh_pps) {
+    rate *= 2.0;
+    ++doublings;
+  }
+  // The next doubling strictly exceeds ss-thresh and is halved back.
+  rate *= 2.0;
+  ++doublings;
+  out.exit_rate_pps = std::max(cfg.min_rate_pps, rate / 2.0);
+  out.exit_time_sec = static_cast<double>(doublings) * cfg.ss_double_interval.sec();
+  out.doublings = doublings;
+  return out;
+}
+
+double predict_time_to_share(const qos::RateAdaptConfig& cfg, sim::TimeDelta edge_epoch,
+                             double share_pps) {
+  const auto ss = predict_slow_start(cfg);
+  if (share_pps <= ss.exit_rate_pps) return ss.exit_time_sec;
+  const double climb_pps_per_sec = cfg.alpha_pps / edge_epoch.sec();
+  return ss.exit_time_sec + (share_pps - ss.exit_rate_pps) / climb_pps_per_sec;
+}
+
+double predict_oscillation_pps(const qos::RateAdaptConfig& cfg,
+                               double expected_markers_per_marked_epoch) {
+  return cfg.alpha_pps + cfg.beta_pps * expected_markers_per_marked_epoch;
+}
+
+double marker_rate_pps(double rate_pps, double weight, double k1) {
+  assert(weight > 0.0 && k1 > 0.0);
+  return rate_pps / (k1 * weight);
+}
+
+double link_marker_rate_pps(const std::vector<double>& rates_pps,
+                            const std::vector<double>& weights, double k1) {
+  assert(rates_pps.size() == weights.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < rates_pps.size(); ++i) {
+    total += marker_rate_pps(rates_pps[i], weights[i], k1);
+  }
+  return total;
+}
+
+double predict_equilibrium_qavg(const qos::CoreliteConfig& cfg, double mu_pps,
+                                std::size_t n_flows) {
+  // Probing pressure: every flow adds alpha per edge epoch; the link
+  // must remove the same amount per edge epoch via feedback.  Feedback
+  // is generated per core epoch, so per core epoch it must average
+  //   required = n_flows * alpha * (core_epoch / edge_epoch) / beta  markers.
+  const double required = static_cast<double>(n_flows) * cfg.adapt.alpha_pps *
+                          (cfg.core_epoch.sec() / cfg.edge_epoch.sec()) / cfg.adapt.beta_pps;
+  if (required <= 0.0) return cfg.q_thresh_pkts;
+
+  qos::CongestionEstimator fn{cfg.q_thresh_pkts, cfg.k_cubic,
+                              mu_pps * (cfg.legacy_per_epoch_mu ? cfg.core_epoch.sec() : 1.0),
+                              cfg.adapt.beta_pps};
+  double lo = cfg.q_thresh_pkts;
+  double hi = cfg.q_thresh_pkts + 1.0;
+  while (fn.markers_for(hi) < required && hi < 1e6) hi *= 2.0;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (fn.markers_for(mid) < required) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace corelite::analysis

@@ -1,0 +1,166 @@
+#include "cli/args.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+
+namespace corelite::cli {
+
+void ArgParser::add_string(const std::string& name, std::string default_value,
+                           std::string help) {
+  Option opt;
+  opt.kind = Kind::String;
+  opt.help = std::move(help);
+  opt.default_text = default_value;
+  opt.str_value = std::move(default_value);
+  options_[name] = std::move(opt);
+  order_.push_back(name);
+}
+
+void ArgParser::add_double(const std::string& name, double default_value, std::string help) {
+  Option opt;
+  opt.kind = Kind::Double;
+  opt.help = std::move(help);
+  opt.dbl_value = default_value;
+  opt.default_text = std::to_string(default_value);
+  options_[name] = std::move(opt);
+  order_.push_back(name);
+}
+
+void ArgParser::add_int(const std::string& name, std::int64_t default_value, std::string help) {
+  Option opt;
+  opt.kind = Kind::Int;
+  opt.help = std::move(help);
+  opt.int_value = default_value;
+  opt.default_text = std::to_string(default_value);
+  options_[name] = std::move(opt);
+  order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, std::string help) {
+  Option opt;
+  opt.kind = Kind::Flag;
+  opt.help = std::move(help);
+  opt.default_text = "false";
+  options_[name] = std::move(opt);
+  order_.push_back(name);
+}
+
+bool ArgParser::assign(Option& opt, const std::string& name, const std::string& value,
+                       std::ostream& err) {
+  switch (opt.kind) {
+    case Kind::String:
+      opt.str_value = value;
+      break;
+    case Kind::Double: {
+      char* end = nullptr;
+      opt.dbl_value = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        err << program_ << ": --" << name << " expects a number, got '" << value << "'\n";
+        return false;
+      }
+      break;
+    }
+    case Kind::Int: {
+      char* end = nullptr;
+      opt.int_value = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        err << program_ << ": --" << name << " expects an integer, got '" << value << "'\n";
+        return false;
+      }
+      break;
+    }
+    case Kind::Flag:
+      err << program_ << ": --" << name << " is a flag and takes no value\n";
+      return false;
+  }
+  opt.set = true;
+  return true;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv, std::ostream& err) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      err << usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      err << program_ << ": unexpected positional argument '" << arg << "'\n" << usage();
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    if (it == options_.end()) {
+      err << program_ << ": unknown option --" << arg << "\n" << usage();
+      return false;
+    }
+    Option& opt = it->second;
+    if (opt.kind == Kind::Flag) {
+      if (has_value) {
+        err << program_ << ": --" << arg << " is a flag and takes no value\n";
+        return false;
+      }
+      opt.flag_value = true;
+      opt.set = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        err << program_ << ": --" << arg << " requires a value\n";
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!assign(opt, arg, value, err)) return false;
+  }
+  return true;
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  const auto& opt = options_.at(name);
+  assert(opt.kind == Kind::String);
+  return opt.str_value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const auto& opt = options_.at(name);
+  assert(opt.kind == Kind::Double);
+  return opt.dbl_value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  const auto& opt = options_.at(name);
+  assert(opt.kind == Kind::Int);
+  return opt.int_value;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  const auto& opt = options_.at(name);
+  assert(opt.kind == Kind::Flag);
+  return opt.flag_value;
+}
+
+bool ArgParser::was_set(const std::string& name) const { return options_.at(name).set; }
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const auto& opt = options_.at(name);
+    os << "  --" << name;
+    if (opt.kind != Kind::Flag) os << " <value>";
+    os << "\n      " << opt.help << " (default: " << opt.default_text << ")\n";
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+}  // namespace corelite::cli

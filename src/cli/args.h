@@ -1,0 +1,61 @@
+// A small dependency-free command-line flag parser for the tools.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag`, with
+// typed accessors, defaults, and generated usage text.  Unknown flags
+// and malformed values are reported as errors rather than ignored.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace corelite::cli {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description)
+      : program_{std::move(program)}, description_{std::move(description)} {}
+
+  void add_string(const std::string& name, std::string default_value, std::string help);
+  void add_double(const std::string& name, double default_value, std::string help);
+  void add_int(const std::string& name, std::int64_t default_value, std::string help);
+  void add_flag(const std::string& name, std::string help);
+
+  /// Parse argv.  Returns false on error or `--help` (diagnostics /
+  /// usage written to `err`); option values are then unspecified.
+  [[nodiscard]] bool parse(int argc, const char* const* argv, std::ostream& err);
+
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] bool was_set(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { String, Double, Int, Flag };
+  struct Option {
+    Kind kind = Kind::String;
+    std::string help;
+    std::string str_value;
+    double dbl_value = 0.0;
+    std::int64_t int_value = 0;
+    bool flag_value = false;
+    bool set = false;
+    std::string default_text;
+  };
+
+  [[nodiscard]] bool assign(Option& opt, const std::string& name, const std::string& value,
+                            std::ostream& err);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace corelite::cli

@@ -1,0 +1,162 @@
+#include "cli/scenario_args.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace corelite::cli {
+
+void register_scenario_options(ArgParser& parser) {
+  parser.add_string("scenario", "fig5",
+                    "paper scenario: fig3 (network dynamics), fig5 (simultaneous start), "
+                    "fig7 (staggered), fig9 (churn)");
+  parser.add_string("mechanism", "corelite",
+                    "in-network mechanism: corelite, csfq, droptail, red, fred, wfq, ecnbit, choke, sfq");
+  parser.add_string("selector", "stateless",
+                    "corelite marker selector: stateless, cache");
+  parser.add_string("detector", "epoch",
+                    "corelite congestion detector: epoch, busyidle, ewma");
+  parser.add_string("adaptation", "limd", "edge adaptation: limd, aimd, mimd");
+  parser.add_string("pacing", "cbr", "source pacing: cbr, poisson, onoff");
+  parser.add_string("weights", "",
+                    "comma-separated per-flow weights overriding the scenario's");
+  parser.add_double("duration", 0.0, "simulated seconds (0 = scenario default)");
+  parser.add_int("seed", 1, "random seed");
+  parser.add_double("epoch-ms", 100.0, "core congestion epoch [ms]");
+  parser.add_double("k1", 1.0, "marker spacing constant K1");
+  parser.add_double("qthresh", 8.0, "congestion threshold [packets]");
+  parser.add_double("kcubic", 0.01, "cubic self-correction gain k");
+  parser.add_double("link-delay-ms", 40.0, "per-link propagation delay [ms]");
+}
+
+std::optional<std::vector<double>> parse_weight_list(const std::string& text) {
+  std::vector<double> weights;
+  std::stringstream ss{text};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    char* end = nullptr;
+    const double w = std::strtod(item.c_str(), &end);
+    if (end == item.c_str() || *end != '\0' || w <= 0.0) return std::nullopt;
+    weights.push_back(w);
+  }
+  if (weights.empty()) return std::nullopt;
+  return weights;
+}
+
+std::optional<scenario::ScenarioSpec> spec_from_args(const ArgParser& parser,
+                                                     std::ostream& err) {
+  using scenario::Mechanism;
+
+  Mechanism mech;
+  const std::string& mech_name = parser.get_string("mechanism");
+  if (mech_name == "corelite") {
+    mech = Mechanism::Corelite;
+  } else if (mech_name == "csfq") {
+    mech = Mechanism::Csfq;
+  } else if (mech_name == "droptail") {
+    mech = Mechanism::DropTail;
+  } else if (mech_name == "red") {
+    mech = Mechanism::Red;
+  } else if (mech_name == "fred") {
+    mech = Mechanism::Fred;
+  } else if (mech_name == "wfq") {
+    mech = Mechanism::Wfq;
+  } else if (mech_name == "ecnbit") {
+    mech = Mechanism::EcnBit;
+  } else if (mech_name == "choke") {
+    mech = Mechanism::Choke;
+  } else if (mech_name == "sfq") {
+    mech = Mechanism::Sfq;
+  } else {
+    err << "unknown mechanism '" << mech_name << "'\n";
+    return std::nullopt;
+  }
+
+  scenario::ScenarioSpec spec;
+  const std::string& scen = parser.get_string("scenario");
+  if (scen == "fig3") {
+    spec = scenario::fig3_network_dynamics(mech);
+  } else if (scen == "fig5") {
+    spec = scenario::fig5_simultaneous_start(mech);
+  } else if (scen == "fig7") {
+    spec = scenario::fig7_staggered_start(mech);
+  } else if (scen == "fig9") {
+    spec = scenario::fig9_churn(mech);
+  } else {
+    err << "unknown scenario '" << scen << "'\n";
+    return std::nullopt;
+  }
+
+  const std::string& sel = parser.get_string("selector");
+  if (sel == "stateless") {
+    spec.corelite.selector = qos::SelectorKind::Stateless;
+  } else if (sel == "cache") {
+    spec.corelite.selector = qos::SelectorKind::MarkerCache;
+  } else {
+    err << "unknown selector '" << sel << "'\n";
+    return std::nullopt;
+  }
+
+  const std::string& det = parser.get_string("detector");
+  if (det == "epoch") {
+    spec.corelite.detector = qos::DetectorKind::EpochAverage;
+  } else if (det == "busyidle") {
+    spec.corelite.detector = qos::DetectorKind::BusyIdleCycle;
+  } else if (det == "ewma") {
+    spec.corelite.detector = qos::DetectorKind::Ewma;
+  } else {
+    err << "unknown detector '" << det << "'\n";
+    return std::nullopt;
+  }
+
+  const std::string& adapt = parser.get_string("adaptation");
+  if (adapt == "limd") {
+    spec.corelite.adapt.kind = qos::AdaptKind::Limd;
+  } else if (adapt == "aimd") {
+    spec.corelite.adapt.kind = qos::AdaptKind::Aimd;
+  } else if (adapt == "mimd") {
+    spec.corelite.adapt.kind = qos::AdaptKind::Mimd;
+  } else {
+    err << "unknown adaptation '" << adapt << "'\n";
+    return std::nullopt;
+  }
+  spec.csfq.adapt.kind = spec.corelite.adapt.kind;
+
+  const std::string& pacing = parser.get_string("pacing");
+  if (pacing == "cbr") {
+    spec.corelite.pacing = qos::PacingMode::Paced;
+  } else if (pacing == "poisson") {
+    spec.corelite.pacing = qos::PacingMode::Poisson;
+  } else if (pacing == "onoff") {
+    spec.corelite.pacing = qos::PacingMode::OnOff;
+  } else {
+    err << "unknown pacing '" << pacing << "'\n";
+    return std::nullopt;
+  }
+
+  if (parser.was_set("weights")) {
+    auto weights = parse_weight_list(parser.get_string("weights"));
+    if (!weights.has_value()) {
+      err << "malformed --weights list '" << parser.get_string("weights") << "'\n";
+      return std::nullopt;
+    }
+    if (weights->size() != spec.num_flows) {
+      err << "--weights needs exactly " << spec.num_flows << " entries, got "
+          << weights->size() << "\n";
+      return std::nullopt;
+    }
+    spec.weights = std::move(*weights);
+  }
+
+  if (parser.get_double("duration") > 0.0) {
+    spec.duration = sim::SimTime::seconds(parser.get_double("duration"));
+  }
+  spec.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  spec.corelite.core_epoch = sim::TimeDelta::millis(parser.get_double("epoch-ms"));
+  spec.corelite.k1 = parser.get_double("k1");
+  spec.corelite.q_thresh_pkts = parser.get_double("qthresh");
+  spec.corelite.k_cubic = parser.get_double("kcubic");
+  spec.topology.link_delay = sim::TimeDelta::millis(parser.get_double("link-delay-ms"));
+  return spec;
+}
+
+}  // namespace corelite::cli

@@ -1,0 +1,25 @@
+// Maps command-line options onto a ScenarioSpec (the corelite_sim tool).
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "cli/args.h"
+#include "scenario/scenario.h"
+
+namespace corelite::cli {
+
+/// Registers every scenario-related option on `parser`.
+void register_scenario_options(ArgParser& parser);
+
+/// Builds the spec described by the parsed options.  On error (unknown
+/// scenario/mechanism name, malformed weights list) writes a diagnostic
+/// to `err` and returns nullopt.
+[[nodiscard]] std::optional<scenario::ScenarioSpec> spec_from_args(const ArgParser& parser,
+                                                                   std::ostream& err);
+
+/// Parses "1,2,3.5" into weights; empty on malformed input.
+[[nodiscard]] std::optional<std::vector<double>> parse_weight_list(const std::string& text);
+
+}  // namespace corelite::cli

@@ -1,0 +1,33 @@
+// Tunables for the weighted CSFQ baseline.
+//
+// Defaults match the Corelite paper's comparison setup (§4): both the
+// per-flow rate averaging constant K and the link averaging constant
+// K_link are 100 ms; source agents use the same LIMD/slow-start scheme
+// as Corelite's, reacting to losses.
+#pragma once
+
+#include "qos/config.h"
+#include "sim/units.h"
+
+namespace corelite::csfq {
+
+struct CsfqConfig {
+  /// Per-flow rate estimation constant K at the edge.
+  sim::TimeDelta k_flow = sim::TimeDelta::millis(100);
+  /// Aggregate arrival/accept rate estimation constant K_link at the core.
+  sim::TimeDelta k_link = sim::TimeDelta::millis(100);
+  /// Window length for fair-share (alpha) updates.  The CSFQ paper uses
+  /// K_c on the order of K_link; we follow the Corelite paper's 100 ms.
+  sim::TimeDelta k_alpha = sim::TimeDelta::millis(100);
+
+  /// Edge adaptation epoch for the loss-driven source agents.
+  sim::TimeDelta edge_epoch = sim::TimeDelta::millis(100);
+
+  /// Fixed data packet size (paper: 1 KB).
+  sim::DataSize packet_size = sim::DataSize::kilobytes(1);
+
+  /// Source agent adaptation (same scheme as Corelite's, paper §4).
+  qos::RateAdaptConfig adapt{};
+};
+
+}  // namespace corelite::csfq

@@ -1,0 +1,111 @@
+// Weighted CSFQ core behaviour (Stoica et al. SIGCOMM'98, weighted
+// variant; the comparison baseline of the Corelite paper §4).
+//
+// Each congested-capable link runs a CsfqLinkPolicy:
+//   - estimate the aggregate arrival rate A~ and accepted rate F~ with
+//     exponential averaging (constant K_link),
+//   - maintain the normalized fair share alpha: while congested
+//     (A~ >= C), refine alpha <- alpha * C / F~ once per K_c window;
+//     while uncongested, track the largest packet label seen,
+//   - drop each arriving data packet with probability
+//     max(0, 1 - alpha / label) and relabel survivors to
+//     min(label, alpha).
+//
+// A CsfqCoreRouter installs the policy on every outgoing link of a node
+// and converts every data drop (probabilistic or tail) into a
+// LossNotice control packet routed back to the flow's ingress edge —
+// the congestion signal the paper's CSFQ source agents adapt to.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "csfq/config.h"
+#include "csfq/rate_estimator.h"
+#include "net/link.h"
+#include "net/network.h"
+#include "sim/random.h"
+
+namespace corelite::csfq {
+
+class CsfqLinkPolicy final : public net::AdmissionPolicy {
+ public:
+  /// `capacity_pps`: link capacity in packets/second (labels are
+  /// normalized packet rates, so everything stays in packet units).
+  CsfqLinkPolicy(const CsfqConfig& cfg, double capacity_pps, sim::Rng& rng);
+
+  [[nodiscard]] bool admit(net::Packet& p, sim::SimTime now) override;
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double arrival_rate() const { return arrival_.rate(); }
+  [[nodiscard]] double accepted_rate() const { return accepted_.rate(); }
+  [[nodiscard]] bool congested() const { return congested_; }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+
+ private:
+  void update_alpha(double label, bool dropped, sim::SimTime now);
+
+  CsfqConfig cfg_;
+  double capacity_pps_;
+  sim::Rng* rng_;
+
+  ExponentialRateEstimator arrival_;
+  ExponentialRateEstimator accepted_;
+
+  double alpha_ = 0.0;      ///< normalized fair share estimate
+  double tmp_alpha_ = 0.0;  ///< max label seen in the current uncongested window
+  bool congested_ = false;
+  sim::SimTime window_start_ = sim::SimTime::zero();
+  std::uint64_t drops_ = 0;
+};
+
+class CsfqCoreRouter {
+ public:
+  /// Attaches a CsfqLinkPolicy + drop observer to every outgoing link of
+  /// `node` existing at construction time.
+  CsfqCoreRouter(net::Network& network, net::NodeId node, const CsfqConfig& config);
+
+  CsfqCoreRouter(const CsfqCoreRouter&) = delete;
+  CsfqCoreRouter& operator=(const CsfqCoreRouter&) = delete;
+  ~CsfqCoreRouter();
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] std::uint64_t loss_notices_sent() const { return notices_sent_; }
+  [[nodiscard]] const CsfqLinkPolicy* policy_for(net::NodeId link_to) const;
+
+ private:
+  struct LinkState;
+
+  void send_loss_notice(const net::Packet& dropped);
+
+  net::Network& net_;
+  net::NodeId node_;
+  CsfqConfig cfg_;
+  std::vector<std::unique_ptr<LinkState>> links_;
+  std::uint64_t notices_sent_ = 0;
+};
+
+/// Degenerate baseline: FIFO drop-tail core that only reports losses
+/// (no fair dropping at all).  Shows what the source agents achieve
+/// with no in-network fairness mechanism.
+class LossNotifyingCoreRouter {
+ public:
+  LossNotifyingCoreRouter(net::Network& network, net::NodeId node);
+  LossNotifyingCoreRouter(const LossNotifyingCoreRouter&) = delete;
+  LossNotifyingCoreRouter& operator=(const LossNotifyingCoreRouter&) = delete;
+  ~LossNotifyingCoreRouter();
+
+  [[nodiscard]] std::uint64_t loss_notices_sent() const { return notices_sent_; }
+
+ private:
+  struct DropWatch;
+  void send_loss_notice(const net::Packet& dropped);
+
+  net::Network& net_;
+  net::NodeId node_;
+  std::vector<std::unique_ptr<DropWatch>> watches_;
+  std::uint64_t notices_sent_ = 0;
+};
+
+}  // namespace corelite::csfq

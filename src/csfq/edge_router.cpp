@@ -1,0 +1,122 @@
+#include "csfq/edge_router.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace corelite::csfq {
+
+CsfqEdgeRouter::CsfqEdgeRouter(net::Network& network, net::NodeId node, const CsfqConfig& config,
+                               stats::FlowTracker* tracker)
+    : net_{network}, node_{node}, cfg_{config}, tracker_{tracker} {
+  net_.node(node_).set_local_sink([this](net::Packet&& p) { handle_local(std::move(p)); });
+  const auto phase =
+      sim::TimeDelta::seconds(net_.simulator().rng().uniform(0.0, cfg_.edge_epoch.sec()));
+  epoch_timer_ = net_.simulator().every(cfg_.edge_epoch, [this] { on_epoch(); }, phase);
+}
+
+CsfqEdgeRouter::~CsfqEdgeRouter() { epoch_timer_.cancel(); }
+
+void CsfqEdgeRouter::add_flow(const net::FlowSpec& spec) {
+  assert(spec.ingress == node_);
+  assert(spec.weight > 0.0);
+  auto fs = std::make_unique<FlowState>(spec, cfg_);
+  if (tracker_ != nullptr) tracker_->declare_flow(spec.id, spec.weight);
+  FlowState& ref = *fs;
+  flows_[spec.id] = std::move(fs);
+  schedule_lifecycle(ref);
+}
+
+void CsfqEdgeRouter::schedule_lifecycle(FlowState& fs) {
+  auto& sim = net_.simulator();
+  for (const auto& iv : fs.spec.active) {
+    const sim::SimTime start = std::max(iv.start, sim.now());
+    sim.at(start, [this, &fs] { start_flow(fs); });
+    if (iv.stop < sim::SimTime::infinite()) {
+      sim.at(iv.stop, [this, &fs] { stop_flow(fs); });
+    }
+  }
+}
+
+void CsfqEdgeRouter::start_flow(FlowState& fs) {
+  if (fs.active) return;
+  fs.active = true;
+  fs.losses_this_epoch = 0;
+  fs.estimator.reset();
+  fs.ctrl->reset(net_.simulator().now());
+  if (tracker_ != nullptr) {
+    tracker_->record_rate(fs.spec.id, net_.simulator().now(), fs.ctrl->rate_pps());
+  }
+  emit_packet(fs);
+}
+
+void CsfqEdgeRouter::stop_flow(FlowState& fs) {
+  if (!fs.active) return;
+  fs.active = false;
+  fs.emit_event.cancel();
+  fs.losses_this_epoch = 0;
+  if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, net_.simulator().now(), 0.0);
+}
+
+void CsfqEdgeRouter::emit_packet(FlowState& fs) {
+  if (!fs.active) return;
+
+  const sim::SimTime now = net_.simulator().now();
+  const double estimate = fs.estimator.on_arrival(1.0, now);
+
+  net::Packet p;
+  p.uid = net_.next_packet_uid();
+  p.kind = net::PacketKind::Data;
+  p.flow = fs.spec.id;
+  p.src = node_;
+  p.dst = fs.spec.egress;
+  p.size = cfg_.packet_size;
+  p.label = estimate / fs.spec.weight;  // normalized rate label
+  p.created = now;
+  if (tracker_ != nullptr) tracker_->on_sent(fs.spec.id);
+  net_.inject(node_, std::move(p));
+
+  const double rate = std::max(fs.ctrl->rate_pps(), 1e-3);
+  fs.emit_event =
+      net_.simulator().after(sim::TimeDelta::seconds(1.0 / rate), [this, &fs] { emit_packet(fs); });
+}
+
+void CsfqEdgeRouter::on_epoch() {
+  const sim::SimTime now = net_.simulator().now();
+  for (auto& [id, fsp] : flows_) {
+    FlowState& fs = *fsp;
+    if (!fs.active) continue;
+    const int losses = fs.losses_this_epoch;
+    fs.losses_this_epoch = 0;
+    fs.ctrl->on_epoch(losses, now);
+    if (tracker_ != nullptr) tracker_->record_rate(id, now, fs.ctrl->rate_pps());
+  }
+}
+
+void CsfqEdgeRouter::handle_local(net::Packet&& p) {
+  switch (p.kind) {
+    case net::PacketKind::LossNotice: {
+      ++losses_received_;
+      auto it = flows_.find(p.flow);
+      if (it != flows_.end() && it->second->active) ++it->second->losses_this_epoch;
+      if (tracker_ != nullptr) {
+        tracker_->on_feedback(p.flow);
+        tracker_->on_dropped(p.flow);
+      }
+      break;
+    }
+    case net::PacketKind::Data:
+      if (tracker_ != nullptr) tracker_->on_delivered(p.flow);
+      break;
+    default:
+      break;
+  }
+}
+
+double CsfqEdgeRouter::current_rate_pps(net::FlowId flow) const {
+  auto it = flows_.find(flow);
+  if (it == flows_.end() || !it->second->active) return 0.0;
+  return it->second->ctrl->rate_pps();
+}
+
+}  // namespace corelite::csfq

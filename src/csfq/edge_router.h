@@ -1,0 +1,77 @@
+// Weighted CSFQ edge behaviour + the paper's loss-driven source agents.
+//
+// The edge router estimates each flow's rate with exponential averaging
+// (constant K) and stamps every data packet's label with the normalized
+// rate r/w — the only information CSFQ cores use.  The co-located
+// source agent shapes the flow at its allowed rate b_g and adapts b_g
+// with the same LIMD/slow-start controller Corelite uses, with packet
+// losses (LossNotice control packets from core routers) standing in for
+// marker feedback, exactly as the paper's comparison sets up (§4).
+//
+// Note the structural difference the paper highlights: CSFQ losses do
+// not identify which core link dropped, so the agent reacts to the
+// TOTAL loss count per epoch, while Corelite's edge can take the max
+// over core routers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "csfq/config.h"
+#include "csfq/rate_estimator.h"
+#include "net/flow.h"
+#include "net/network.h"
+#include "net/packet.h"
+#include "qos/rate_controller.h"
+#include "stats/flow_tracker.h"
+
+namespace corelite::csfq {
+
+class CsfqEdgeRouter {
+ public:
+  CsfqEdgeRouter(net::Network& network, net::NodeId node, const CsfqConfig& config,
+                 stats::FlowTracker* tracker = nullptr);
+
+  CsfqEdgeRouter(const CsfqEdgeRouter&) = delete;
+  CsfqEdgeRouter& operator=(const CsfqEdgeRouter&) = delete;
+  ~CsfqEdgeRouter();
+
+  void add_flow(const net::FlowSpec& spec);
+
+  [[nodiscard]] double current_rate_pps(net::FlowId flow) const;
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] std::uint64_t loss_notices_received() const { return losses_received_; }
+
+ private:
+  struct FlowState {
+    net::FlowSpec spec;
+    std::unique_ptr<qos::RateController> ctrl;
+    ExponentialRateEstimator estimator;
+    bool active = false;
+    int losses_this_epoch = 0;
+    sim::EventHandle emit_event;
+
+    FlowState(const net::FlowSpec& s, const CsfqConfig& cfg)
+        : spec{s},
+          ctrl{qos::make_rate_controller(cfg.adapt, s.min_rate_pps)},
+          estimator{cfg.k_flow} {}
+  };
+
+  void schedule_lifecycle(FlowState& fs);
+  void start_flow(FlowState& fs);
+  void stop_flow(FlowState& fs);
+  void emit_packet(FlowState& fs);
+  void on_epoch();
+  void handle_local(net::Packet&& p);
+
+  net::Network& net_;
+  net::NodeId node_;
+  CsfqConfig cfg_;
+  stats::FlowTracker* tracker_;
+  std::unordered_map<net::FlowId, std::unique_ptr<FlowState>> flows_;
+  sim::PeriodicHandle epoch_timer_;
+  std::uint64_t losses_received_ = 0;
+};
+
+}  // namespace corelite::csfq

@@ -1,0 +1,91 @@
+#include "net/choke_queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace corelite::net {
+
+void ChokeQueue::age_average(sim::SimTime now) {
+  if (!idle_) return;
+  const double idle_time = (now - idle_since_).sec();
+  const double m = std::max(0.0, idle_time / cfg_.typical_service_time.sec());
+  avg_ *= std::pow(1.0 - cfg_.ewma_weight, m);
+  idle_ = false;
+}
+
+bool ChokeQueue::choke_match_and_kill(const Packet& arrival) {
+  if (data_count_ == 0) return false;
+  // Pick a uniformly random DATA packet: draw positions until one is
+  // data (control packets are rare and zero-size; bounded retries).
+  for (int tries = 0; tries < 8; ++tries) {
+    const auto idx = static_cast<std::size_t>(
+        rng_->uniform_int(0, static_cast<std::int64_t>(q_.size()) - 1));
+    Packet& candidate = q_[idx];
+    if (!candidate.is_data()) continue;
+    if (candidate.flow != arrival.flow) return false;
+    // Same flow: kill the queued one too.
+    ++matches_;
+    Packet victim = std::move(candidate);
+    q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(idx));
+    --data_count_;
+    notify_internal_drop(victim);
+    return true;
+  }
+  return false;
+}
+
+bool ChokeQueue::enqueue(Packet&& p, sim::SimTime now) {
+  if (!p.is_data()) {
+    q_.push_back(std::move(p));
+    return true;
+  }
+
+  age_average(now);
+  avg_ = (1.0 - cfg_.ewma_weight) * avg_ + cfg_.ewma_weight * static_cast<double>(data_count_);
+
+  if (avg_ >= cfg_.min_thresh) {
+    // The CHOKe comparison: a random queued packet of the same flow
+    // dooms both.
+    if (choke_match_and_kill(p)) return false;
+  }
+
+  bool drop = false;
+  if (data_count_ >= cfg_.capacity_data_packets || avg_ >= cfg_.max_thresh) {
+    drop = true;
+    count_since_drop_ = 0;
+  } else if (avg_ >= cfg_.min_thresh) {
+    const double pb = cfg_.max_drop_prob * (avg_ - cfg_.min_thresh) /
+                      (cfg_.max_thresh - cfg_.min_thresh);
+    ++count_since_drop_;
+    const double denom = 1.0 - static_cast<double>(count_since_drop_) * pb;
+    const double pa = denom <= 0.0 ? 1.0 : pb / denom;
+    if (rng_->bernoulli(pa)) {
+      drop = true;
+      count_since_drop_ = 0;
+    }
+  } else {
+    count_since_drop_ = -1;
+  }
+
+  if (drop) return false;
+  ++data_count_;
+  q_.push_back(std::move(p));
+  return true;
+}
+
+std::optional<Packet> ChokeQueue::dequeue(sim::SimTime now) {
+  if (q_.empty()) return std::nullopt;
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  if (p.is_data()) {
+    --data_count_;
+    if (data_count_ == 0) {
+      idle_ = true;
+      idle_since_ = now;
+    }
+  }
+  return p;
+}
+
+}  // namespace corelite::net

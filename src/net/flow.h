@@ -1,0 +1,43 @@
+// Flow descriptions.
+//
+// A "flow" in Corelite is an edge-to-edge aggregate (paper §2): it
+// enters the network cloud at an ingress edge router, exits at an
+// egress node, and carries a rate weight that selects its rate class.
+#pragma once
+
+#include <vector>
+
+#include "net/types.h"
+#include "sim/units.h"
+
+namespace corelite::net {
+
+/// Half-open activity window [start, stop).
+struct ActiveInterval {
+  sim::SimTime start;
+  sim::SimTime stop = sim::SimTime::infinite();
+};
+
+struct FlowSpec {
+  FlowId id = kInvalidFlow;
+  NodeId ingress = kInvalidNode;  ///< ingress edge router
+  NodeId egress = kInvalidNode;   ///< egress node (edge router / sink)
+  double weight = 1.0;            ///< rate weight w(f) > 0
+
+  /// Disjoint, time-ordered activity windows.  A flow with several
+  /// windows models the stop/restart churn of the paper's §4.3 scenario.
+  std::vector<ActiveInterval> active{{sim::SimTime::zero(), sim::SimTime::infinite()}};
+
+  /// Optional minimum rate contract in packets/s (Corelite extension:
+  /// the edge never throttles the flow below this floor).
+  double min_rate_pps = 0.0;
+
+  [[nodiscard]] bool active_at(sim::SimTime t) const {
+    for (const auto& iv : active) {
+      if (t >= iv.start && t < iv.stop) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace corelite::net

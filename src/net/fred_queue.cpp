@@ -1,0 +1,94 @@
+#include "net/fred_queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace corelite::net {
+
+void FredQueue::age_average(sim::SimTime now) {
+  if (!idle_) return;
+  const double idle_time = (now - idle_since_).sec();
+  const double m = std::max(0.0, idle_time / cfg_.typical_service_time.sec());
+  avg_ *= std::pow(1.0 - cfg_.ewma_weight, m);
+  idle_ = false;
+}
+
+bool FredQueue::enqueue(Packet&& p, sim::SimTime now) {
+  if (!p.is_data()) {  // control packets bypass FRED entirely
+    q_.push_back(std::move(p));
+    return true;
+  }
+
+  age_average(now);
+  avg_ = (1.0 - cfg_.ewma_weight) * avg_ + cfg_.ewma_weight * static_cast<double>(data_count_);
+
+  FlowEntry& fe = flows_[p.flow];  // created on first buffered packet
+  const double nactive = std::max<std::size_t>(1, flows_.size());
+  const double avgcq = std::max(1.0, avg_ / static_cast<double>(nactive));
+  const std::size_t max_q =
+      std::max(cfg_.min_q, static_cast<std::size_t>(cfg_.min_thresh));
+
+  bool drop = false;
+  if (data_count_ >= cfg_.capacity_data_packets) {
+    drop = true;  // hard buffer limit
+  } else if (fe.qlen >= max_q ||
+             (avg_ >= cfg_.max_thresh && static_cast<double>(fe.qlen) > 2.0 * avgcq) ||
+             (static_cast<double>(fe.qlen) >= avgcq && fe.strikes > 1)) {
+    // Non-adaptive flow management: penalize flows monopolizing the buffer.
+    drop = true;
+    ++fe.strikes;
+  } else if (avg_ >= cfg_.min_thresh && avg_ < cfg_.max_thresh) {
+    if (static_cast<double>(fe.qlen) >=
+        std::max(static_cast<double>(cfg_.min_q), avgcq)) {
+      // RED's spaced probabilistic drop.
+      const double pb = cfg_.max_drop_prob * (avg_ - cfg_.min_thresh) /
+                        (cfg_.max_thresh - cfg_.min_thresh);
+      ++count_since_drop_;
+      const double denom = 1.0 - static_cast<double>(count_since_drop_) * pb;
+      const double pa = denom <= 0.0 ? 1.0 : pb / denom;
+      if (rng_->bernoulli(pa)) {
+        drop = true;
+        count_since_drop_ = 0;
+      }
+    }
+  } else if (avg_ >= cfg_.max_thresh) {
+    // Average beyond maxth: only flows within their min_q allowance get in.
+    if (fe.qlen >= cfg_.min_q) {
+      drop = true;
+      count_since_drop_ = 0;
+    }
+  } else {
+    count_since_drop_ = -1;
+  }
+
+  if (drop) {
+    if (fe.qlen == 0) flows_.erase(p.flow);  // no state without buffered packets
+    return false;
+  }
+  ++fe.qlen;
+  ++data_count_;
+  q_.push_back(std::move(p));
+  return true;
+}
+
+std::optional<Packet> FredQueue::dequeue(sim::SimTime now) {
+  if (q_.empty()) return std::nullopt;
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  if (p.is_data()) {
+    --data_count_;
+    auto it = flows_.find(p.flow);
+    if (it != flows_.end() && --it->second.qlen == 0) {
+      // FRED keeps per-flow state only while packets are buffered.
+      flows_.erase(it);
+    }
+    if (data_count_ == 0) {
+      idle_ = true;
+      idle_since_ = now;
+    }
+  }
+  return p;
+}
+
+}  // namespace corelite::net

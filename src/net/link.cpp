@@ -1,0 +1,90 @@
+#include "net/link.h"
+
+#include <cassert>
+#include <utility>
+
+#include "net/network.h"
+
+namespace corelite::net {
+
+Link::Link(sim::Simulator& simulator, Network& network, NodeId from, NodeId to, sim::Rate rate,
+           sim::TimeDelta propagation_delay, std::unique_ptr<PacketQueue> queue)
+    : sim_{simulator},
+      net_{network},
+      from_{from},
+      to_{to},
+      rate_{rate},
+      prop_delay_{propagation_delay},
+      queue_{std::move(queue)} {
+  assert(queue_ != nullptr);
+  // Queue-internal drops (e.g. WFQ evictions) count and notify exactly
+  // like rejected arrivals.
+  queue_->set_internal_drop_callback([this](const Packet& p) {
+    ++stats_.dropped;
+    for (auto* obs : observers_) obs->on_drop(p, sim_.now());
+  });
+}
+
+void Link::notify_queue_length() {
+  const std::size_t len = queue_->data_packet_count();
+  for (auto* obs : observers_) obs->on_queue_length(len, sim_.now());
+}
+
+void Link::send(Packet&& p) {
+  const sim::SimTime now = sim_.now();
+
+  if (p.is_data() && admission_ != nullptr && !admission_->admit(p, now)) {
+    ++stats_.dropped;
+    for (auto* obs : observers_) obs->on_drop(p, now);
+    return;
+  }
+  if (p.is_control() && control_loss_rate_ > 0.0 &&
+      sim_.rng().bernoulli(control_loss_rate_)) {
+    ++stats_.dropped_control;
+    for (auto* obs : observers_) obs->on_drop(p, now);
+    return;
+  }
+
+  // Packet carries no payload (headers only), so keeping a copy for
+  // observer notification is cheap and sidesteps moved-from hazards.
+  const Packet header = p;
+  if (!queue_->enqueue(std::move(p), now)) {
+    ++stats_.dropped;
+    for (auto* obs : observers_) obs->on_drop(header, now);
+    return;
+  }
+  ++stats_.enqueued;
+  for (auto* obs : observers_) obs->on_enqueue(header, now);
+  if (header.is_data()) notify_queue_length();
+  if (!busy_) start_transmission();
+}
+
+void Link::start_transmission() {
+  auto p = queue_->dequeue(sim_.now());
+  if (!p) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  for (auto* obs : observers_) obs->on_dequeue(*p, sim_.now());
+  if (p->is_data()) notify_queue_length();
+
+  const sim::TimeDelta ser = rate_.serialization_time(p->size);
+  // Move the packet into the completion event.
+  auto shared = std::make_shared<Packet>(std::move(*p));
+  sim_.after(ser, [this, shared]() mutable { on_serialized(std::move(*shared)); });
+}
+
+void Link::on_serialized(Packet&& p) {
+  ++stats_.delivered;
+  if (p.is_data()) {
+    ++stats_.data_delivered;
+    stats_.data_bytes_delivered += p.size;
+  }
+  auto shared = std::make_shared<Packet>(std::move(p));
+  const NodeId to = to_;
+  sim_.after(prop_delay_, [this, shared, to]() mutable { net_.deliver(to, std::move(*shared)); });
+  start_transmission();
+}
+
+}  // namespace corelite::net

@@ -1,0 +1,104 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace corelite::net {
+
+NodeId Network::add_node(std::string name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(id, std::move(name)));
+  return id;
+}
+
+Link& Network::connect(NodeId a, NodeId b, sim::Rate rate, sim::TimeDelta delay,
+                       std::size_t queue_capacity_packets) {
+  return connect_with_queue(a, b, rate, delay,
+                            std::make_unique<DropTailQueue>(queue_capacity_packets));
+}
+
+Link& Network::connect_with_queue(NodeId a, NodeId b, sim::Rate rate, sim::TimeDelta delay,
+                                  std::unique_ptr<PacketQueue> queue) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  links_.push_back(std::make_unique<Link>(sim_, *this, a, b, rate, delay, std::move(queue)));
+  Link* link = links_.back().get();
+  nodes_[a]->add_out_link(link);
+  return *link;
+}
+
+std::pair<Link*, Link*> Network::connect_duplex(NodeId a, NodeId b, sim::Rate rate,
+                                                sim::TimeDelta delay,
+                                                std::size_t queue_capacity_packets) {
+  Link& ab = connect(a, b, rate, delay, queue_capacity_packets);
+  Link& ba = connect(b, a, rate, delay, queue_capacity_packets);
+  return {&ab, &ba};
+}
+
+Link* Network::find_link(NodeId from, NodeId to) {
+  for (auto& l : links_) {
+    if (l->from() == from && l->to() == to) return l.get();
+  }
+  return nullptr;
+}
+
+void Network::build_routes() {
+  const std::size_t n = nodes_.size();
+  // Dijkstra from every source.  Networks here are small (tens of nodes);
+  // O(V * E log V) is more than fast enough and keeps the code simple.
+  for (NodeId src = 0; src < n; ++src) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(n, kInf);
+    std::vector<Link*> first_hop(n, nullptr);
+    using Item = std::pair<double, NodeId>;  // (distance, node)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[src] = 0.0;
+    pq.push({0.0, src});
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      for (Link* l : nodes_[u]->out_links()) {
+        const NodeId v = l->to();
+        // Tiny per-hop epsilon keeps paths minimal-hop among equal-delay
+        // alternatives; tie-break below keeps them deterministic.
+        const double w = l->propagation_delay().sec() + 1e-9;
+        const double nd = d + w;
+        if (nd < dist[v] - 1e-15) {
+          dist[v] = nd;
+          first_hop[v] = (u == src) ? l : first_hop[u];
+          pq.push({nd, v});
+        }
+      }
+    }
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (dst != src && first_hop[dst] != nullptr) {
+        nodes_[src]->set_next_hop(dst, first_hop[dst]);
+      }
+    }
+  }
+}
+
+void Network::deliver(NodeId to, Packet&& p) {
+  if (!nodes_.at(to)->receive(std::move(p))) ++unrouteable_;
+}
+
+void Network::inject(NodeId at, Packet&& p) {
+  if (!nodes_.at(at)->receive(std::move(p))) ++unrouteable_;
+}
+
+std::vector<NodeId> Network::path(NodeId from, NodeId to) const {
+  std::vector<NodeId> hops{from};
+  NodeId cur = from;
+  while (cur != to) {
+    Link* l = nodes_.at(cur)->next_hop(to);
+    if (l == nullptr) return {};
+    cur = l->to();
+    hops.push_back(cur);
+    if (hops.size() > nodes_.size()) return {};  // routing loop guard
+  }
+  return hops;
+}
+
+}  // namespace corelite::net

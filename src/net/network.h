@@ -1,0 +1,77 @@
+// The network container: nodes, links, routing, packet delivery.
+//
+// Build a topology with add_node()/connect(), call build_routes() once,
+// then inject packets at nodes.  Routing is static shortest-path by
+// propagation delay (deterministic tie-break on node id), which matches
+// the fixed routes of the paper's ns-2 scripts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "net/types.h"
+#include "sim/simulator.h"
+
+namespace corelite::net {
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& simulator) : sim_{simulator} {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Create a node; returns its dense id.
+  NodeId add_node(std::string name);
+
+  /// Create one unidirectional link a -> b with a drop-tail queue.
+  Link& connect(NodeId a, NodeId b, sim::Rate rate, sim::TimeDelta delay,
+                std::size_t queue_capacity_packets);
+
+  /// Create one unidirectional link a -> b with a caller-supplied queue.
+  Link& connect_with_queue(NodeId a, NodeId b, sim::Rate rate, sim::TimeDelta delay,
+                           std::unique_ptr<PacketQueue> queue);
+
+  /// Create both directions with identical parameters.
+  std::pair<Link*, Link*> connect_duplex(NodeId a, NodeId b, sim::Rate rate, sim::TimeDelta delay,
+                                         std::size_t queue_capacity_packets);
+
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] const Node& node(NodeId id) const { return *nodes_.at(id); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  [[nodiscard]] Link* find_link(NodeId from, NodeId to);
+  [[nodiscard]] const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+  /// Populate every node's FIB via all-pairs shortest paths
+  /// (Dijkstra per source; edge weight = propagation delay).
+  void build_routes();
+
+  /// Hand a packet that finished traversing a link to its downstream node.
+  void deliver(NodeId to, Packet&& p);
+
+  /// Inject a freshly created packet at `at` (used by edge routers).
+  void inject(NodeId at, Packet&& p);
+
+  /// The hop sequence a packet from `from` to `to` follows, inclusive.
+  /// Empty if unreachable.  Requires build_routes() to have run.
+  [[nodiscard]] std::vector<NodeId> path(NodeId from, NodeId to) const;
+
+  [[nodiscard]] std::uint64_t next_packet_uid() { return ++packet_uid_; }
+  [[nodiscard]] std::uint64_t unrouteable_count() const { return unrouteable_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::uint64_t packet_uid_ = 0;
+  std::uint64_t unrouteable_ = 0;
+};
+
+}  // namespace corelite::net

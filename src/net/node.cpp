@@ -1,0 +1,21 @@
+#include "net/node.h"
+
+#include <utility>
+
+namespace corelite::net {
+
+bool Node::receive(Packet&& p) {
+  if (p.dst == id_) {
+    ++delivered_locally_;
+    if (local_sink_) local_sink_(std::move(p));
+    return true;
+  }
+  if (transit_hook_ && transit_hook_(p)) return true;
+  Link* out = next_hop(p.dst);
+  if (out == nullptr) return false;
+  ++forwarded_;
+  out->send(std::move(p));
+  return true;
+}
+
+}  // namespace corelite::net

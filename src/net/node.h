@@ -1,0 +1,73 @@
+// A forwarding node: host, edge router or core router.
+//
+// Nodes keep only a next-hop table keyed by destination node — no
+// per-flow state, matching the paper's core-stateless requirement.
+// QoS machinery (Corelite edge/core logic, CSFQ) attaches from outside
+// via the local sink and via link observers/admission policies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.h"
+#include "net/packet.h"
+#include "net/types.h"
+
+namespace corelite::net {
+
+class Node {
+ public:
+  using LocalSink = std::function<void(Packet&&)>;
+
+  Node(NodeId id, std::string name) : id_{id}, name_{std::move(name)} {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Handler for packets addressed to this node.  Edge routers install
+  /// their feedback/loss-notice handler here; egress sinks count
+  /// delivered data packets.
+  void set_local_sink(LocalSink sink) { local_sink_ = std::move(sink); }
+
+  /// Optional transit interceptor, consulted for packets this node
+  /// would otherwise *forward*.  Returning true means the hook took the
+  /// packet (moving from it) — e.g. an ingress edge router diverting a
+  /// host's packet into its per-flow shaping queue.  Returning false
+  /// leaves the packet untouched for normal forwarding.
+  using TransitHook = std::function<bool(Packet&)>;
+  void set_transit_hook(TransitHook hook) { transit_hook_ = std::move(hook); }
+
+  void add_out_link(Link* link) { out_links_.push_back(link); }
+  [[nodiscard]] const std::vector<Link*>& out_links() const { return out_links_; }
+
+  void set_next_hop(NodeId dst, Link* link) { fib_[dst] = link; }
+  [[nodiscard]] Link* next_hop(NodeId dst) const {
+    auto it = fib_.find(dst);
+    return it == fib_.end() ? nullptr : it->second;
+  }
+
+  /// Arrival processing: deliver locally or forward along the FIB.
+  /// Returns false if the packet had no route (caller accounts for it).
+  bool receive(Packet&& p);
+
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+  [[nodiscard]] std::uint64_t delivered_locally() const { return delivered_locally_; }
+
+ private:
+  NodeId id_;
+  std::string name_;
+  LocalSink local_sink_;
+  TransitHook transit_hook_;
+  std::vector<Link*> out_links_;
+  std::unordered_map<NodeId, Link*> fib_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t delivered_locally_ = 0;
+};
+
+}  // namespace corelite::net

@@ -1,0 +1,74 @@
+// The unit of transmission.
+//
+// One Packet type covers the four kinds of traffic in the system:
+//   Data        — payload packets of a flow (1 KB in the paper's runs).
+//   Marker      — Corelite rate markers injected by edge routers; size 0
+//                 because the paper allows them to be "physically
+//                 piggybacked to a data packet".
+//   Feedback    — a marker echoed back to its edge router by a congested
+//                 core router.
+//   LossNotice  — congestion indication for the CSFQ baseline (models the
+//                 loss signal the paper's CSFQ source agents react to).
+//
+// Control packets (everything except Data) have zero size: they consume
+// no link capacity and no queue space, mirroring piggybacked headers.
+#pragma once
+
+#include <cstdint>
+
+#include "net/types.h"
+#include "sim/units.h"
+
+namespace corelite::net {
+
+enum class PacketKind : std::uint8_t {
+  Data,
+  Marker,
+  Feedback,
+  LossNotice,
+  Ack,  ///< transport-level acknowledgment (TCP agents)
+};
+
+/// Contents of a Corelite marker (paper §2.2): the marker's "source
+/// address" is the generating edge router, its payload identifies the
+/// flow and carries the flow's normalized rate label (paper §3.2).
+struct MarkerInfo {
+  NodeId edge_router = kInvalidNode;
+  FlowId flow = kInvalidFlow;
+  double normalized_rate = 0.0;  ///< b_g(f) / w(f), packets per second.
+};
+
+struct Packet {
+  std::uint64_t uid = 0;
+  PacketKind kind = PacketKind::Data;
+  FlowId flow = kInvalidFlow;
+  NodeId src = kInvalidNode;  ///< ingress edge router of the flow.
+  NodeId dst = kInvalidNode;  ///< current forwarding destination.
+  sim::DataSize size;
+
+  /// CSFQ label: the flow's normalized rate estimate, stamped by the CSFQ
+  /// edge router and possibly relabeled down by congested core links.
+  double label = 0.0;
+
+  /// Valid when kind is Marker or Feedback.
+  MarkerInfo marker{};
+
+  /// For Feedback packets: the core router that generated the feedback.
+  /// The Corelite edge reacts to the MAX over origins (paper §2.2 step 3).
+  NodeId feedback_origin = kInvalidNode;
+
+  /// Transport sequence number (Data) / cumulative ack (Ack).  Used by
+  /// the TCP agents; zero for the paper's rate-based sources.
+  std::uint64_t seq = 0;
+
+  /// Binary congestion-experienced mark (the DECbit/ECN baseline; see
+  /// qos/ecn.h).  Unused by Corelite proper.
+  bool ecn = false;
+
+  sim::SimTime created;
+
+  [[nodiscard]] bool is_data() const { return kind == PacketKind::Data; }
+  [[nodiscard]] bool is_control() const { return kind != PacketKind::Data; }
+};
+
+}  // namespace corelite::net

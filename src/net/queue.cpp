@@ -1,0 +1,82 @@
+#include "net/queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace corelite::net {
+
+bool DropTailQueue::enqueue(Packet&& p, sim::SimTime /*now*/) {
+  if (p.is_data()) {
+    if (data_count_ >= capacity_) return false;
+    ++data_count_;
+  }
+  q_.push_back(std::move(p));
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue(sim::SimTime /*now*/) {
+  if (q_.empty()) return std::nullopt;
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  if (p.is_data()) --data_count_;
+  return p;
+}
+
+void RedQueue::age_average(sim::SimTime now) {
+  if (!idle_) return;
+  // While the queue was idle, pretend `m` small packets were serviced.
+  const double idle_time = (now - idle_since_).sec();
+  const double m = std::max(0.0, idle_time / cfg_.typical_service_time.sec());
+  avg_ *= std::pow(1.0 - cfg_.ewma_weight, m);
+  idle_ = false;
+}
+
+bool RedQueue::enqueue(Packet&& p, sim::SimTime now) {
+  if (!p.is_data()) {  // control packets bypass RED entirely
+    q_.push_back(std::move(p));
+    return true;
+  }
+
+  age_average(now);
+  avg_ = (1.0 - cfg_.ewma_weight) * avg_ + cfg_.ewma_weight * static_cast<double>(data_count_);
+
+  bool drop = false;
+  if (data_count_ >= cfg_.capacity_data_packets || avg_ >= cfg_.max_thresh) {
+    drop = true;
+    count_since_drop_ = 0;
+  } else if (avg_ > cfg_.min_thresh) {
+    const double pb = cfg_.max_drop_prob * (avg_ - cfg_.min_thresh) /
+                      (cfg_.max_thresh - cfg_.min_thresh);
+    ++count_since_drop_;
+    const double denom = 1.0 - static_cast<double>(count_since_drop_) * pb;
+    const double pa = denom <= 0.0 ? 1.0 : pb / denom;
+    if (rng_->bernoulli(pa)) {
+      drop = true;
+      count_since_drop_ = 0;
+    }
+  } else {
+    count_since_drop_ = -1;
+  }
+
+  if (drop) return false;
+  ++data_count_;
+  q_.push_back(std::move(p));
+  return true;
+}
+
+std::optional<Packet> RedQueue::dequeue(sim::SimTime now) {
+  if (q_.empty()) return std::nullopt;
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  if (p.is_data()) {
+    --data_count_;
+    if (data_count_ == 0) {
+      idle_ = true;
+      idle_since_ = now;
+    }
+  }
+  return p;
+}
+
+}  // namespace corelite::net

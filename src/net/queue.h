@@ -1,0 +1,116 @@
+// Output-queue disciplines for links.
+//
+// DropTailQueue is the discipline used by every experiment in the paper
+// (ns-2 default).  RedQueue implements classic RED (Floyd & Jacobson 93),
+// which the paper discusses as related work; it serves as an extra
+// baseline in the ablation benches.
+//
+// Queue capacity counts DATA packets only.  Control packets (markers,
+// feedback, loss notices) are zero-size piggybacked headers: they are
+// always accepted and never counted against capacity (see packet.h).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "net/packet.h"
+#include "sim/random.h"
+#include "sim/units.h"
+
+namespace corelite::net {
+
+class PacketQueue {
+ public:
+  virtual ~PacketQueue() = default;
+
+  /// Attempt to enqueue.  Returns false if the packet was dropped; in that
+  /// case the packet is consumed (the caller keeps drop statistics).
+  [[nodiscard]] virtual bool enqueue(Packet&& p, sim::SimTime now) = 0;
+
+  /// Invoked for packets the queue drops *after* having accepted them
+  /// (e.g. WFQ evicting the longest backlog to admit a new arrival).
+  /// The owning Link registers here so observers and statistics see
+  /// internal drops exactly like rejected arrivals.
+  using InternalDropFn = std::function<void(const Packet&)>;
+  void set_internal_drop_callback(InternalDropFn fn) { internal_drop_ = std::move(fn); }
+
+  /// Remove and return the head-of-line packet, or nullopt if empty.
+  [[nodiscard]] virtual std::optional<Packet> dequeue(sim::SimTime now) = 0;
+
+  /// Number of data packets currently queued (capacity metric and the
+  /// quantity Corelite's congestion estimator averages).
+  [[nodiscard]] virtual std::size_t data_packet_count() const = 0;
+
+  [[nodiscard]] virtual bool empty() const = 0;
+
+ protected:
+  void notify_internal_drop(const Packet& p) {
+    if (internal_drop_) internal_drop_(p);
+  }
+
+ private:
+  InternalDropFn internal_drop_;
+};
+
+/// FIFO with a fixed data-packet capacity.
+class DropTailQueue final : public PacketQueue {
+ public:
+  explicit DropTailQueue(std::size_t capacity_data_packets)
+      : capacity_{capacity_data_packets} {}
+
+  [[nodiscard]] bool enqueue(Packet&& p, sim::SimTime now) override;
+  [[nodiscard]] std::optional<Packet> dequeue(sim::SimTime now) override;
+  [[nodiscard]] std::size_t data_packet_count() const override { return data_count_; }
+  [[nodiscard]] bool empty() const override { return q_.empty(); }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t data_count_ = 0;
+  std::deque<Packet> q_;
+};
+
+/// Classic RED (random early detection) gateway.
+///
+/// Exponentially weighted moving average of the data queue length with
+/// idle-time compensation; drop probability ramps linearly between
+/// min_thresh and max_thresh, with the standard 1/(1 - count*p) spreading.
+class RedQueue final : public PacketQueue {
+ public:
+  struct Config {
+    std::size_t capacity_data_packets = 40;
+    double min_thresh = 5.0;
+    double max_thresh = 15.0;
+    double max_drop_prob = 0.1;
+    double ewma_weight = 0.002;
+    /// Estimated packet service time, used to age the average across idle
+    /// periods (Floyd & Jacobson §4, "m" packets could have been sent).
+    sim::TimeDelta typical_service_time = sim::TimeDelta::millis(2);
+  };
+
+  RedQueue(Config cfg, sim::Rng& rng) : cfg_{cfg}, rng_{&rng} {}
+
+  [[nodiscard]] bool enqueue(Packet&& p, sim::SimTime now) override;
+  [[nodiscard]] std::optional<Packet> dequeue(sim::SimTime now) override;
+  [[nodiscard]] std::size_t data_packet_count() const override { return data_count_; }
+  [[nodiscard]] bool empty() const override { return q_.empty(); }
+
+  [[nodiscard]] double average_queue() const { return avg_; }
+
+ private:
+  void age_average(sim::SimTime now);
+
+  Config cfg_;
+  sim::Rng* rng_;
+  std::size_t data_count_ = 0;
+  std::deque<Packet> q_;
+  double avg_ = 0.0;
+  std::int64_t count_since_drop_ = -1;
+  sim::SimTime idle_since_ = sim::SimTime::zero();
+  bool idle_ = true;
+};
+
+}  // namespace corelite::net

@@ -1,0 +1,42 @@
+#include "net/sfq_queue.h"
+
+#include <utility>
+
+namespace corelite::net {
+
+bool SfqQueue::enqueue(Packet&& p, sim::SimTime /*now*/) {
+  if (!p.is_data()) {
+    control_.push_back(std::move(p));
+    return true;
+  }
+  auto& band = queues_[band_of(p.flow)];
+  if (band.size() >= per_band_) return false;  // per-band tail drop
+  band.push_back(std::move(p));
+  ++data_count_;
+  return true;
+}
+
+std::optional<Packet> SfqQueue::dequeue(sim::SimTime /*now*/) {
+  if (!control_.empty()) {
+    Packet p = std::move(control_.front());
+    control_.pop_front();
+    return p;
+  }
+  if (data_count_ == 0) return std::nullopt;
+  // Round-robin over non-empty bands.
+  for (std::size_t step = 0; step < bands_; ++step) {
+    auto& band = queues_[next_band_];
+    next_band_ = (next_band_ + 1) % bands_;
+    if (!band.empty()) {
+      Packet p = std::move(band.front());
+      band.pop_front();
+      --data_count_;
+      return p;
+    }
+  }
+  return std::nullopt;  // unreachable while data_count_ > 0
+}
+
+bool SfqQueue::empty() const { return data_count_ == 0 && control_.empty(); }
+
+}  // namespace corelite::net

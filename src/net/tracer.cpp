@@ -1,0 +1,63 @@
+#include "net/tracer.h"
+
+#include <cstdio>
+
+namespace corelite::net {
+
+char trace_event_code(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::Enqueue: return '+';
+    case TraceEvent::Dequeue: return '-';
+    case TraceEvent::Drop: return 'd';
+  }
+  return '?';
+}
+
+std::string_view packet_kind_name(PacketKind k) {
+  switch (k) {
+    case PacketKind::Data: return "data";
+    case PacketKind::Marker: return "marker";
+    case PacketKind::Feedback: return "feedback";
+    case PacketKind::LossNotice: return "loss";
+    case PacketKind::Ack: return "ack";
+  }
+  return "unknown";
+}
+
+std::string format_trace_record(const TraceRecord& r) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "t=%.6f %c %u->%u %s f=%u uid=%llu size=%lld q=%zu", r.t,
+                trace_event_code(r.event), r.from, r.to,
+                std::string(packet_kind_name(r.kind)).c_str(), r.flow,
+                static_cast<unsigned long long>(r.uid), static_cast<long long>(r.size_bytes),
+                r.queue_len);
+  return buf;
+}
+
+void PacketTracer::attach(Link& link) {
+  auto shim = std::make_unique<LinkShim>();
+  shim->owner = this;
+  shim->link = &link;
+  link.add_observer(shim.get());
+  shims_.push_back(std::move(shim));
+}
+
+void PacketTracer::record(TraceEvent e, const Packet& p, sim::SimTime now, const Link& link) {
+  if (flow_filter_ != kInvalidFlow && p.flow != flow_filter_) return;
+  if (kind_filter_.has_value() && p.kind != *kind_filter_) return;
+  ++total_;
+  TraceRecord r;
+  r.t = now.sec();
+  r.event = e;
+  r.from = link.from();
+  r.to = link.to();
+  r.kind = p.kind;
+  r.flow = p.flow;
+  r.uid = p.uid;
+  r.size_bytes = p.size.byte_count();
+  r.queue_len = link.queued_data_packets();
+  if (out_ != nullptr) *out_ << format_trace_record(r) << "\n";
+  if (limit_ == 0 || records_.size() < limit_) records_.push_back(r);
+}
+
+}  // namespace corelite::net

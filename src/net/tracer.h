@@ -1,0 +1,96 @@
+// Packet-level event tracing (the ns-2 trace-file equivalent).
+//
+// A PacketTracer attaches to links and records enqueue / dequeue / drop
+// events with virtual timestamps.  Traces can be filtered by flow and
+// packet kind, kept in memory for programmatic inspection (tests,
+// debugging) or streamed to an ostream in a compact one-line-per-event
+// text format:
+//
+//   t=1.234567 + 3->5 data f=2 uid=991 size=1000 q=7
+//
+// where the second column is the event code: '+' enqueue, '-' dequeue,
+// 'd' drop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/link.h"
+#include "net/packet.h"
+
+namespace corelite::net {
+
+enum class TraceEvent : std::uint8_t { Enqueue, Dequeue, Drop };
+
+struct TraceRecord {
+  double t = 0.0;
+  TraceEvent event = TraceEvent::Enqueue;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  PacketKind kind = PacketKind::Data;
+  FlowId flow = kInvalidFlow;
+  std::uint64_t uid = 0;
+  std::int64_t size_bytes = 0;
+  std::size_t queue_len = 0;  ///< data packets queued after the event
+};
+
+[[nodiscard]] char trace_event_code(TraceEvent e);
+[[nodiscard]] std::string_view packet_kind_name(PacketKind k);
+
+/// Formats one record as the compact text line described above.
+[[nodiscard]] std::string format_trace_record(const TraceRecord& r);
+
+class PacketTracer {
+ public:
+  /// In-memory tracer; optionally also stream each record to `out`.
+  explicit PacketTracer(std::ostream* out = nullptr) : out_{out} {}
+
+  /// Start observing a link.  The tracer must outlive the link's
+  /// activity (observers are not detachable).
+  void attach(Link& link);
+
+  /// Restrict recording to one flow (kInvalidFlow = all flows).
+  void set_flow_filter(FlowId flow) { flow_filter_ = flow; }
+  /// Restrict recording to one packet kind.
+  void set_kind_filter(std::optional<PacketKind> kind) { kind_filter_ = kind; }
+  /// Cap on retained in-memory records (recording stops at the cap but
+  /// streaming continues); 0 = unbounded.
+  void set_memory_limit(std::size_t records) { limit_ = records; }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  [[nodiscard]] std::uint64_t total_events() const { return total_; }
+  void clear() { records_.clear(); }
+
+ private:
+  void record(TraceEvent e, const Packet& p, sim::SimTime now, const Link& link);
+
+  // One shim per attached link so records carry the link endpoints.
+  struct LinkShim final : LinkObserver {
+    PacketTracer* owner = nullptr;
+    Link* link = nullptr;
+    void on_enqueue(const Packet& p, sim::SimTime now) override {
+      owner->record(TraceEvent::Enqueue, p, now, *link);
+    }
+    void on_dequeue(const Packet& p, sim::SimTime now) override {
+      owner->record(TraceEvent::Dequeue, p, now, *link);
+    }
+    void on_drop(const Packet& p, sim::SimTime now) override {
+      owner->record(TraceEvent::Drop, p, now, *link);
+    }
+  };
+
+  std::ostream* out_;
+  std::vector<TraceRecord> records_;
+  std::vector<std::unique_ptr<LinkShim>> shims_;
+  FlowId flow_filter_ = kInvalidFlow;
+  std::optional<PacketKind> kind_filter_;
+  std::size_t limit_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace corelite::net

@@ -1,0 +1,18 @@
+// Identifier types shared across the network substrate.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace corelite::net {
+
+/// Index of a node within its Network.  Dense, assigned in creation order.
+using NodeId = std::uint32_t;
+
+/// Network-unique identifier of an edge-to-edge flow.
+using FlowId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr FlowId kInvalidFlow = std::numeric_limits<FlowId>::max();
+
+}  // namespace corelite::net

@@ -1,0 +1,74 @@
+// Weighted fair queueing (start-time fair queueing variant; Goyal,
+// Vin & Cheng) — the state-INTENSIVE reference point.
+//
+// The paper's motivation (§1) is that Intserv-style per-flow weighted
+// fairness "requires a substantial amount of per-flow state ... in the
+// core".  This queue is that reference: it keeps a FIFO per active
+// flow, tags packets with virtual start/finish times computed from the
+// flow's weight, and serves in increasing start-tag order.  Two flows
+// backlogged on the same link receive service in the exact ratio of
+// their weights — the ideal Corelite approximates with no core state.
+//
+// Implementation notes:
+//   - SFQ start-tag service (rather than textbook WFQ finish-time) is
+//     used because it needs no reference fluid system and has the same
+//     weighted-fairness guarantee up to one packet per flow.
+//   - Virtual time v = start tag of the packet most recently dequeued.
+//   - Per-flow state (queue + finish tag) exists only while the flow
+//     is backlogged.
+//   - Control packets bypass the scheduler through a strict-priority
+//     queue (they are zero-size piggybacked headers).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "net/queue.h"
+
+namespace corelite::net {
+
+class WfqQueue final : public PacketQueue {
+ public:
+  using WeightFn = std::function<double(FlowId)>;
+
+  /// `weight_of` supplies each flow's weight (the per-flow state a real
+  /// WFQ router would have to carry); flows default to weight 1 if the
+  /// function returns a non-positive value.
+  WfqQueue(std::size_t capacity_data_packets, WeightFn weight_of)
+      : capacity_{capacity_data_packets}, weight_of_{std::move(weight_of)} {}
+
+  [[nodiscard]] bool enqueue(Packet&& p, sim::SimTime now) override;
+  [[nodiscard]] std::optional<Packet> dequeue(sim::SimTime now) override;
+  [[nodiscard]] std::size_t data_packet_count() const override { return data_count_; }
+  [[nodiscard]] bool empty() const override { return data_count_ == 0 && control_.empty(); }
+
+  [[nodiscard]] double virtual_time() const { return vtime_; }
+  /// Flows with packets currently queued.  (Finish-tag state is
+  /// retained even for idle flows — the stateful cost of WFQ.)
+  [[nodiscard]] std::size_t backlogged_flows() const;
+  /// Flows the scheduler holds tag state for (>= backlogged_flows()).
+  [[nodiscard]] std::size_t tracked_flows() const { return flows_.size(); }
+
+ private:
+  struct Tagged {
+    Packet packet;
+    double start_tag = 0.0;
+    double finish_tag = 0.0;
+  };
+  struct FlowQueue {
+    std::deque<Tagged> q;
+    double last_finish = 0.0;
+  };
+
+  std::size_t capacity_;
+  WeightFn weight_of_;
+  std::size_t data_count_ = 0;
+  double vtime_ = 0.0;
+  std::map<FlowId, FlowQueue> flows_;
+  std::deque<Packet> control_;
+};
+
+}  // namespace corelite::net

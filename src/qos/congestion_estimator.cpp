@@ -1,0 +1,130 @@
+#include "qos/congestion_estimator.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace corelite::qos {
+
+CongestionEstimator::CongestionEstimator(double q_thresh_pkts, double k_cubic, double mu_pps,
+                                         double beta_pps)
+    : q_thresh_{q_thresh_pkts}, k_cubic_{k_cubic}, mu_pps_{mu_pps}, beta_pps_{beta_pps} {
+  assert(q_thresh_ >= 0.0 && k_cubic_ >= 0.0 && mu_pps_ > 0.0 && beta_pps_ > 0.0);
+}
+
+void CongestionEstimator::on_queue_length(std::size_t data_packets, sim::SimTime now) {
+  integral_ += static_cast<double>(current_len_) * (now - segment_start_).sec();
+  segment_start_ = now;
+  current_len_ = data_packets;
+}
+
+double CongestionEstimator::markers_for(double q_avg) const {
+  if (q_avg <= q_thresh_) return 0.0;
+  const double rate_excess_pps =
+      mu_pps_ * (q_avg / (1.0 + q_avg) - q_thresh_ / (1.0 + q_thresh_));
+  const double excess = q_avg - q_thresh_;
+  const double correction = k_cubic_ * excess * excess * excess;
+  return rate_excess_pps / beta_pps_ + correction;
+}
+
+double CongestionEstimator::end_epoch(sim::SimTime now) {
+  // Close the open length segment.
+  integral_ += static_cast<double>(current_len_) * (now - segment_start_).sec();
+  segment_start_ = now;
+
+  const double span = (now - epoch_start_).sec();
+  last_q_avg_ = span > 0.0 ? integral_ / span : static_cast<double>(current_len_);
+  integral_ = 0.0;
+  epoch_start_ = now;
+  return markers_for(last_q_avg_);
+}
+
+namespace {
+
+/// Shared M/M/1 rate-excess -> marker-count mapping (see class comment
+/// on CongestionEstimator).
+double fn_markers(double avg, double q_thresh, double k_cubic, double mu_pps,
+                  double beta_pps) {
+  if (avg <= q_thresh) return 0.0;
+  const double rate_excess_pps = mu_pps * (avg / (1.0 + avg) - q_thresh / (1.0 + q_thresh));
+  const double excess = avg - q_thresh;
+  return rate_excess_pps / beta_pps + k_cubic * excess * excess * excess;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BusyIdleCycleDetector
+
+BusyIdleCycleDetector::BusyIdleCycleDetector(double q_thresh_pkts, double k_cubic,
+                                             double mu_pps, double beta_pps)
+    : q_thresh_{q_thresh_pkts}, k_cubic_{k_cubic}, mu_pps_{mu_pps}, beta_pps_{beta_pps} {}
+
+void BusyIdleCycleDetector::accumulate(sim::SimTime now) {
+  const double dt = (now - segment_start_).sec();
+  segment_start_ = now;
+  cur_cycle_integral_ += static_cast<double>(current_len_) * dt;
+  cur_cycle_duration_ += dt;
+}
+
+void BusyIdleCycleDetector::on_queue_length(std::size_t data_packets, sim::SimTime now) {
+  accumulate(now);
+  const bool was_busy = busy_;
+  busy_ = data_packets > 0;
+  if (was_busy && !busy_) {
+    // Busy period just ended: the idle period that follows still belongs
+    // to this cycle; the cycle closes when the queue becomes busy again.
+  } else if (!was_busy && busy_ && cur_cycle_duration_ > 0.0) {
+    // Idle -> busy: the previous busy+idle cycle is complete.
+    prev_cycle_integral_ = cur_cycle_integral_;
+    prev_cycle_duration_ = cur_cycle_duration_;
+    cur_cycle_integral_ = 0.0;
+    cur_cycle_duration_ = 0.0;
+  }
+  current_len_ = data_packets;
+}
+
+double BusyIdleCycleDetector::end_epoch(sim::SimTime now) {
+  accumulate(now);
+  const double integral = prev_cycle_integral_ + cur_cycle_integral_;
+  const double duration = prev_cycle_duration_ + cur_cycle_duration_;
+  last_avg_ = duration > 0.0 ? integral / duration : static_cast<double>(current_len_);
+  return fn_markers(last_avg_, q_thresh_, k_cubic_, mu_pps_, beta_pps_);
+}
+
+// ---------------------------------------------------------------------------
+// EwmaDetector
+
+EwmaDetector::EwmaDetector(double q_thresh_pkts, double k_cubic, double mu_pps,
+                           double beta_pps, double ewma_gain)
+    : q_thresh_{q_thresh_pkts},
+      k_cubic_{k_cubic},
+      mu_pps_{mu_pps},
+      beta_pps_{beta_pps},
+      gain_{ewma_gain} {}
+
+void EwmaDetector::on_queue_length(std::size_t data_packets, sim::SimTime /*now*/) {
+  avg_ = (1.0 - gain_) * avg_ + gain_ * static_cast<double>(data_packets);
+}
+
+double EwmaDetector::end_epoch(sim::SimTime /*now*/) {
+  return fn_markers(avg_, q_thresh_, k_cubic_, mu_pps_, beta_pps_);
+}
+
+std::unique_ptr<CongestionDetector> make_congestion_detector(const CoreliteConfig& cfg,
+                                                             double mu_pps) {
+  const double mu = mu_pps * (cfg.legacy_per_epoch_mu ? cfg.core_epoch.sec() : 1.0);
+  switch (cfg.detector) {
+    case DetectorKind::BusyIdleCycle:
+      return std::make_unique<BusyIdleCycleDetector>(cfg.q_thresh_pkts, cfg.k_cubic, mu,
+                                                     cfg.adapt.beta_pps);
+    case DetectorKind::Ewma:
+      return std::make_unique<EwmaDetector>(cfg.q_thresh_pkts, cfg.k_cubic, mu,
+                                            cfg.adapt.beta_pps, cfg.detector_ewma_gain);
+    case DetectorKind::EpochAverage:
+      break;
+  }
+  return std::make_unique<CongestionEstimator>(cfg.q_thresh_pkts, cfg.k_cubic, mu,
+                                               cfg.adapt.beta_pps);
+}
+
+}  // namespace corelite::qos

@@ -1,0 +1,151 @@
+// Incipient congestion detection at a core-router link (paper §3.1).
+//
+// The estimator integrates the data queue length over each congestion
+// epoch to get the average queue size q_avg.  If q_avg exceeds the
+// threshold q_thresh, the link is incipiently congested, and the number
+// of feedback markers to send is
+//
+//   F_n = mu * ( q_avg/(1+q_avg) - q_thresh/(1+q_thresh) ) / beta
+//         + k * (q_avg - q_thresh)^3
+//
+// Derivation: for an M/M/1 queue, q_avg = rho/(1-rho), so
+// rho = q_avg/(1+q_avg) is the arrival rate as a fraction of the
+// service rate mu.  mu * (rho(q_avg) - rho(q_thresh)) is therefore the
+// *rate excess* (in packets/second with mu in packets/second) by which
+// the aggregate input must be throttled to bring the mean queue back to
+// q_thresh.  Each echoed marker throttles one flow by at least beta
+// (pkt/s), hence the division.  The cubic second term self-corrects
+// when the Poisson assumptions fail and queues keep building (§3.1's
+// discussion of k): without it, dF_n/dq_avg shrinks as 1/(1+q_avg)^2
+// and sustained overload would outrun the feedback.
+//
+// (The paper's text states mu "in packets per congestion epoch", which
+// makes the first term an epoch-sized packet count; read together with
+// "each marker causes a rate throttling by at least beta" the
+// dimensionally consistent form is the one above, and it reproduces the
+// paper's observed behaviour — q_avg pinned just above q_thresh, no
+// packet loss — whereas the per-epoch reading under-throttles by the
+// epochs-per-second factor and oscillates into tail drops.)
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "qos/config.h"
+#include "sim/units.h"
+
+namespace corelite::qos {
+
+/// Pluggable incipient-congestion detection (paper §3.1: "the congestion
+/// estimation module can be replaced with no impact on the rest of the
+/// Corelite mechanisms").  A detector consumes the instantaneous data
+/// queue length and, once per congestion epoch, reports how many marker
+/// feedbacks the link should emit.
+class CongestionDetector {
+ public:
+  virtual ~CongestionDetector() = default;
+
+  /// Feed every change of the instantaneous data queue length.
+  virtual void on_queue_length(std::size_t data_packets, sim::SimTime now) = 0;
+
+  /// Close the current epoch: returns F_n (0 when not congested).
+  [[nodiscard]] virtual double end_epoch(sim::SimTime now) = 0;
+
+  /// The detector's congestion measure at the last end_epoch().
+  [[nodiscard]] virtual double last_q_avg() const = 0;
+};
+
+class CongestionEstimator final : public CongestionDetector {
+ public:
+  /// `mu_pps`: link capacity in packets/second (e.g. 500 for 4 Mbps at
+  /// 1 KB packets).  `beta_pps`: rate decrement one marker causes at
+  /// the edge (pkt/s).
+  CongestionEstimator(double q_thresh_pkts, double k_cubic, double mu_pps, double beta_pps);
+
+  /// Feed every change of the instantaneous data queue length.
+  void on_queue_length(std::size_t data_packets, sim::SimTime now) override;
+
+  /// Close the current epoch: returns F_n (0 when not congested) and
+  /// starts integrating the next epoch.
+  [[nodiscard]] double end_epoch(sim::SimTime now) override;
+
+  /// Average queue length computed at the last end_epoch().
+  [[nodiscard]] double last_q_avg() const override { return last_q_avg_; }
+  [[nodiscard]] bool last_congested() const { return last_q_avg_ > q_thresh_; }
+
+  /// The F_n formula by itself (exposed for tests and analysis).
+  [[nodiscard]] double markers_for(double q_avg) const;
+
+ private:
+  double q_thresh_;
+  double k_cubic_;
+  double mu_pps_;
+  double beta_pps_;
+
+  double integral_ = 0.0;             // sum of len * dt over the open epoch
+  std::size_t current_len_ = 0;
+  sim::SimTime segment_start_ = sim::SimTime::zero();
+  sim::SimTime epoch_start_ = sim::SimTime::zero();
+  double last_q_avg_ = 0.0;
+};
+
+/// DECbit-flavoured detector (Jain & Ramakrishnan [7]): the congestion
+/// measure is the average queue length over the previous busy+idle
+/// cycle plus the current busy period, rather than over a fixed epoch.
+/// A "cycle" ends when the queue returns to empty.  F_n uses the same
+/// M/M/1 rate-excess mapping so the rest of Corelite is untouched.
+class BusyIdleCycleDetector final : public CongestionDetector {
+ public:
+  BusyIdleCycleDetector(double q_thresh_pkts, double k_cubic, double mu_pps, double beta_pps);
+
+  void on_queue_length(std::size_t data_packets, sim::SimTime now) override;
+  [[nodiscard]] double end_epoch(sim::SimTime now) override;
+  [[nodiscard]] double last_q_avg() const override { return last_avg_; }
+
+ private:
+  void accumulate(sim::SimTime now);
+
+  double q_thresh_;
+  double k_cubic_;
+  double mu_pps_;
+  double beta_pps_;
+
+  std::size_t current_len_ = 0;
+  sim::SimTime segment_start_ = sim::SimTime::zero();
+  // Previous complete busy+idle cycle.
+  double prev_cycle_integral_ = 0.0;
+  double prev_cycle_duration_ = 0.0;
+  // Cycle in progress.
+  double cur_cycle_integral_ = 0.0;
+  double cur_cycle_duration_ = 0.0;
+  bool busy_ = false;
+  double last_avg_ = 0.0;
+};
+
+/// RED-flavoured detector: exponentially weighted moving average of the
+/// queue-length samples; the EWMA average feeds the same F_n mapping.
+class EwmaDetector final : public CongestionDetector {
+ public:
+  EwmaDetector(double q_thresh_pkts, double k_cubic, double mu_pps, double beta_pps,
+               double ewma_gain);
+
+  void on_queue_length(std::size_t data_packets, sim::SimTime now) override;
+  [[nodiscard]] double end_epoch(sim::SimTime now) override;
+  [[nodiscard]] double last_q_avg() const override { return avg_; }
+
+ private:
+  double q_thresh_;
+  double k_cubic_;
+  double mu_pps_;
+  double beta_pps_;
+  double gain_;
+  double avg_ = 0.0;
+};
+
+/// Build the detector selected by cfg.detector for a link of raw
+/// capacity `mu_pps` packets/second (legacy_per_epoch_mu is applied
+/// here).
+[[nodiscard]] std::unique_ptr<CongestionDetector> make_congestion_detector(
+    const CoreliteConfig& cfg, double mu_pps);
+
+}  // namespace corelite::qos

@@ -1,0 +1,97 @@
+#include "qos/core_router.h"
+
+#include <utility>
+
+namespace corelite::qos {
+
+struct CoreliteCoreRouter::LinkState final : net::LinkObserver {
+  CoreliteCoreRouter* owner = nullptr;
+  net::Link* link = nullptr;
+  std::unique_ptr<CongestionDetector> detector;
+  std::unique_ptr<MarkerSelector> selector;
+  stats::TimeSeries q_avg_series;
+  stats::TimeSeries fn_series;
+  stats::TimeSeries feedback_series;
+  std::uint64_t feedback_at_last_epoch = 0;
+  std::uint64_t congested_epochs = 0;
+
+  LinkState(CoreliteCoreRouter* o, net::Link* l, const CoreliteConfig& cfg, sim::Rng& rng)
+      : owner{o},
+        link{l},
+        detector{make_congestion_detector(cfg, l->rate().pps(cfg.packet_size))} {
+    if (cfg.selector == SelectorKind::MarkerCache) {
+      selector = std::make_unique<MarkerCacheSelector>(cfg.marker_cache_size, rng);
+    } else {
+      selector = std::make_unique<StatelessSelector>(cfg.rav_gain, cfg.wav_gain, rng,
+                                                     cfg.eligibility_factor);
+    }
+  }
+
+  void on_enqueue(const net::Packet& p, sim::SimTime /*now*/) override {
+    if (p.kind != net::PacketKind::Marker) return;
+    // The router copies the marker without any per-flow processing; the
+    // selector decides (statistically) whether it becomes feedback.
+    selector->on_marker(p.marker, [this](const net::MarkerInfo& m) { owner->send_feedback(m); });
+  }
+
+  void on_queue_length(std::size_t data_packets, sim::SimTime now) override {
+    detector->on_queue_length(data_packets, now);
+  }
+};
+
+CoreliteCoreRouter::CoreliteCoreRouter(net::Network& network, net::NodeId node,
+                                       const CoreliteConfig& config)
+    : net_{network}, node_{node}, cfg_{config} {
+  for (net::Link* link : net_.node(node_).out_links()) {
+    links_.push_back(std::make_unique<LinkState>(this, link, cfg_, net_.simulator().rng()));
+    link->add_observer(links_.back().get());
+  }
+  const auto phase =
+      sim::TimeDelta::seconds(net_.simulator().rng().uniform(0.0, cfg_.core_epoch.sec()));
+  epoch_timer_ = net_.simulator().every(cfg_.core_epoch, [this] { on_epoch(); }, phase);
+}
+
+CoreliteCoreRouter::~CoreliteCoreRouter() { epoch_timer_.cancel(); }
+
+void CoreliteCoreRouter::send_feedback(const net::MarkerInfo& m) {
+  net::Packet fb;
+  fb.uid = net_.next_packet_uid();
+  fb.kind = net::PacketKind::Feedback;
+  fb.flow = m.flow;
+  fb.src = node_;
+  fb.dst = m.edge_router;  // markers carry their generating edge as source
+  fb.size = sim::DataSize::zero();
+  fb.marker = m;
+  fb.feedback_origin = node_;
+  fb.created = net_.simulator().now();
+  ++feedback_sent_;
+  net_.inject(node_, std::move(fb));
+}
+
+void CoreliteCoreRouter::on_epoch() {
+  const sim::SimTime now = net_.simulator().now();
+  for (auto& ls : links_) {
+    const double fn = ls->detector->end_epoch(now);
+    ls->q_avg_series.add(now.sec(), ls->detector->last_q_avg());
+    ls->fn_series.add(now.sec(), fn);
+    if (fn > 0.0) ++ls->congested_epochs;
+    ls->selector->on_epoch(fn,
+                           [this](const net::MarkerInfo& m) { send_feedback(m); });
+    const std::uint64_t sent = ls->selector->feedback_count();
+    ls->feedback_series.add(now.sec(), static_cast<double>(sent - ls->feedback_at_last_epoch));
+    ls->feedback_at_last_epoch = sent;
+  }
+}
+
+std::vector<CoreliteCoreRouter::LinkDiagnostics> CoreliteCoreRouter::diagnostics() const {
+  std::vector<LinkDiagnostics> out;
+  out.reserve(links_.size());
+  for (const auto& ls : links_) {
+    out.push_back({ls->link->to(), ls->detector->last_q_avg(), ls->selector->feedback_count(),
+                   ls->congested_epochs, &ls->q_avg_series, &ls->fn_series,
+                   &ls->feedback_series});
+  }
+  return out;
+}
+
+}  // namespace corelite::qos

@@ -1,0 +1,42 @@
+#include "qos/ecn.h"
+
+namespace corelite::qos {
+
+EcnCoreRouter::EcnCoreRouter(net::Network& network, net::NodeId node,
+                             const CoreliteConfig& config)
+    : net_{network}, node_{node} {
+  for (net::Link* link : net_.node(node_).out_links()) {
+    policies_.push_back(std::make_unique<EcnMarkPolicy>(*link, config.q_thresh_pkts,
+                                                        config.detector_ewma_gain));
+    link->set_admission(policies_.back().get());
+    links_.push_back(link);
+  }
+}
+
+EcnCoreRouter::~EcnCoreRouter() {
+  for (net::Link* link : links_) link->set_admission(nullptr);
+}
+
+std::uint64_t EcnCoreRouter::total_marked() const {
+  std::uint64_t n = 0;
+  for (const auto& p : policies_) n += p->marked();
+  return n;
+}
+
+void EcnEgressAgent::on_data(const net::Packet& p) {
+  if (!p.ecn) return;
+  net::Packet fb;
+  fb.uid = net_.next_packet_uid();
+  fb.kind = net::PacketKind::Feedback;
+  fb.flow = p.flow;
+  fb.src = node_;
+  fb.dst = p.src;  // the ingress edge
+  fb.size = sim::DataSize::zero();
+  fb.marker = net::MarkerInfo{p.src, p.flow, 0.0};
+  fb.feedback_origin = node_;
+  fb.created = net_.simulator().now();
+  ++echoes_;
+  net_.inject(node_, std::move(fb));
+}
+
+}  // namespace corelite::qos

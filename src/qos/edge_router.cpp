@@ -1,0 +1,284 @@
+#include "qos/edge_router.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace corelite::qos {
+
+CoreliteEdgeRouter::CoreliteEdgeRouter(net::Network& network, net::NodeId node,
+                                       const CoreliteConfig& config, stats::FlowTracker* tracker)
+    : net_{network}, node_{node}, cfg_{config}, tracker_{tracker} {
+  net_.node(node_).set_local_sink([this](net::Packet&& p) { handle_local(std::move(p)); });
+  // Random phase: edge routers' adaptation epochs are mutually
+  // desynchronized, as independent routers' timers are in practice.
+  const auto phase =
+      sim::TimeDelta::seconds(net_.simulator().rng().uniform(0.0, cfg_.edge_epoch.sec()));
+  epoch_timer_ = net_.simulator().every(cfg_.edge_epoch, [this] { on_epoch(); }, phase);
+}
+
+CoreliteEdgeRouter::~CoreliteEdgeRouter() { epoch_timer_.cancel(); }
+
+void CoreliteEdgeRouter::add_flow(const net::FlowSpec& spec) {
+  assert(spec.ingress == node_ && "flow must enter the network at this edge router");
+  assert(spec.weight > 0.0);
+  auto fs = std::make_unique<FlowState>(spec, cfg_.adapt);
+  fs->marker_spacing =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(cfg_.k1 * spec.weight)));
+  if (tracker_ != nullptr) tracker_->declare_flow(spec.id, spec.weight);
+  FlowState& ref = *fs;
+  flows_[spec.id] = std::move(fs);
+  schedule_lifecycle(ref);
+}
+
+void CoreliteEdgeRouter::add_transit_flow(const net::FlowSpec& spec) {
+  assert(spec.ingress == node_ && "flow must enter the network at this edge router");
+  assert(spec.weight > 0.0);
+  auto fs = std::make_unique<FlowState>(spec, cfg_.adapt);
+  fs->transit = true;
+  fs->bucket = TokenBucket{std::max(cfg_.adapt.initial_rate_pps, 1.0),
+                           std::max(1.0, cfg_.edge_burst_tokens), net_.simulator().now()};
+  fs->marker_spacing =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(cfg_.k1 * spec.weight)));
+  if (tracker_ != nullptr) tracker_->declare_flow(spec.id, spec.weight);
+  FlowState& ref = *fs;
+  flows_[spec.id] = std::move(fs);
+  if (!transit_hook_installed_) {
+    transit_hook_installed_ = true;
+    net_.node(node_).set_transit_hook(
+        [this](net::Packet& p) { return intercept_transit(p); });
+  }
+  schedule_lifecycle(ref);
+}
+
+bool CoreliteEdgeRouter::intercept_transit(net::Packet& p) {
+  auto it = flows_.find(p.flow);
+  if (it == flows_.end() || !it->second->transit) return false;
+  if (p.kind == net::PacketKind::Marker) {
+    // Cloud boundary: markers are edge-to-edge signals of the UPSTREAM
+    // cloud; absorb them here.  This edge injects its own markers for
+    // the flow's journey through THIS cloud.
+    return true;
+  }
+  if (p.kind != net::PacketKind::Data) return false;
+  FlowState& fs = *it->second;
+  if (!fs.active || fs.shaping_queue.size() >= cfg_.edge_queue_capacity) {
+    // Edge policing drop: the ONLY place Corelite loses packets.
+    ++transit_drops_;
+    if (tracker_ != nullptr) tracker_->on_dropped(p.flow);
+    return true;  // consumed (dropped)
+  }
+  fs.shaping_queue.push_back(std::move(p));
+  if (!fs.draining) {
+    fs.draining = true;
+    drain_transit(fs);
+  }
+  return true;
+}
+
+void CoreliteEdgeRouter::drain_transit(FlowState& fs) {
+  if (!fs.active || fs.shaping_queue.empty()) {
+    fs.draining = false;
+    return;
+  }
+  const sim::SimTime now = net_.simulator().now();
+  const double rate = std::max(fs.ctrl->rate_pps(), 1e-3);
+  fs.bucket.set_rate(rate, now);
+
+  // Drain back-to-back while the bucket holds tokens (burst tolerance);
+  // the long-run rate stays b_g.
+  while (!fs.shaping_queue.empty() && fs.bucket.try_consume(1.0, now)) {
+    net::Packet p = std::move(fs.shaping_queue.front());
+    fs.shaping_queue.pop_front();
+    if (tracker_ != nullptr) tracker_->on_sent(fs.spec.id);
+    // Forward directly via the FIB: re-injecting at the node would loop
+    // straight back into the transit hook.
+    net::Link* out = net_.node(node_).next_hop(p.dst);
+    if (out != nullptr) out->send(std::move(p));
+    count_marker_credit_and_maybe_mark(fs);
+  }
+
+  if (fs.shaping_queue.empty()) {
+    fs.draining = false;
+    return;
+  }
+  fs.emit_event = net_.simulator().after(fs.bucket.time_until(1.0, now),
+                                         [this, &fs] { drain_transit(fs); });
+}
+
+void CoreliteEdgeRouter::schedule_lifecycle(FlowState& fs) {
+  auto& sim = net_.simulator();
+  for (const auto& iv : fs.spec.active) {
+    const sim::SimTime start = std::max(iv.start, sim.now());
+    sim.at(start, [this, &fs] { start_flow(fs); });
+    if (iv.stop < sim::SimTime::infinite()) {
+      sim.at(iv.stop, [this, &fs] { stop_flow(fs); });
+    }
+  }
+}
+
+void CoreliteEdgeRouter::start_flow(FlowState& fs) {
+  if (fs.active) return;
+  fs.active = true;
+  fs.marker_credit = 0.0;
+  fs.feedback_per_core.clear();
+  fs.ctrl->reset(net_.simulator().now());
+  fs.pacing_anchor = net_.simulator().now();
+  if (tracker_ != nullptr) {
+    tracker_->record_rate(fs.spec.id, net_.simulator().now(), fs.ctrl->rate_pps());
+  }
+  if (fs.transit) {
+    // Fresh admission: no banked burst credit from the idle period.
+    fs.bucket.clear(net_.simulator().now());
+    if (!fs.shaping_queue.empty() && !fs.draining) {
+      fs.draining = true;
+      drain_transit(fs);
+    }
+  } else {
+    emit_packet(fs);
+  }
+}
+
+void CoreliteEdgeRouter::stop_flow(FlowState& fs) {
+  if (!fs.active) return;
+  fs.active = false;
+  fs.emit_event.cancel();
+  fs.draining = false;
+  fs.shaping_queue.clear();
+  fs.feedback_per_core.clear();
+  if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, net_.simulator().now(), 0.0);
+}
+
+void CoreliteEdgeRouter::emit_packet(FlowState& fs) {
+  if (!fs.active) return;
+
+  net::Packet p;
+  p.uid = net_.next_packet_uid();
+  p.kind = net::PacketKind::Data;
+  p.flow = fs.spec.id;
+  p.src = node_;
+  p.dst = fs.spec.egress;
+  p.size = cfg_.packet_size;
+  p.created = net_.simulator().now();
+  if (tracker_ != nullptr) tracker_->on_sent(fs.spec.id);
+  net_.inject(node_, std::move(p));
+
+  count_marker_credit_and_maybe_mark(fs);
+
+  const double rate = std::max(fs.ctrl->rate_pps(), 1e-3);
+  fs.emit_event = net_.simulator().after(next_emission_gap(fs, rate),
+                                         [this, &fs] { emit_packet(fs); });
+}
+
+void CoreliteEdgeRouter::count_marker_credit_and_maybe_mark(FlowState& fs) {
+  // Markers reflect the out-of-profile rate: a flow at or below its
+  // minimum-rate contract injects none (pure in-profile traffic is
+  // never throttled, so advertising it to the cores would only skew
+  // their running average and shield genuinely over-share flows).
+  const double rate_now = fs.ctrl->rate_pps();
+  if (rate_now <= 0.0) return;
+  fs.marker_credit += fs.out_of_profile_pps() / rate_now;
+  if (fs.marker_credit >= static_cast<double>(fs.marker_spacing)) {
+    fs.marker_credit -= static_cast<double>(fs.marker_spacing);
+    inject_marker(fs);
+  }
+}
+
+sim::TimeDelta CoreliteEdgeRouter::next_emission_gap(FlowState& fs, double rate_pps) {
+  const double mean_gap = 1.0 / rate_pps;
+  switch (cfg_.pacing) {
+    case PacingMode::Poisson:
+      return sim::TimeDelta::seconds(net_.simulator().rng().exponential(mean_gap));
+    case PacingMode::OnOff: {
+      // Bursts at peak rate so the cycle average stays at rate_pps.
+      const double burst = cfg_.on_off_burst.sec();
+      const double idle = cfg_.on_off_idle.sec();
+      const double cycle = burst + idle;
+      const double peak_gap = mean_gap * burst / cycle;
+      const double now = net_.simulator().now().sec();
+      const double next = now + peak_gap;
+      const double anchor = fs.pacing_anchor.sec();
+      const double pos = std::fmod(next - anchor, cycle);
+      if (pos <= burst) return sim::TimeDelta::seconds(next - now);
+      // The next slot falls into the idle window: defer to the start of
+      // the following burst.
+      const double cycles_done = std::floor((next - anchor) / cycle);
+      const double burst_start = anchor + (cycles_done + 1.0) * cycle;
+      return sim::TimeDelta::seconds(burst_start - now);
+    }
+    case PacingMode::Paced:
+      break;
+  }
+  return sim::TimeDelta::seconds(mean_gap);
+}
+
+void CoreliteEdgeRouter::inject_marker(FlowState& fs) {
+  net::Packet m;
+  m.uid = net_.next_packet_uid();
+  m.kind = net::PacketKind::Marker;
+  m.flow = fs.spec.id;
+  m.src = node_;
+  m.dst = fs.spec.egress;  // markers follow the flow's path
+  m.size = sim::DataSize::zero();
+  m.marker = net::MarkerInfo{node_, fs.spec.id, fs.out_of_profile_pps() / fs.spec.weight};
+  m.created = net_.simulator().now();
+  ++markers_injected_;
+  // Forward via the FIB directly: injecting at the node would run the
+  // transit hook, which absorbs markers of transit flows (they are
+  // upstream-cloud signals) — including the ones this edge just made.
+  net::Link* out = net_.node(node_).next_hop(m.dst);
+  if (out != nullptr) {
+    out->send(std::move(m));
+  } else {
+    net_.inject(node_, std::move(m));
+  }
+}
+
+void CoreliteEdgeRouter::on_epoch() {
+  const sim::SimTime now = net_.simulator().now();
+  for (auto& [id, fsp] : flows_) {
+    FlowState& fs = *fsp;
+    if (!fs.active) continue;
+    // React to the bottleneck: max over core routers, not the sum
+    // (paper §2.2 step 3).
+    int m = 0;
+    for (const auto& [core, count] : fs.feedback_per_core) m = std::max(m, count);
+    fs.feedback_per_core.clear();
+    fs.ctrl->on_epoch(m, now);
+    if (tracker_ != nullptr) tracker_->record_rate(id, now, fs.ctrl->rate_pps());
+  }
+}
+
+void CoreliteEdgeRouter::handle_local(net::Packet&& p) {
+  switch (p.kind) {
+    case net::PacketKind::Feedback: {
+      ++feedback_received_;
+      auto it = flows_.find(p.marker.flow);
+      if (it != flows_.end() && it->second->active) {
+        ++it->second->feedback_per_core[p.feedback_origin];
+      }
+      if (tracker_ != nullptr) tracker_->on_feedback(p.marker.flow);
+      break;
+    }
+    case net::PacketKind::Data:
+      // This node is the egress for some flow: count the delivery.
+      ++data_delivered_;
+      if (tracker_ != nullptr) tracker_->on_delivered(p.flow);
+      break;
+    case net::PacketKind::Marker:
+      break;  // markers reaching the egress edge are simply absorbed
+    case net::PacketKind::LossNotice:
+      break;  // not used by Corelite (no losses by design)
+    case net::PacketKind::Ack:
+      break;  // transport ACKs are host-to-host; nothing to do here
+  }
+}
+
+double CoreliteEdgeRouter::current_rate_pps(net::FlowId flow) const {
+  auto it = flows_.find(flow);
+  if (it == flows_.end() || !it->second->active) return 0.0;
+  return it->second->ctrl->rate_pps();
+}
+
+}  // namespace corelite::qos

@@ -1,0 +1,125 @@
+// Corelite edge-router behaviour (paper §2.2 steps 1 and 3).
+//
+// For every flow admitted at this ingress the edge router:
+//   - shapes the flow to its allowed rate b_g(f) (infinite-backlog
+//     sources paced at b_g, as in the paper's experiments),
+//   - injects a marker after every N_w = K1 * w(f) data packets, labelled
+//     with the flow's normalized rate b_g/w (markers are zero-size:
+//     "physically piggybacked"),
+//   - accumulates marker feedback per originating core router, and once
+//     per epoch adapts b_g with the weighted LIMD controller, reacting
+//     to the MAX of the per-core-router marker counts (throttle for the
+//     bottleneck, not the sum of all bottlenecks).
+//
+// The edge router also acts as an egress sink: data packets addressed to
+// its node are counted as delivered (for flows terminating here).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow.h"
+#include "net/network.h"
+#include "net/packet.h"
+#include "qos/config.h"
+#include "qos/rate_controller.h"
+#include "qos/token_bucket.h"
+#include "stats/flow_tracker.h"
+
+namespace corelite::qos {
+
+class CoreliteEdgeRouter {
+ public:
+  /// `tracker` (optional) receives rate samples, send/feedback counters.
+  CoreliteEdgeRouter(net::Network& network, net::NodeId node, const CoreliteConfig& config,
+                     stats::FlowTracker* tracker = nullptr);
+
+  CoreliteEdgeRouter(const CoreliteEdgeRouter&) = delete;
+  CoreliteEdgeRouter& operator=(const CoreliteEdgeRouter&) = delete;
+  ~CoreliteEdgeRouter();
+
+  /// Admit a locally sourced (infinite-backlog, paced) flow whose
+  /// ingress is this node.  Activity windows in the spec schedule its
+  /// start/stop/restart automatically.
+  void add_flow(const net::FlowSpec& spec);
+
+  /// Admit a *transit* flow: packets are generated elsewhere (e.g. a
+  /// TCP host behind this edge) and arrive at this node for forwarding.
+  /// The edge diverts them into a per-flow shaping queue drained at
+  /// b_g(f); overflow is dropped at the edge.  Marker injection and
+  /// rate adaptation work exactly as for sourced flows.
+  void add_transit_flow(const net::FlowSpec& spec);
+
+  [[nodiscard]] std::uint64_t transit_drops() const { return transit_drops_; }
+
+  /// Current allowed transmission rate b_g(f) in pkt/s (0 if unknown/idle).
+  [[nodiscard]] double current_rate_pps(net::FlowId flow) const;
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] std::uint64_t markers_injected() const { return markers_injected_; }
+  [[nodiscard]] std::uint64_t feedback_received() const { return feedback_received_; }
+  [[nodiscard]] std::uint64_t data_delivered_here() const { return data_delivered_; }
+
+ private:
+  struct FlowState {
+    net::FlowSpec spec;
+    std::unique_ptr<RateController> ctrl;
+    bool active = false;
+    /// Out-of-profile packet credit: each data packet contributes the
+    /// flow's out-of-profile fraction; a marker is injected when the
+    /// credit reaches N_w.  For flows without a min-rate contract every
+    /// packet is out-of-profile and this reduces to "a marker after
+    /// every N_w data packets" (paper §2.2).
+    double marker_credit = 0.0;
+    std::uint32_t marker_spacing = 1;  ///< N_w = K1 * w
+    std::unordered_map<net::NodeId, int> feedback_per_core;
+    sim::EventHandle emit_event;
+    sim::SimTime pacing_anchor;  ///< OnOff burst-cycle phase reference
+
+    /// Transit mode: shaping queue of diverted packets, drained through
+    /// a token bucket (burst tolerance without changing the mean rate).
+    bool transit = false;
+    bool draining = false;  ///< transit drain loop currently scheduled
+    std::deque<net::Packet> shaping_queue;
+    TokenBucket bucket{1.0, 1.0};
+
+    FlowState(const net::FlowSpec& s, const RateAdaptConfig& rc)
+        : spec{s}, ctrl{make_rate_controller(rc, s.min_rate_pps)} {}
+
+    /// Rate above the minimum contract — the only part that competes
+    /// for weighted fairness and the only part that is marked.
+    [[nodiscard]] double out_of_profile_pps() const {
+      return std::max(0.0, ctrl->rate_pps() - spec.min_rate_pps);
+    }
+  };
+
+  void schedule_lifecycle(FlowState& fs);
+  void start_flow(FlowState& fs);
+  void stop_flow(FlowState& fs);
+  void emit_packet(FlowState& fs);
+  void drain_transit(FlowState& fs);
+  bool intercept_transit(net::Packet& p);
+  void count_marker_credit_and_maybe_mark(FlowState& fs);
+  void inject_marker(FlowState& fs);
+  [[nodiscard]] sim::TimeDelta next_emission_gap(FlowState& fs, double rate_pps);
+  void on_epoch();
+  void handle_local(net::Packet&& p);
+
+  net::Network& net_;
+  net::NodeId node_;
+  CoreliteConfig cfg_;
+  stats::FlowTracker* tracker_;
+  std::unordered_map<net::FlowId, std::unique_ptr<FlowState>> flows_;
+  sim::PeriodicHandle epoch_timer_;
+  std::uint64_t markers_injected_ = 0;
+  std::uint64_t feedback_received_ = 0;
+  std::uint64_t data_delivered_ = 0;
+  std::uint64_t transit_drops_ = 0;
+  bool transit_hook_installed_ = false;
+};
+
+}  // namespace corelite::qos

@@ -1,0 +1,100 @@
+#include "qos/marker_selector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace corelite::qos {
+
+// ---------------------------------------------------------------------------
+// MarkerCacheSelector
+
+MarkerCacheSelector::MarkerCacheSelector(std::size_t cache_size, sim::Rng& rng)
+    : capacity_{cache_size}, rng_{&rng} {
+  cache_.reserve(capacity_);
+}
+
+void MarkerCacheSelector::on_marker(const net::MarkerInfo& m, const FeedbackFn& /*feedback*/) {
+  ++markers_this_epoch_;
+  if (cache_.size() < capacity_) {
+    cache_.push_back(m);
+  } else {
+    cache_[next_slot_] = m;
+    next_slot_ = (next_slot_ + 1) % capacity_;
+  }
+}
+
+void MarkerCacheSelector::on_epoch(double fn_markers, const FeedbackFn& feedback) {
+  const double arrived = static_cast<double>(markers_this_epoch_);
+  markers_this_epoch_ = 0;
+  if (fn_markers <= 0.0 || cache_.empty()) return;
+  // Cap at this epoch's marker arrivals (see class comment), then round
+  // probabilistically so the long-run expected count matches.
+  const double want = std::min(fn_markers, arrived);
+  auto n = static_cast<std::size_t>(want);
+  if (rng_->bernoulli(want - std::floor(want))) ++n;
+  if (n == 0) return;
+  for (std::size_t idx : rng_->sample_indices(cache_.size(), n)) {
+    feedback(cache_[idx]);
+    ++sent_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StatelessSelector
+
+StatelessSelector::StatelessSelector(double rav_gain, double wav_gain, sim::Rng& rng,
+                                     double eligibility_factor)
+    : rav_gain_{rav_gain},
+      wav_gain_{wav_gain},
+      rng_{&rng},
+      eligibility_factor_{eligibility_factor} {}
+
+void StatelessSelector::on_marker(const net::MarkerInfo& m, const FeedbackFn& feedback) {
+  // Accumulate this epoch's label statistics.  Because faster flows
+  // contribute more markers, the marker-weighted mean overestimates the
+  // per-flow mean — exactly the bias the paper exploits: only flows at
+  // or above r_av (the over-users) are ever throttled.
+  label_sum_this_epoch_ += m.normalized_rate;
+  ++markers_this_epoch_;
+
+  if (pw_ <= 0.0) return;  // link not congested this epoch
+
+  const bool selected = rng_->bernoulli(std::min(pw_, 1.0));
+  const bool ok = eligible(m.normalized_rate);
+  if (selected && ok) {
+    feedback(m);
+    ++sent_;
+  } else if (selected && !ok) {
+    // Swap for a future at-or-above-average marker.
+    ++deficit_;
+  } else if (!selected && deficit_ > 0 && ok) {
+    feedback(m);
+    ++sent_;
+    --deficit_;
+  }
+}
+
+void StatelessSelector::on_epoch(double fn_markers, const FeedbackFn& /*feedback*/) {
+  const auto seen = static_cast<double>(markers_this_epoch_);
+  if (seen > 0.0) {
+    const double epoch_mean = label_sum_this_epoch_ / seen;
+    if (!rav_init_) {
+      rav_ = epoch_mean;
+      rav_init_ = true;
+    } else {
+      rav_ = (1.0 - rav_gain_) * rav_ + rav_gain_ * epoch_mean;
+    }
+  }
+  if (!wav_init_) {
+    wav_ = seen;
+    wav_init_ = seen > 0.0;
+  } else {
+    wav_ = (1.0 - wav_gain_) * wav_ + wav_gain_ * seen;
+  }
+  label_sum_this_epoch_ = 0.0;
+  markers_this_epoch_ = 0;
+  deficit_ = 0;  // deficits do not persist across epochs (§3.2)
+  pw_ = (fn_markers > 0.0 && wav_ > 0.0) ? fn_markers / wav_ : 0.0;
+}
+
+}  // namespace corelite::qos

@@ -1,0 +1,124 @@
+// Weighted-fair marker feedback selection (paper §2.2 step 2 and §3.2).
+//
+// When a core link detects incipient congestion it must send F_n marker
+// feedbacks, distributed across flows in proportion to their normalized
+// rates — without knowing the flows.  Two interchangeable mechanisms:
+//
+//   MarkerCacheSelector  — keep a circular cache of recently seen
+//     markers; on congestion, sample F_n of them uniformly.  Because a
+//     flow's markers appear in the cache in proportion to its normalized
+//     rate, uniform sampling is weighted-fair in expectation (§2.2).
+//
+//   StatelessSelector — no cache at all (§3.2).  Keep two scalars:
+//     r_av, the running average of marker labels, and w_av, the running
+//     average of markers seen per epoch.  During a congested epoch each
+//     arriving marker is selected with probability p_w = F_n / w_av, but
+//     only markers whose label is >= r_av are actually echoed; selecting
+//     a below-average marker increments a deficit that is repaid by
+//     echoing a future at-or-above-average marker.  This selectively
+//     throttles only flows exceeding their weighted fair share.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/random.h"
+
+namespace corelite::qos {
+
+class MarkerSelector {
+ public:
+  /// Invoked for each marker chosen as feedback.
+  using FeedbackFn = std::function<void(const net::MarkerInfo&)>;
+
+  virtual ~MarkerSelector() = default;
+
+  /// A marker just traversed the link.
+  virtual void on_marker(const net::MarkerInfo& m, const FeedbackFn& feedback) = 0;
+
+  /// The congestion epoch ended; `fn_markers` is the (possibly
+  /// fractional) number of feedbacks the estimator requests for the next
+  /// epoch (0 when not congested).
+  virtual void on_epoch(double fn_markers, const FeedbackFn& feedback) = 0;
+
+  /// Total feedbacks generated so far (diagnostics).
+  [[nodiscard]] virtual std::uint64_t feedback_count() const = 0;
+};
+
+/// §2.2 circular-cache scheme.
+///
+/// Feedback per epoch is capped at the number of markers that actually
+/// traversed the link during that epoch: the cache is a *sampling*
+/// device, not an amplifier, and echoing more feedbacks than markers
+/// arrived would throttle the aggregate far below capacity whenever the
+/// F_n formula spikes during a transient.
+class MarkerCacheSelector final : public MarkerSelector {
+ public:
+  MarkerCacheSelector(std::size_t cache_size, sim::Rng& rng);
+
+  void on_marker(const net::MarkerInfo& m, const FeedbackFn& feedback) override;
+  void on_epoch(double fn_markers, const FeedbackFn& feedback) override;
+  [[nodiscard]] std::uint64_t feedback_count() const override { return sent_; }
+
+  [[nodiscard]] std::size_t cached() const { return cache_.size(); }
+
+ private:
+  std::size_t capacity_;
+  sim::Rng* rng_;
+  std::vector<net::MarkerInfo> cache_;  // ring buffer
+  std::size_t next_slot_ = 0;
+  std::uint64_t markers_this_epoch_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+/// §3.2 flow-stateless scheme (default in Corelite).
+///
+/// r_av is maintained as an EWMA over *per-epoch* label means rather
+/// than per-marker updates: per-marker gains tie the averaging window to
+/// the marker arrival rate, so the same gain that is stable at one load
+/// lags fatally at another.  Eligibility uses a small tolerance
+/// (label >= eligibility_factor * r_av): flows at the average — exactly
+/// the situation at a converged weighted-fair equilibrium — must remain
+/// throttleable, or congestion feedback stalls while the queue fills.
+class StatelessSelector final : public MarkerSelector {
+ public:
+  /// `rav_gain`: per-epoch EWMA gain for r_av (e.g. 0.1 ~ 1 s window at
+  /// 100 ms epochs).  `wav_gain`: per-epoch EWMA gain for w_av.
+  /// `eligibility_factor`: markers labelled >= factor * r_av are
+  /// eligible for feedback (1.0 = the paper's strict reading).
+  StatelessSelector(double rav_gain, double wav_gain, sim::Rng& rng,
+                    double eligibility_factor = 0.9);
+
+  void on_marker(const net::MarkerInfo& m, const FeedbackFn& feedback) override;
+  void on_epoch(double fn_markers, const FeedbackFn& feedback) override;
+  [[nodiscard]] std::uint64_t feedback_count() const override { return sent_; }
+
+  [[nodiscard]] double running_avg_rate() const { return rav_; }
+  [[nodiscard]] double running_avg_markers() const { return wav_; }
+  [[nodiscard]] double selection_probability() const { return pw_; }
+  [[nodiscard]] int deficit() const { return deficit_; }
+
+ private:
+  [[nodiscard]] bool eligible(double label) const {
+    return rav_init_ && label >= eligibility_factor_ * rav_;
+  }
+
+  double rav_gain_;
+  double wav_gain_;
+  sim::Rng* rng_;
+  double eligibility_factor_;
+
+  double rav_ = 0.0;   ///< running average of marker labels (normalized rates)
+  bool rav_init_ = false;
+  double wav_ = 0.0;   ///< running average of markers per epoch
+  bool wav_init_ = false;
+  double label_sum_this_epoch_ = 0.0;
+  std::uint64_t markers_this_epoch_ = 0;
+  double pw_ = 0.0;    ///< per-marker selection probability for this epoch
+  int deficit_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace corelite::qos

@@ -1,0 +1,57 @@
+#include "qos/rate_classes.h"
+
+#include <cassert>
+
+namespace corelite::qos {
+
+void RateClassRegistry::define(std::string name, double weight, double min_rate_pps) {
+  assert(weight > 0.0);
+  assert(min_rate_pps >= 0.0);
+  RateClass rc;
+  rc.name = name;
+  rc.weight = weight;
+  rc.min_rate_pps = min_rate_pps;
+  classes_[std::move(name)] = std::move(rc);
+}
+
+bool RateClassRegistry::has(std::string_view name) const {
+  return classes_.find(name) != classes_.end();
+}
+
+std::optional<RateClassRegistry::RateClass> RateClassRegistry::find(
+    std::string_view name) const {
+  auto it = classes_.find(name);
+  if (it == classes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<RateClassRegistry::RateClass> RateClassRegistry::list() const {
+  std::vector<RateClass> out;
+  out.reserve(classes_.size());
+  for (const auto& [name, rc] : classes_) out.push_back(rc);
+  return out;
+}
+
+std::optional<net::FlowSpec> RateClassRegistry::make_flow(net::FlowId id, net::NodeId ingress,
+                                                          net::NodeId egress,
+                                                          std::string_view class_name) const {
+  const auto rc = find(class_name);
+  if (!rc.has_value()) return std::nullopt;
+  net::FlowSpec fs;
+  fs.id = id;
+  fs.ingress = ingress;
+  fs.egress = egress;
+  fs.weight = rc->weight;
+  fs.min_rate_pps = rc->min_rate_pps;
+  return fs;
+}
+
+RateClassRegistry RateClassRegistry::standard_tiers() {
+  RateClassRegistry reg;
+  reg.define("bronze", 1.0);
+  reg.define("silver", 2.0);
+  reg.define("gold", 4.0);
+  return reg;
+}
+
+}  // namespace corelite::qos

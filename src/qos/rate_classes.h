@@ -1,0 +1,54 @@
+// Administrative rate classes (paper §2.1).
+//
+// "While Corelite does not place any bounds on the number or range of
+// the distinct rate weights that can be supported, we expect that a
+// network administrator will typically provide a small number of rate
+// classes for a network, and associate a rate weight with each class.
+// Each flow will then select a rate class."
+//
+// The registry is that administrative surface: named classes mapping to
+// rate weights (and optional minimum-rate contracts), plus a helper
+// that stamps a FlowSpec from a class name.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/flow.h"
+
+namespace corelite::qos {
+
+class RateClassRegistry {
+ public:
+  struct RateClass {
+    std::string name;
+    double weight = 1.0;
+    double min_rate_pps = 0.0;  ///< optional rate contract for the class
+  };
+
+  /// Define (or redefine) a class.  Weight must be positive.
+  void define(std::string name, double weight, double min_rate_pps = 0.0);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::optional<RateClass> find(std::string_view name) const;
+  [[nodiscard]] std::vector<RateClass> list() const;
+  [[nodiscard]] std::size_t size() const { return classes_.size(); }
+
+  /// Build a FlowSpec for a flow that "selects" the named class.
+  /// Returns nullopt when the class is unknown.
+  [[nodiscard]] std::optional<net::FlowSpec> make_flow(net::FlowId id, net::NodeId ingress,
+                                                       net::NodeId egress,
+                                                       std::string_view class_name) const;
+
+  /// A conventional three-tier default: bronze (w=1), silver (w=2),
+  /// gold (w=4).
+  [[nodiscard]] static RateClassRegistry standard_tiers();
+
+ private:
+  std::map<std::string, RateClass, std::less<>> classes_;
+};
+
+}  // namespace corelite::qos

@@ -1,0 +1,79 @@
+// Token-bucket shaper (the standard traffic-shaping primitive).
+//
+// The paper's edge "shapes the flow's traffic according to its current
+// b_g(f)"; for sourced flows strict pacing is exact, but for transit
+// traffic (TCP behind the edge) strict per-packet spacing adds
+// serialization delay to every burst.  A token bucket drains queued
+// bursts back-to-back up to `burst` packets while enforcing the same
+// long-run rate.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/units.h"
+
+namespace corelite::qos {
+
+class TokenBucket {
+ public:
+  /// `rate_per_sec` tokens accrue per second, capped at `burst`.
+  /// The bucket starts full.
+  TokenBucket(double rate_per_sec, double burst, sim::SimTime now = sim::SimTime::zero())
+      : rate_{rate_per_sec}, burst_{burst}, tokens_{burst}, last_{now} {
+    assert(rate_per_sec > 0.0 && burst >= 1.0);
+  }
+
+  /// Update the fill rate (refills at the old rate first).
+  void set_rate(double rate_per_sec, sim::SimTime now) {
+    refill(now);
+    rate_ = std::max(rate_per_sec, 1e-9);
+  }
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double burst() const { return burst_; }
+
+  /// Tokens available at `now`.
+  [[nodiscard]] double tokens(sim::SimTime now) const {
+    return std::min(burst_, tokens_ + rate_ * (now - last_).sec());
+  }
+
+  /// Consume `n` tokens if available.
+  bool try_consume(double n, sim::SimTime now) {
+    refill(now);
+    if (tokens_ + 1e-12 < n) return false;
+    tokens_ -= n;
+    return true;
+  }
+
+  /// Time until `n` tokens will be available (zero if already).
+  /// When tokens are short, the result is floored at 1 microsecond:
+  /// an unfloored deficit of ~1e-12 tokens yields a wait below the
+  /// double-precision ulp of mid-simulation timestamps, so the waiter's
+  /// rescheduled event lands on the SAME instant and livelocks.
+  [[nodiscard]] sim::TimeDelta time_until(double n, sim::SimTime now) const {
+    const double have = tokens(now);
+    if (have >= n) return sim::TimeDelta::zero();
+    return sim::TimeDelta::seconds(std::max((n - have) / rate_, 1e-6));
+  }
+
+  /// Drain the bucket to empty (used on flow restart so an idle period
+  /// does not grant a full-burst head start beyond the configured one).
+  void clear(sim::SimTime now) {
+    last_ = now;
+    tokens_ = 0.0;
+  }
+
+ private:
+  void refill(sim::SimTime now) {
+    tokens_ = tokens(now);
+    last_ = now;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  sim::SimTime last_;
+};
+
+}  // namespace corelite::qos

@@ -1,0 +1,394 @@
+#include "scenario/scenario.h"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "csfq/core.h"
+#include "csfq/edge_router.h"
+#include "net/network.h"
+#include "qos/core_router.h"
+#include "qos/ecn.h"
+#include "qos/edge_router.h"
+#include "sim/simulator.h"
+#include "stats/fairness.h"
+
+namespace corelite::scenario {
+
+std::string mechanism_name(Mechanism m) {
+  switch (m) {
+    case Mechanism::Corelite: return "corelite";
+    case Mechanism::Csfq: return "csfq";
+    case Mechanism::DropTail: return "droptail";
+    case Mechanism::Red: return "red";
+    case Mechanism::Fred: return "fred";
+    case Mechanism::Wfq: return "wfq";
+    case Mechanism::EcnBit: return "ecnbit";
+    case Mechanism::Choke: return "choke";
+    case Mechanism::Sfq: return "sfq";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Records the virtual time of every data drop on a link.
+struct DropRecorder final : net::LinkObserver {
+  std::vector<double>* sink = nullptr;
+  void on_drop(const net::Packet& p, sim::SimTime now) override {
+    if (p.is_data()) sink->push_back(now.sec());
+  }
+};
+
+net::FlowSpec make_flow_spec(const ScenarioSpec& spec, std::size_t i /*0-based*/,
+                             const FlowEndpoints& ep) {
+  net::FlowSpec fs;
+  fs.id = static_cast<net::FlowId>(i + 1);
+  fs.ingress = ep.ingress;
+  fs.egress = ep.egress;
+  fs.weight = spec.weights.at(i);
+  if (i < spec.activity.size() && !spec.activity[i].empty()) {
+    fs.active = spec.activity[i];
+  }
+  if (i < spec.min_rates.size()) fs.min_rate_pps = spec.min_rates[i];
+  return fs;
+}
+
+}  // namespace
+
+ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
+  assert(spec.weights.size() == spec.num_flows && "one weight per flow required");
+
+  sim::Simulator simulator{spec.seed};
+  net::Network network{simulator};
+  PaperTopologyConfig topo_cfg = spec.topology;
+  if (spec.mechanism == Mechanism::Red) topo_cfg.core_queue = CoreQueueKind::Red;
+  if (spec.mechanism == Mechanism::Fred) topo_cfg.core_queue = CoreQueueKind::Fred;
+  if (spec.mechanism == Mechanism::Choke) topo_cfg.core_queue = CoreQueueKind::Choke;
+  if (spec.mechanism == Mechanism::Sfq) topo_cfg.core_queue = CoreQueueKind::Sfq;
+  if (spec.mechanism == Mechanism::Wfq) {
+    topo_cfg.core_queue = CoreQueueKind::Wfq;
+    // The stateful reference: core routers know every flow's weight.
+    const std::vector<double> weights = spec.weights;
+    topo_cfg.wfq_weight_of = [weights](net::FlowId f) {
+      return (f >= 1 && f <= weights.size()) ? weights[f - 1] : 1.0;
+    };
+  }
+  PaperTopology topo{network, spec.num_flows, topo_cfg};
+  network.build_routes();
+
+  ScenarioResult result;
+  stats::FlowTracker& tracker = result.tracker;
+
+  // Egress sinks: count delivered data packets per flow, with one-way
+  // delay measured from the edge's emission timestamp.
+  for (std::size_t i = 0; i < spec.num_flows; ++i) {
+    const auto& ep = topo.endpoints(static_cast<net::FlowId>(i + 1));
+    network.node(ep.egress).set_local_sink([&tracker, &simulator](net::Packet&& p) {
+      if (p.is_data()) tracker.on_delivered(p.flow, simulator.now() - p.created);
+    });
+  }
+
+  if (spec.control_loss_rate > 0.0) {
+    for (const auto& link : network.links()) {
+      link->set_control_loss_rate(spec.control_loss_rate);
+    }
+  }
+
+  // Drop timing on the three congested links.
+  std::vector<std::unique_ptr<DropRecorder>> drop_recorders;
+  for (std::size_t i = 0; i < PaperTopology::kCongestedLinks; ++i) {
+    if (auto* l = topo.congested_link(network, i)) {
+      auto rec = std::make_unique<DropRecorder>();
+      rec->sink = &result.drop_times;
+      l->add_observer(rec.get());
+      drop_recorders.push_back(std::move(rec));
+    }
+  }
+
+  // Mechanism wiring.  Edge routers install themselves as the ingress
+  // nodes' local sinks; core machinery attaches to the core nodes' links.
+  std::vector<std::unique_ptr<qos::CoreliteEdgeRouter>> cl_edges;
+  std::vector<std::unique_ptr<qos::CoreliteCoreRouter>> cl_cores;
+  std::vector<std::unique_ptr<csfq::CsfqEdgeRouter>> csfq_edges;
+  std::vector<std::unique_ptr<csfq::CsfqCoreRouter>> csfq_cores;
+  std::vector<std::unique_ptr<csfq::LossNotifyingCoreRouter>> droptail_cores;
+  std::vector<std::unique_ptr<qos::EcnCoreRouter>> ecn_cores;
+  std::vector<std::unique_ptr<qos::EcnEgressAgent>> ecn_agents;
+
+  switch (spec.mechanism) {
+    case Mechanism::Corelite: {
+      for (net::NodeId c : topo.cores()) {
+        cl_cores.push_back(
+            std::make_unique<qos::CoreliteCoreRouter>(network, c, spec.corelite));
+      }
+      for (std::size_t i = 0; i < spec.num_flows; ++i) {
+        const auto& ep = topo.endpoints(static_cast<net::FlowId>(i + 1));
+        auto edge = std::make_unique<qos::CoreliteEdgeRouter>(network, ep.ingress,
+                                                              spec.corelite, &tracker);
+        edge->add_flow(make_flow_spec(spec, i, ep));
+        cl_edges.push_back(std::move(edge));
+      }
+      break;
+    }
+    case Mechanism::Csfq: {
+      for (net::NodeId c : topo.cores()) {
+        csfq_cores.push_back(std::make_unique<csfq::CsfqCoreRouter>(network, c, spec.csfq));
+      }
+      for (std::size_t i = 0; i < spec.num_flows; ++i) {
+        const auto& ep = topo.endpoints(static_cast<net::FlowId>(i + 1));
+        auto edge =
+            std::make_unique<csfq::CsfqEdgeRouter>(network, ep.ingress, spec.csfq, &tracker);
+        edge->add_flow(make_flow_spec(spec, i, ep));
+        csfq_edges.push_back(std::move(edge));
+      }
+      break;
+    }
+    case Mechanism::EcnBit: {
+      // Binary-marking control: same Corelite edges, but cores set the
+      // DECbit instead of echoing markers; the egress echoes marked
+      // packets back as unweighted feedback.
+      for (net::NodeId c : topo.cores()) {
+        ecn_cores.push_back(std::make_unique<qos::EcnCoreRouter>(network, c, spec.corelite));
+      }
+      for (std::size_t i = 0; i < spec.num_flows; ++i) {
+        const auto& ep = topo.endpoints(static_cast<net::FlowId>(i + 1));
+        auto edge = std::make_unique<qos::CoreliteEdgeRouter>(network, ep.ingress,
+                                                              spec.corelite, &tracker);
+        edge->add_flow(make_flow_spec(spec, i, ep));
+        cl_edges.push_back(std::move(edge));
+        auto agent = std::make_unique<qos::EcnEgressAgent>(network, ep.egress);
+        qos::EcnEgressAgent* agent_ptr = agent.get();
+        ecn_agents.push_back(std::move(agent));
+        network.node(ep.egress).set_local_sink(
+            [&tracker, &simulator, agent_ptr](net::Packet&& p) {
+              if (p.is_data()) {
+                tracker.on_delivered(p.flow, simulator.now() - p.created);
+                agent_ptr->on_data(p);
+              }
+            });
+      }
+      break;
+    }
+    case Mechanism::DropTail:
+    case Mechanism::Red:
+    case Mechanism::Fred:
+    case Mechanism::Choke:
+    case Mechanism::Sfq:
+    case Mechanism::Wfq: {
+      // Both baselines are "dumb core + loss-reactive sources"; they
+      // differ only in the core queue discipline (set above).
+      for (net::NodeId c : topo.cores()) {
+        droptail_cores.push_back(std::make_unique<csfq::LossNotifyingCoreRouter>(network, c));
+      }
+      for (std::size_t i = 0; i < spec.num_flows; ++i) {
+        const auto& ep = topo.endpoints(static_cast<net::FlowId>(i + 1));
+        auto edge =
+            std::make_unique<csfq::CsfqEdgeRouter>(network, ep.ingress, spec.csfq, &tracker);
+        edge->add_flow(make_flow_spec(spec, i, ep));
+        csfq_edges.push_back(std::move(edge));
+      }
+      break;
+    }
+  }
+
+  // Queue-length sampling on the congested links.
+  result.queue_series.resize(PaperTopology::kCongestedLinks);
+  auto queue_sampler = simulator.every(sim::TimeDelta::millis(100), [&] {
+    for (std::size_t i = 0; i < PaperTopology::kCongestedLinks; ++i) {
+      if (auto* l = topo.congested_link(network, i)) {
+        result.queue_series[i].add(simulator.now().sec(),
+                                   static_cast<double>(l->queued_data_packets()));
+      }
+    }
+  });
+
+  // Periodic cumulative-service sampling (Figure 4's series).
+  tracker.sample_cumulative(simulator.now());
+  auto sampler = simulator.every(spec.cumulative_sample_period,
+                                 [&tracker, &simulator] { tracker.sample_cumulative(simulator.now()); });
+
+  simulator.run_until(spec.duration);
+  sampler.cancel();
+  queue_sampler.cancel();
+  tracker.sample_cumulative(simulator.now());
+
+  // Global accounting.
+  result.events_processed = simulator.events_processed();
+  result.unrouteable = network.unrouteable_count();
+  for (const auto& link : network.links()) result.total_data_drops += link->stats().dropped;
+  for (std::size_t i = 0; i < PaperTopology::kCongestedLinks; ++i) {
+    if (auto* l = topo.congested_link(network, i)) {
+      result.congested_link_drops += l->stats().dropped;
+    }
+  }
+  for (const auto& e : cl_edges) result.markers_injected += e->markers_injected();
+  for (const auto& e : cl_edges) result.feedback_messages += e->feedback_received();
+  for (const auto& e : csfq_edges) result.feedback_messages += e->loss_notices_received();
+  // Mean q_avg per congested link (Corelite only).
+  if (spec.mechanism == Mechanism::Corelite) {
+    for (std::size_t i = 0; i < PaperTopology::kCongestedLinks; ++i) {
+      const net::NodeId from = topo.core(i);
+      const net::NodeId to = topo.core(i + 1);
+      for (const auto& c : cl_cores) {
+        if (c->node() != from) continue;
+        for (const auto& d : c->diagnostics()) {
+          if (d.link_to == to && d.q_avg_series != nullptr && !d.q_avg_series->empty()) {
+            result.mean_q_avg.push_back(
+                d.q_avg_series->average_over(0.0, spec.duration.sec()));
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::unordered_map<net::FlowId, double> ideal_rates_at(const ScenarioSpec& spec, sim::SimTime t) {
+  const double cap = PaperTopologyConfig{spec.topology}.link_rate.pps(spec.topology.packet_size);
+  std::vector<double> caps(PaperTopology::kCongestedLinks, cap);
+  std::vector<stats::MaxMinFlow> flows;
+  for (std::size_t i = 0; i < spec.num_flows; ++i) {
+    const auto id = static_cast<net::FlowId>(i + 1);
+    // Activity check: empty activity list means always-on.
+    bool active = true;
+    if (i < spec.activity.size() && !spec.activity[i].empty()) {
+      active = false;
+      for (const auto& iv : spec.activity[i]) {
+        if (t >= iv.start && t < iv.stop) {
+          active = true;
+          break;
+        }
+      }
+    }
+    if (!active) continue;
+    flows.push_back({id, spec.weights.at(i), PaperTopology::congested_links(id)});
+  }
+  return stats::weighted_max_min(caps, flows);
+}
+
+// --------------------------------------------------------------------------
+// Paper scenario factories.
+
+namespace {
+
+std::vector<double> fig3_weights(std::size_t n) {
+  std::vector<double> w(n, 2.0);
+  auto set = [&](std::size_t f, double v) {
+    if (f <= n) w[f - 1] = v;
+  };
+  set(5, 3.0);
+  set(15, 3.0);
+  set(1, 1.0);
+  set(11, 1.0);
+  set(16, 1.0);
+  return w;
+}
+
+std::vector<double> fig7_weights(std::size_t n) {
+  std::vector<double> w(n, 2.0);
+  auto set = [&](std::size_t f, double v) {
+    if (f <= n) w[f - 1] = v;
+  };
+  set(1, 1.0);
+  set(11, 1.0);
+  set(16, 1.0);
+  set(5, 3.0);
+  set(10, 3.0);
+  set(15, 3.0);
+  return w;
+}
+
+}  // namespace
+
+ScenarioSpec fig3_network_dynamics(Mechanism m) {
+  ScenarioSpec s;
+  s.mechanism = m;
+  s.num_flows = 20;
+  s.weights = fig3_weights(20);
+  s.duration = sim::SimTime::seconds(760);
+  s.activity.resize(20);
+  for (std::size_t f = 1; f <= 20; ++f) {
+    const bool late = (f == 1 || f == 9 || f == 10 || f == 11 || f == 16);
+    if (late) {
+      s.activity[f - 1] = {{sim::SimTime::seconds(250), sim::SimTime::seconds(500)}};
+    } else {
+      s.activity[f - 1] = {{sim::SimTime::zero(), sim::SimTime::seconds(750)}};
+    }
+  }
+  return s;
+}
+
+ScenarioSpec fig5_simultaneous_start(Mechanism m) {
+  ScenarioSpec s;
+  s.mechanism = m;
+  s.num_flows = 10;
+  s.weights.resize(10);
+  for (std::size_t i = 1; i <= 10; ++i) {
+    s.weights[i - 1] = std::ceil(static_cast<double>(i) / 2.0);  // 1,1,2,2,3,3,4,4,5,5
+  }
+  s.duration = sim::SimTime::seconds(80);
+  return s;
+}
+
+ScenarioSpec fig7_staggered_start(Mechanism m) {
+  ScenarioSpec s;
+  s.mechanism = m;
+  s.num_flows = 20;
+  s.weights = fig7_weights(20);
+  s.duration = sim::SimTime::seconds(80);
+  s.activity.resize(20);
+  for (std::size_t f = 1; f <= 20; ++f) {
+    s.activity[f - 1] = {{sim::SimTime::seconds(static_cast<double>(f - 1)),
+                          sim::SimTime::infinite()}};
+  }
+  return s;
+}
+
+ScenarioSpec fig9_churn(Mechanism m) {
+  ScenarioSpec s;
+  s.mechanism = m;
+  s.num_flows = 20;
+  s.weights = fig7_weights(20);
+  s.duration = sim::SimTime::seconds(160);
+  s.activity.resize(20);
+  for (std::size_t f = 1; f <= 20; ++f) {
+    const double start = static_cast<double>(f - 1);
+    // Live 60 s, pause 5 s, run again until the end of the experiment.
+    s.activity[f - 1] = {{sim::SimTime::seconds(start), sim::SimTime::seconds(start + 60)},
+                         {sim::SimTime::seconds(start + 65), sim::SimTime::infinite()}};
+  }
+  return s;
+}
+
+ScenarioSpec random_churn(Mechanism m, std::size_t num_flows, sim::TimeDelta mean_on,
+                          sim::TimeDelta mean_off, sim::SimTime duration, std::uint64_t seed) {
+  ScenarioSpec s;
+  s.mechanism = m;
+  s.num_flows = num_flows;
+  s.duration = duration;
+  s.seed = seed;
+  s.weights.resize(num_flows);
+  s.activity.resize(num_flows);
+  sim::Rng rng{seed ^ 0x9e3779b97f4a7c15ULL};  // distinct stream from the sim's
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    s.weights[i] = static_cast<double>(i % 3 + 1);
+    double t = rng.exponential(mean_off.sec());
+    std::vector<net::ActiveInterval> windows;
+    while (t < duration.sec()) {
+      const double on = rng.exponential(mean_on.sec());
+      windows.push_back({sim::SimTime::seconds(t),
+                         sim::SimTime::seconds(std::min(t + on, duration.sec()))});
+      t += on + rng.exponential(mean_off.sec());
+    }
+    if (windows.empty()) {
+      // Guarantee at least one active period per flow.
+      windows.push_back({sim::SimTime::zero(), duration});
+    }
+    s.activity[i] = std::move(windows);
+  }
+  return s;
+}
+
+}  // namespace corelite::scenario

@@ -1,0 +1,122 @@
+// Experiment harness: run a paper scenario end to end and collect the
+// series the figures plot.
+//
+// A ScenarioSpec fully describes one run: the mechanism under test
+// (Corelite with either selector, weighted CSFQ, or the naive drop-tail
+// baseline), the flow population (weights + activity windows) and the
+// protocol/topology parameters.  run_paper_scenario() builds the
+// Figure-2 network, wires up the mechanism, runs the simulation and
+// returns per-flow rate and cumulative-service time series plus global
+// counters.  Factory functions produce the exact specs behind each of
+// the paper's figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "csfq/config.h"
+#include "net/flow.h"
+#include "qos/config.h"
+#include "scenario/paper_topology.h"
+#include "sim/units.h"
+#include "stats/flow_tracker.h"
+
+namespace corelite::scenario {
+
+enum class Mechanism {
+  Corelite,  ///< stateless selector (the paper's default)
+  Csfq,      ///< weighted CSFQ baseline
+  DropTail,  ///< FIFO + loss notification, no fairness mechanism
+  Red,       ///< RED queues + loss notification (related-work baseline)
+  Fred,      ///< FRED queues + loss notification (related-work baseline)
+  Wfq,       ///< per-flow WFQ cores — the stateful Intserv-style reference
+  EcnBit,    ///< DECbit/ECN binary marking — the unweighted-feedback control
+  Choke,     ///< CHOKe stateless AQM + loss notification
+  Sfq,       ///< stochastic fair queueing (hashed bands) + loss notification
+};
+
+[[nodiscard]] std::string mechanism_name(Mechanism m);
+
+struct ScenarioSpec {
+  Mechanism mechanism = Mechanism::Corelite;
+  std::size_t num_flows = 20;
+  /// weights[i] is the rate weight of 1-based flow i+1; must have
+  /// num_flows entries.
+  std::vector<double> weights;
+  /// activity[i] are the activity windows of flow i+1; empty vector
+  /// means always-on.
+  std::vector<std::vector<net::ActiveInterval>> activity;
+  /// Optional per-flow minimum rate contracts (pkt/s); empty = none.
+  std::vector<double> min_rates;
+
+  sim::SimTime duration = sim::SimTime::seconds(80);
+  std::uint64_t seed = 1;
+  sim::TimeDelta cumulative_sample_period = sim::TimeDelta::seconds(1);
+
+  /// Failure injection: probability that any control packet (marker,
+  /// feedback, loss notice, ACK) is lost on each link it crosses.
+  double control_loss_rate = 0.0;
+
+  qos::CoreliteConfig corelite{};
+  csfq::CsfqConfig csfq{};
+  PaperTopologyConfig topology{};
+};
+
+struct ScenarioResult {
+  stats::FlowTracker tracker;
+  std::uint64_t events_processed = 0;
+  std::uint64_t total_data_drops = 0;       ///< across every link
+  std::uint64_t congested_link_drops = 0;   ///< on the three core links only
+  std::uint64_t feedback_messages = 0;      ///< markers echoed / loss notices
+  std::uint64_t markers_injected = 0;       ///< Corelite only
+  std::uint64_t unrouteable = 0;            ///< should always be 0
+  /// Mean q_avg observed per congested link (Corelite diagnostics).
+  std::vector<double> mean_q_avg;
+  /// Timestamps (s) of every data-packet drop on the congested links,
+  /// in order — localizes loss to startup transients vs steady state.
+  std::vector<double> drop_times;
+  /// Instantaneous data-queue length of each congested link, sampled
+  /// every 100 ms (index matches PaperTopology's congested links).
+  std::vector<stats::TimeSeries> queue_series;
+};
+
+/// Build, run and measure one scenario.
+[[nodiscard]] ScenarioResult run_paper_scenario(const ScenarioSpec& spec);
+
+/// Weighted max-min fair rates (pkt/s) for the flows active at time t,
+/// computed by the water-filling oracle on the three congested links.
+[[nodiscard]] std::unordered_map<net::FlowId, double> ideal_rates_at(const ScenarioSpec& spec,
+                                                                     sim::SimTime t);
+
+// --------------------------------------------------------------------------
+// The paper's scenarios.
+
+/// §4.1, Figures 3-4: 20 flows; flows 1, 9, 10, 11, 16 active only in
+/// [250 s, 500 s); all others in [0 s, 750 s).  Weights: 3 for flows
+/// 5 & 15, 1 for flows 1, 11 & 16, 2 otherwise.
+[[nodiscard]] ScenarioSpec fig3_network_dynamics(Mechanism m);
+
+/// §4.2, Figures 5-6: 10 flows with weight ceil(i/2), all starting at
+/// t = 0; 80 s.
+[[nodiscard]] ScenarioSpec fig5_simultaneous_start(Mechanism m);
+
+/// §4.3, Figures 7-8: 20 flows starting 1 s apart in ascending order;
+/// weights: 1 for flows 1, 11 & 16, 3 for flows 5, 10 & 15, 2 otherwise;
+/// 80 s.
+[[nodiscard]] ScenarioSpec fig7_staggered_start(Mechanism m);
+
+/// §4.3, Figures 9-10: same population as fig7; each flow lives 60 s,
+/// stops, and restarts 5 s later; 160 s.
+[[nodiscard]] ScenarioSpec fig9_churn(Mechanism m);
+
+/// Randomized generalization of the churn experiment: each flow cycles
+/// through exponentially distributed on/off periods for the whole run.
+/// Weights cycle {1, 2, 3}.  Deterministic in `seed` (which also seeds
+/// the simulation itself).
+[[nodiscard]] ScenarioSpec random_churn(Mechanism m, std::size_t num_flows,
+                                        sim::TimeDelta mean_on, sim::TimeDelta mean_off,
+                                        sim::SimTime duration, std::uint64_t seed);
+
+}  // namespace corelite::scenario

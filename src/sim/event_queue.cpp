@@ -1,0 +1,46 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace corelite::sim {
+
+EventHandle EventQueue::schedule(SimTime at, Callback cb) {
+  auto state = std::make_shared<EventHandle::State>();
+  heap_.push(Entry{at, next_seq_++, std::move(cb), state});
+  return EventHandle{std::move(state)};
+}
+
+void EventQueue::drop_dead() const {
+  while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() const {
+  drop_dead();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_dead();
+  return heap_.empty() ? SimTime::infinite() : heap_.top().at;
+}
+
+SimTime EventQueue::run_next() {
+  drop_dead();
+  assert(!heap_.empty() && "run_next on an empty event queue");
+  // const_cast: priority_queue::top() is const, but we are about to pop the
+  // entry, so moving the callback out is safe and avoids a copy.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  const SimTime at = top.at;
+  Callback cb = std::move(top.cb);
+  top.state->fired = true;
+  heap_.pop();
+  cb();
+  return at;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace corelite::sim

@@ -1,0 +1,90 @@
+// A cancellable discrete-event priority queue.
+//
+// Events are ordered by (time, insertion sequence): ties on time fire in
+// the order they were scheduled, which makes simulations deterministic.
+// Cancellation is lazy — a cancelled event stays in the heap but is
+// skipped when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/units.h"
+
+namespace corelite::sim {
+
+/// Handle to a scheduled event; allows cancellation and liveness queries.
+/// Copying the handle shares the underlying event.  A default-constructed
+/// handle refers to no event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevent the event from firing.  Idempotent; safe on empty handles.
+  void cancel() {
+    if (state_) state_->cancelled = true;
+  }
+
+  /// True if the event is scheduled and has neither fired nor been cancelled.
+  [[nodiscard]] bool pending() const { return state_ && !state_->cancelled && !state_->fired; }
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_{std::move(s)} {}
+  std::shared_ptr<State> state_;
+};
+
+/// Min-heap of timed callbacks.  Not thread-safe: the simulation is
+/// single-threaded by design (determinism beats parallelism for
+/// reproducible network experiments).
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` to fire at absolute time `at`.
+  EventHandle schedule(SimTime at, Callback cb);
+
+  /// True if no live events remain.  May pop dead (cancelled) entries.
+  [[nodiscard]] bool empty() const;
+
+  /// Fire time of the earliest live event; SimTime::infinite() if none.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pop and run the earliest live event.  Returns its fire time.
+  /// Precondition: !empty().
+  SimTime run_next();
+
+  /// Number of events ever scheduled (including cancelled ones).
+  [[nodiscard]] std::uint64_t scheduled_count() const { return next_seq_; }
+
+  /// Drop every pending event.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace corelite::sim

@@ -1,0 +1,76 @@
+// Minimal leveled logger for simulation components.
+//
+// Logging is off by default (level None) so experiment binaries stay
+// quiet; tests and debugging sessions raise the level per component or
+// globally.  All output carries the virtual timestamp supplied by the
+// caller, never wall-clock time.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/units.h"
+
+namespace corelite::sim {
+
+enum class LogLevel : int { None = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
+
+/// Process-global log configuration.
+class LogConfig {
+ public:
+  static LogLevel level() { return instance().level_; }
+  static void set_level(LogLevel lvl) { instance().level_ = lvl; }
+  static std::ostream& sink() { return *instance().sink_; }
+  static void set_sink(std::ostream& os) { instance().sink_ = &os; }
+
+ private:
+  static LogConfig& instance() {
+    static LogConfig cfg;
+    return cfg;
+  }
+  LogLevel level_ = LogLevel::None;
+  std::ostream* sink_ = &std::cerr;
+};
+
+[[nodiscard]] constexpr std::string_view log_level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Debug: return "DEBUG";
+    default: return "";
+  }
+}
+
+/// One log statement.  Buffered; flushed to the sink on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel lvl, std::string_view component, SimTime at) : enabled_{lvl <= LogConfig::level()} {
+    if (enabled_) {
+      buf_ << "[" << log_level_name(lvl) << "] t=" << at.sec() << " " << component << ": ";
+    }
+  }
+  ~LogLine() {
+    if (enabled_) LogConfig::sink() << buf_.str() << "\n";
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) buf_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream buf_;
+};
+
+}  // namespace corelite::sim
+
+/// Usage: CORELITE_LOG(Debug, "edge", sim.now()) << "flow " << f << " rate " << r;
+#define CORELITE_LOG(lvl, component, at) \
+  ::corelite::sim::LogLine(::corelite::sim::LogLevel::lvl, (component), (at))

@@ -1,0 +1,22 @@
+#include "sim/random.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace corelite::sim {
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  if (k >= n) return all;
+  // Partial Fisher-Yates: shuffle only the first k positions.
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(uniform_int(static_cast<std::int64_t>(i),
+                                                        static_cast<std::int64_t>(n - 1)));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace corelite::sim

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random source for the simulation.
+//
+// All randomness in a run flows through one Rng seeded explicitly, so
+// every experiment is exactly reproducible from (code, seed).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace corelite::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedc0de) : engine_{seed} {}
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() {
+    return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Exponentially distributed value with the given mean.
+  [[nodiscard]] double exponential(double mean) {
+    assert(mean > 0.0);
+    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+  }
+
+  /// Pick k distinct indices uniformly from [0, n).  If k >= n returns all.
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace corelite::sim

@@ -1,0 +1,58 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace corelite::sim {
+
+EventHandle Simulator::at(SimTime at, EventQueue::Callback cb) {
+  assert(at >= now_ && "cannot schedule an event in the past");
+  return queue_.schedule(at, std::move(cb));
+}
+
+EventHandle Simulator::after(TimeDelta delay, EventQueue::Callback cb) {
+  assert(delay >= TimeDelta::zero());
+  return at(now_ + delay, std::move(cb));
+}
+
+PeriodicHandle Simulator::every(TimeDelta period, std::function<void()> cb,
+                                TimeDelta first_after) {
+  assert(period > TimeDelta::zero());
+  if (!first_after.is_finite()) first_after = period;
+  auto control = std::make_shared<PeriodicHandle::Control>();
+  auto body = std::make_shared<std::function<void()>>(std::move(cb));
+
+  // Self-rescheduling chain.  The closure captures itself only weakly; the
+  // pending queue entry is what keeps `fire` alive, so when the chain ends
+  // (cancellation) the whole structure is reclaimed — no reference cycle.
+  auto fire = std::make_shared<std::function<void()>>();
+  *fire = [this, period, control, body, wfire = std::weak_ptr(fire)]() {
+    if (control->cancelled) return;
+    (*body)();
+    if (control->cancelled) return;
+    if (auto f = wfire.lock()) queue_.schedule(now_ + period, [f] { (*f)(); });
+  };
+  queue_.schedule(now_ + first_after, [fire] { (*fire)(); });
+  return PeriodicHandle{std::move(control)};
+}
+
+void Simulator::run_until(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++processed_;
+  }
+  if (!stopped_ && now_ < deadline && deadline < SimTime::infinite()) now_ = deadline;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++processed_;
+  }
+}
+
+}  // namespace corelite::sim

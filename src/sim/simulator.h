@@ -1,0 +1,84 @@
+// The discrete-event simulation kernel.
+//
+// A Simulator owns the virtual clock, the event queue and the random
+// source.  Components schedule callbacks against it; `run_until`
+// advances virtual time by firing events in timestamp order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/units.h"
+
+namespace corelite::sim {
+
+/// Controls a repeating timer created by Simulator::every().
+/// Cancelling stops all future firings; safe to copy and to call on an
+/// empty handle.
+class PeriodicHandle {
+ public:
+  PeriodicHandle() = default;
+
+  void cancel() {
+    if (control_) control_->cancelled = true;
+  }
+  [[nodiscard]] bool active() const { return control_ && !control_->cancelled; }
+
+ private:
+  friend class Simulator;
+  struct Control {
+    bool cancelled = false;
+  };
+  explicit PeriodicHandle(std::shared_ptr<Control> c) : control_{std::move(c)} {}
+  std::shared_ptr<Control> control_;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 0x5eedc0de) : rng_{seed} {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute virtual time `at` (must not be in the past).
+  EventHandle at(SimTime at, EventQueue::Callback cb);
+
+  /// Schedule `cb` after a relative delay from now.
+  EventHandle after(TimeDelta delay, EventQueue::Callback cb);
+
+  /// Schedule `cb` every `period`, until the returned handle is
+  /// cancelled.  The first firing happens after `first_after` (defaults
+  /// to one period); passing a randomized phase here desynchronizes
+  /// periodic components, as real distributed timers are.
+  PeriodicHandle every(TimeDelta period, std::function<void()> cb,
+                       TimeDelta first_after = TimeDelta::infinite());
+
+  /// Run events until the queue drains or virtual time would pass `deadline`.
+  /// The clock is left at min(deadline, time of last event) — i.e. it
+  /// advances to `deadline` even if the queue drained earlier.
+  void run_until(SimTime deadline);
+
+  /// Run until the event queue is empty.
+  void run();
+
+  /// Request that the current run stops after the in-flight event returns.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  EventQueue queue_;
+  Rng rng_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace corelite::sim

@@ -1,0 +1,139 @@
+// Strongly typed physical units used throughout the simulator.
+//
+// The discrete-event engine measures time in seconds (double), data in
+// bytes (int64) and rates in bits per second (double).  Wrapping these
+// in distinct value types prevents the classic unit bugs (ms-vs-s,
+// bits-vs-bytes, pkt/s-vs-bit/s) that plague network simulators.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace corelite::sim {
+
+/// A span of simulated time.  Internally stored as seconds.
+class TimeDelta {
+ public:
+  constexpr TimeDelta() = default;
+
+  [[nodiscard]] static constexpr TimeDelta seconds(double s) { return TimeDelta{s}; }
+  [[nodiscard]] static constexpr TimeDelta millis(double ms) { return TimeDelta{ms / 1e3}; }
+  [[nodiscard]] static constexpr TimeDelta micros(double us) { return TimeDelta{us / 1e6}; }
+  [[nodiscard]] static constexpr TimeDelta zero() { return TimeDelta{0.0}; }
+  [[nodiscard]] static constexpr TimeDelta infinite() {
+    return TimeDelta{std::numeric_limits<double>::infinity()};
+  }
+
+  [[nodiscard]] constexpr double sec() const { return secs_; }
+  [[nodiscard]] constexpr double ms() const { return secs_ * 1e3; }
+  [[nodiscard]] constexpr bool is_zero() const { return secs_ == 0.0; }
+  [[nodiscard]] constexpr bool is_finite() const { return std::isfinite(secs_); }
+
+  constexpr auto operator<=>(const TimeDelta&) const = default;
+  constexpr TimeDelta operator+(TimeDelta o) const { return TimeDelta{secs_ + o.secs_}; }
+  constexpr TimeDelta operator-(TimeDelta o) const { return TimeDelta{secs_ - o.secs_}; }
+  constexpr TimeDelta operator*(double k) const { return TimeDelta{secs_ * k}; }
+  constexpr TimeDelta operator/(double k) const { return TimeDelta{secs_ / k}; }
+  constexpr double operator/(TimeDelta o) const { return secs_ / o.secs_; }
+  constexpr TimeDelta& operator+=(TimeDelta o) { secs_ += o.secs_; return *this; }
+
+ private:
+  explicit constexpr TimeDelta(double s) : secs_{s} {}
+  double secs_ = 0.0;
+};
+
+/// An absolute point on the simulated clock (seconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0.0}; }
+  [[nodiscard]] static constexpr SimTime seconds(double s) { return SimTime{s}; }
+  [[nodiscard]] static constexpr SimTime infinite() {
+    return SimTime{std::numeric_limits<double>::infinity()};
+  }
+
+  [[nodiscard]] constexpr double sec() const { return secs_; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(TimeDelta d) const { return SimTime{secs_ + d.sec()}; }
+  constexpr SimTime operator-(TimeDelta d) const { return SimTime{secs_ - d.sec()}; }
+  constexpr TimeDelta operator-(SimTime o) const { return TimeDelta::seconds(secs_ - o.secs_); }
+
+ private:
+  explicit constexpr SimTime(double s) : secs_{s} {}
+  double secs_ = 0.0;
+};
+
+/// An amount of data.  Internally stored as bytes.
+class DataSize {
+ public:
+  constexpr DataSize() = default;
+
+  [[nodiscard]] static constexpr DataSize bytes(std::int64_t b) { return DataSize{b}; }
+  [[nodiscard]] static constexpr DataSize kilobytes(std::int64_t kb) { return DataSize{kb * 1000}; }
+  [[nodiscard]] static constexpr DataSize zero() { return DataSize{0}; }
+
+  [[nodiscard]] constexpr std::int64_t byte_count() const { return bytes_; }
+  [[nodiscard]] constexpr double bits() const { return static_cast<double>(bytes_) * 8.0; }
+  [[nodiscard]] constexpr bool is_zero() const { return bytes_ == 0; }
+
+  constexpr auto operator<=>(const DataSize&) const = default;
+  constexpr DataSize operator+(DataSize o) const { return DataSize{bytes_ + o.bytes_}; }
+  constexpr DataSize operator-(DataSize o) const { return DataSize{bytes_ - o.bytes_}; }
+  constexpr DataSize& operator+=(DataSize o) { bytes_ += o.bytes_; return *this; }
+  constexpr DataSize& operator-=(DataSize o) { bytes_ -= o.bytes_; return *this; }
+
+ private:
+  explicit constexpr DataSize(std::int64_t b) : bytes_{b} {}
+  std::int64_t bytes_ = 0;
+};
+
+/// A transmission rate.  Internally stored as bits per second.
+class Rate {
+ public:
+  constexpr Rate() = default;
+
+  [[nodiscard]] static constexpr Rate bps(double v) { return Rate{v}; }
+  [[nodiscard]] static constexpr Rate kbps(double v) { return Rate{v * 1e3}; }
+  [[nodiscard]] static constexpr Rate mbps(double v) { return Rate{v * 1e6}; }
+  [[nodiscard]] static constexpr Rate zero() { return Rate{0.0}; }
+
+  /// Rate expressed as fixed-size packets per second.
+  [[nodiscard]] static constexpr Rate packets_per_second(double pps, DataSize packet) {
+    return Rate{pps * packet.bits()};
+  }
+
+  [[nodiscard]] constexpr double bits_per_second() const { return bps_; }
+  [[nodiscard]] constexpr double pps(DataSize packet) const { return bps_ / packet.bits(); }
+  [[nodiscard]] constexpr bool is_zero() const { return bps_ == 0.0; }
+
+  /// Time to serialize `size` onto a link of this rate.
+  [[nodiscard]] constexpr TimeDelta serialization_time(DataSize size) const {
+    if (size.is_zero()) return TimeDelta::zero();
+    assert(bps_ > 0.0 && "cannot serialize onto a zero-rate link");
+    return TimeDelta::seconds(size.bits() / bps_);
+  }
+
+  constexpr auto operator<=>(const Rate&) const = default;
+  constexpr Rate operator+(Rate o) const { return Rate{bps_ + o.bps_}; }
+  constexpr Rate operator-(Rate o) const { return Rate{bps_ - o.bps_}; }
+  constexpr Rate operator*(double k) const { return Rate{bps_ * k}; }
+  constexpr Rate operator/(double k) const { return Rate{bps_ / k}; }
+  constexpr double operator/(Rate o) const { return bps_ / o.bps_; }
+
+ private:
+  explicit constexpr Rate(double v) : bps_{v} {}
+  double bps_ = 0.0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, TimeDelta d) { return os << d.sec() << "s"; }
+inline std::ostream& operator<<(std::ostream& os, SimTime t) { return os << t.sec() << "s"; }
+inline std::ostream& operator<<(std::ostream& os, DataSize s) { return os << s.byte_count() << "B"; }
+inline std::ostream& operator<<(std::ostream& os, Rate r) { return os << r.bits_per_second() << "bps"; }
+
+}  // namespace corelite::sim

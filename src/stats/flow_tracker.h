@@ -1,0 +1,85 @@
+// Per-flow measurement collection.
+//
+// Tracks exactly what the paper's figures plot:
+//   - "Alloted rate": the edge router's allowed transmission rate b_g(f),
+//     recorded every adaptation epoch (Figures 3, 5-10).
+//   - "Cumulative service": data packets delivered at the egress,
+//     sampled periodically (Figure 4).
+// Plus drop and delivery counters used in the comparisons.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "net/types.h"
+#include "sim/units.h"
+#include "stats/time_series.h"
+
+namespace corelite::stats {
+
+struct FlowSeries {
+  double weight = 1.0;
+  TimeSeries allotted_rate;        ///< b_g(f) in packets/s vs time
+  TimeSeries cumulative_delivered; ///< total data packets delivered vs time
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t feedback_received = 0;  ///< Corelite markers / CSFQ loss notices
+
+  /// One-way delay samples (seconds), subsampled to bound memory:
+  /// every `kDelaySampleStride`-th delivered packet contributes.
+  std::vector<double> delay_samples;
+};
+
+class FlowTracker {
+ public:
+  void declare_flow(net::FlowId id, double weight) { flows_[id].weight = weight; }
+
+  void record_rate(net::FlowId id, sim::SimTime t, double pps) {
+    flows_[id].allotted_rate.add(t.sec(), pps);
+  }
+  /// Delay sampling stride: one sample per this many deliveries.
+  static constexpr std::uint64_t kDelaySampleStride = 8;
+
+  void on_sent(net::FlowId id) { ++flows_[id].sent; }
+  void on_delivered(net::FlowId id) { ++flows_[id].delivered; }
+  /// Delivery with a one-way delay measurement (emit -> egress).
+  void on_delivered(net::FlowId id, sim::TimeDelta delay) {
+    auto& fs = flows_[id];
+    ++fs.delivered;
+    if (fs.delivered % kDelaySampleStride == 0) fs.delay_samples.push_back(delay.sec());
+  }
+  void on_dropped(net::FlowId id) { ++flows_[id].dropped; }
+  void on_feedback(net::FlowId id, std::uint64_t count = 1) {
+    flows_[id].feedback_received += count;
+  }
+
+  /// Snapshot every flow's cumulative delivery counter at time t.
+  void sample_cumulative(sim::SimTime t) {
+    for (auto& [id, fs] : flows_) {
+      fs.cumulative_delivered.add(t.sec(), static_cast<double>(fs.delivered));
+    }
+  }
+
+  [[nodiscard]] const FlowSeries& series(net::FlowId id) const { return flows_.at(id); }
+  [[nodiscard]] bool has(net::FlowId id) const { return flows_.contains(id); }
+  [[nodiscard]] const std::map<net::FlowId, FlowSeries>& all() const { return flows_; }
+
+  [[nodiscard]] std::uint64_t total_dropped() const {
+    std::uint64_t n = 0;
+    for (const auto& [id, fs] : flows_) n += fs.dropped;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_delivered() const {
+    std::uint64_t n = 0;
+    for (const auto& [id, fs] : flows_) n += fs.delivered;
+    return n;
+  }
+
+ private:
+  std::map<net::FlowId, FlowSeries> flows_;
+};
+
+}  // namespace corelite::stats

@@ -1,0 +1,67 @@
+#include "stats/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "stats/summary.h"
+
+namespace corelite::stats {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void write_run_json(std::ostream& os, const RunSummaryJson& meta, const FlowTracker& tracker) {
+  os << "{\n"
+     << "  \"scenario\": \"" << json_escape(meta.scenario) << "\",\n"
+     << "  \"mechanism\": \"" << json_escape(meta.mechanism) << "\",\n"
+     << "  \"duration_sec\": " << json_number(meta.duration_sec) << ",\n"
+     << "  \"seed\": " << meta.seed << ",\n"
+     << "  \"events\": " << meta.events << ",\n"
+     << "  \"total_drops\": " << meta.total_drops << ",\n"
+     << "  \"window\": [" << json_number(meta.window_start) << ", "
+     << json_number(meta.window_end) << "],\n"
+     << "  \"flows\": [\n";
+  bool first = true;
+  for (const auto& [id, fs] : tracker.all()) {
+    if (!first) os << ",\n";
+    first = false;
+    const double avg = fs.allotted_rate.average_over(meta.window_start, meta.window_end);
+    const auto delay = summarize(fs.delay_samples);
+    os << "    {\"id\": " << id << ", \"weight\": " << json_number(fs.weight)
+       << ", \"avg_rate_pps\": " << json_number(avg) << ", \"sent\": " << fs.sent
+       << ", \"delivered\": " << fs.delivered << ", \"dropped\": " << fs.dropped
+       << ", \"feedback\": " << fs.feedback_received
+       << ", \"delay_p50_ms\": " << json_number(delay.p50 * 1000.0)
+       << ", \"delay_p99_ms\": " << json_number(delay.p99 * 1000.0) << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace corelite::stats

@@ -1,0 +1,39 @@
+// Minimal JSON emission for run results (no third-party dependency).
+//
+// `corelite_sim --json out.json` and programmatic users get a
+// machine-readable summary of a run: per-flow counters, steady-state
+// averages, delay statistics, and global accounting — the glue for
+// external tooling (plotting pipelines, CI dashboards).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/flow_tracker.h"
+
+namespace corelite::stats {
+
+/// Escape a string for inclusion in a JSON document.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Serialize a numeric value, mapping non-finite doubles to null.
+[[nodiscard]] std::string json_number(double v);
+
+struct RunSummaryJson {
+  std::string scenario;
+  std::string mechanism;
+  double duration_sec = 0.0;
+  std::uint64_t seed = 0;
+  std::uint64_t events = 0;
+  std::uint64_t total_drops = 0;
+  /// Steady-state window for averaged quantities.
+  double window_start = 0.0;
+  double window_end = 0.0;
+};
+
+/// Emit `{meta..., "flows": [{...}, ...]}` for every flow the tracker
+/// knows, averaging rates over [window_start, window_end].
+void write_run_json(std::ostream& os, const RunSummaryJson& meta, const FlowTracker& tracker);
+
+}  // namespace corelite::stats

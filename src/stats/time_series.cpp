@@ -1,0 +1,54 @@
+#include "stats/time_series.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace corelite::stats {
+
+void TimeSeries::add(double t, double v) {
+  assert((points_.empty() || t >= points_.back().t) && "samples must be time-ordered");
+  points_.push_back({t, v});
+}
+
+double TimeSeries::value_at(double t) const {
+  if (points_.empty() || t < points_.front().t) return 0.0;
+  // Last point with time <= t.
+  auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                             [](double x, const Point& p) { return x < p.t; });
+  return std::prev(it)->v;
+}
+
+double TimeSeries::average_over(double t0, double t1) const {
+  if (t1 <= t0 || points_.empty()) return 0.0;
+  double integral = 0.0;
+  double cur_t = t0;
+  double cur_v = value_at(t0);
+  for (const auto& p : points_) {
+    if (p.t <= t0) continue;
+    if (p.t >= t1) break;
+    integral += cur_v * (p.t - cur_t);
+    cur_t = p.t;
+    cur_v = p.v;
+  }
+  integral += cur_v * (t1 - cur_t);
+  return integral / (t1 - t0);
+}
+
+double TimeSeries::min_over(double t0, double t1) const {
+  double m = std::numeric_limits<double>::infinity();
+  for (const auto& p : points_) {
+    if (p.t >= t0 && p.t <= t1) m = std::min(m, p.v);
+  }
+  return m == std::numeric_limits<double>::infinity() ? 0.0 : m;
+}
+
+double TimeSeries::max_over(double t0, double t1) const {
+  double m = -std::numeric_limits<double>::infinity();
+  for (const auto& p : points_) {
+    if (p.t >= t0 && p.t <= t1) m = std::max(m, p.v);
+  }
+  return m == -std::numeric_limits<double>::infinity() ? 0.0 : m;
+}
+
+}  // namespace corelite::stats

@@ -1,0 +1,45 @@
+// Append-only time series of (virtual time, value) samples.
+//
+// Values are interpreted as a right-continuous step function: the value
+// at time t is the most recent sample at or before t.  This matches how
+// the tracked quantities behave (allotted rate changes at epoch
+// boundaries; cumulative counters jump at packet arrivals).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace corelite::stats {
+
+class TimeSeries {
+ public:
+  struct Point {
+    double t;
+    double v;
+  };
+
+  /// Append a sample.  Times must be non-decreasing.
+  void add(double t, double v);
+
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  /// Step-function value at time t (0 before the first sample).
+  [[nodiscard]] double value_at(double t) const;
+
+  /// Value of the final sample (0 if empty).
+  [[nodiscard]] double last_value() const { return points_.empty() ? 0.0 : points_.back().v; }
+
+  /// Time-weighted mean of the step function over [t0, t1].
+  [[nodiscard]] double average_over(double t0, double t1) const;
+
+  /// Min / max of samples whose time falls in [t0, t1].
+  [[nodiscard]] double min_over(double t0, double t1) const;
+  [[nodiscard]] double max_over(double t0, double t1) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace corelite::stats

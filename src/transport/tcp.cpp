@@ -1,0 +1,211 @@
+#include "transport/tcp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace corelite::transport {
+
+// ---------------------------------------------------------------------------
+// TcpSender
+
+TcpSender::TcpSender(net::Network& network, net::NodeId host, net::NodeId destination,
+                     net::FlowId flow, TcpConfig config)
+    : net_{network},
+      host_{host},
+      dst_{destination},
+      flow_{flow},
+      cfg_{config},
+      cwnd_{config.initial_cwnd_pkts},
+      ssthresh_{config.initial_ssthresh_pkts},
+      rto_{sim::TimeDelta::seconds(1)} {}
+
+TcpSender::~TcpSender() { rto_event_.cancel(); }
+
+void TcpSender::start(sim::SimTime at) {
+  net_.simulator().at(at, [this] {
+    started_ = true;
+    try_send();
+  });
+}
+
+void TcpSender::send_segment(std::uint64_t seq, bool retransmit) {
+  net::Packet p;
+  p.uid = net_.next_packet_uid();
+  p.kind = net::PacketKind::Data;
+  p.flow = flow_;
+  p.src = host_;
+  p.dst = dst_;
+  p.size = cfg_.mss;
+  p.seq = seq;
+  p.created = net_.simulator().now();
+  ++segments_sent_;
+  if (retransmit) {
+    ++retransmits_;
+  } else if (!rtt_probe_armed_) {
+    // Time one un-retransmitted segment per window (Karn's algorithm:
+    // never sample retransmissions).
+    rtt_probe_armed_ = true;
+    rtt_probe_seq_ = seq;
+    rtt_probe_sent_ = p.created;
+  }
+  net_.inject(host_, std::move(p));
+}
+
+void TcpSender::try_send() {
+  if (!started_) return;
+  const auto window_end =
+      highest_acked_ + static_cast<std::uint64_t>(std::max(1.0, std::floor(cwnd_)));
+  while (next_seq_ < window_end) {
+    send_segment(next_seq_, /*retransmit=*/false);
+    ++next_seq_;
+  }
+  arm_rto();
+}
+
+void TcpSender::arm_rto() {
+  rto_event_.cancel();
+  if (next_seq_ == highest_acked_) return;  // nothing outstanding
+  rto_event_ = net_.simulator().after(rto_ * rto_backoff_, [this] { on_rto(); });
+}
+
+void TcpSender::update_rtt(sim::TimeDelta sample) {
+  const double r = sample.sec();
+  if (!rtt_seeded_) {
+    rtt_seeded_ = true;
+    srtt_ = r;
+    rttvar_ = r / 2.0;
+  } else {
+    rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - r);
+    srtt_ = 0.875 * srtt_ + 0.125 * r;
+  }
+  const double rto = std::clamp(srtt_ + 4.0 * rttvar_, cfg_.min_rto.sec(), cfg_.max_rto.sec());
+  rto_ = sim::TimeDelta::seconds(rto);
+}
+
+void TcpSender::on_ack(const net::Packet& ack) {
+  const std::uint64_t cum = ack.seq;  // receiver's next expected seq
+  if (cum > highest_acked_) {
+    const auto newly_acked = cum - highest_acked_;
+    highest_acked_ = cum;
+    dup_acks_ = 0;
+    rto_backoff_ = 1.0;  // forward progress resets exponential backoff
+
+    if (rtt_probe_armed_ && cum > rtt_probe_seq_) {
+      update_rtt(net_.simulator().now() - rtt_probe_sent_);
+      rtt_probe_armed_ = false;
+    }
+
+    if (in_fast_recovery_) {
+      if (cum < recovery_point_) {
+        // NewReno partial ACK: the next hole is already lost too —
+        // retransmit it immediately instead of waiting for three fresh
+        // duplicate ACKs (which a small window cannot generate).
+        send_segment(highest_acked_, /*retransmit=*/true);
+        arm_rto();
+        return;
+      }
+      // Full ACK: recovery complete; deflate to ssthresh.
+      in_fast_recovery_ = false;
+      cwnd_ = ssthresh_;
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ = std::min(cfg_.max_cwnd_pkts, cwnd_ + static_cast<double>(newly_acked));
+    } else {
+      cwnd_ = std::min(cfg_.max_cwnd_pkts,
+                       cwnd_ + static_cast<double>(newly_acked) / std::max(1.0, cwnd_));
+    }
+    try_send();
+    return;
+  }
+
+  // Duplicate ACK.
+  ++dup_acks_;
+  if (in_fast_recovery_) {
+    // Window inflation: each dup ack signals a departed segment.
+    cwnd_ = std::min(cfg_.max_cwnd_pkts, cwnd_ + 1.0);
+    try_send();
+    return;
+  }
+  if (dup_acks_ == cfg_.dupack_threshold) {
+    // Fast retransmit the presumed-lost segment.
+    ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+    cwnd_ = ssthresh_ + static_cast<double>(cfg_.dupack_threshold);
+    in_fast_recovery_ = true;
+    recovery_point_ = next_seq_;
+    send_segment(highest_acked_, /*retransmit=*/true);
+    arm_rto();
+  }
+}
+
+void TcpSender::on_rto() {
+  ++timeouts_;
+  ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+  cwnd_ = 1.0;
+  dup_acks_ = 0;
+  in_fast_recovery_ = false;
+  rtt_probe_armed_ = false;  // Karn: discard the in-flight sample
+  // Exponential backoff, capped; reset by the next new cumulative ACK.
+  rto_backoff_ = std::min(rto_backoff_ * 2.0, cfg_.max_rto.sec() / rto_.sec());
+  // Retransmit the first unacked segment; the receiver's out-of-order
+  // buffer turns each filled hole into a large cumulative jump.
+  send_segment(highest_acked_, /*retransmit=*/true);
+  arm_rto();
+}
+
+// ---------------------------------------------------------------------------
+// TcpReceiver
+
+TcpReceiver::TcpReceiver(net::Network& network, net::NodeId host, net::NodeId sender_host,
+                         net::FlowId flow, TcpConfig config)
+    : net_{network}, host_{host}, sender_{sender_host}, flow_{flow}, cfg_{config} {}
+
+TcpReceiver::~TcpReceiver() { delayed_ack_event_.cancel(); }
+
+void TcpReceiver::send_ack() {
+  delayed_ack_event_.cancel();
+  unacked_in_order_ = 0;
+  net::Packet ack;
+  ack.uid = net_.next_packet_uid();
+  ack.kind = net::PacketKind::Ack;
+  ack.flow = flow_;
+  ack.src = host_;
+  ack.dst = sender_;
+  ack.size = sim::DataSize::zero();
+  ack.seq = next_expected_;
+  ack.created = net_.simulator().now();
+  ++acks_sent_;
+  net_.inject(host_, std::move(ack));
+}
+
+void TcpReceiver::on_segment(const net::Packet& segment) {
+  const std::uint64_t seq = segment.seq;
+  bool in_order = false;
+  if (seq == next_expected_) {
+    in_order = true;
+    ++next_expected_;
+    // Drain any contiguous out-of-order segments.
+    while (!out_of_order_.empty() && *out_of_order_.begin() == next_expected_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++next_expected_;
+    }
+  } else if (seq > next_expected_) {
+    out_of_order_.insert(seq);
+  }
+  // else: old duplicate; still ack cumulatively (and immediately).
+
+  if (!cfg_.delayed_acks || !in_order || !out_of_order_.empty()) {
+    // Immediate ACK: delayed ACKs apply only to clean in-order arrivals;
+    // gaps and duplicates must generate the dup-ACK stream fast
+    // retransmit depends on.
+    send_ack();
+    return;
+  }
+  if (++unacked_in_order_ >= 2) {
+    send_ack();
+    return;
+  }
+  if (!delayed_ack_event_.pending()) {
+    delayed_ack_event_ = net_.simulator().after(cfg_.ack_delay, [this] { send_ack(); });
+  }
+}
+
+}  // namespace corelite::transport

@@ -1,0 +1,145 @@
+// A window-based TCP agent (Reno-flavoured) for end-host <-> edge
+// interaction experiments.
+//
+// The paper's evaluation drives the network with rate-based source
+// agents and lists "using agents like TCP which involve interaction
+// between the edge router and end-host" as ongoing work.  This module
+// provides that end-host: an ACK-clocked sender with slow start,
+// congestion avoidance, fast retransmit/recovery and RTO, plus a
+// cumulative-ACK receiver.  Segments are Data packets carrying `seq`;
+// ACKs are zero-size control packets carrying the cumulative ack in
+// `seq`.
+//
+// Intended deployment (examples/tcp_over_corelite.cpp): TCP hosts hang
+// off ingress edge routers running in transit-shaping mode.  Corelite
+// keeps the core loss-free; any policing drop happens in the edge's
+// shaping queue, which is exactly the loss signal TCP adapts to —
+// "drop packets from ill behaved flows at the edges of the network"
+// (paper §6).
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "net/network.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace corelite::transport {
+
+struct TcpConfig {
+  sim::DataSize mss = sim::DataSize::kilobytes(1);
+  double initial_cwnd_pkts = 2.0;
+  double initial_ssthresh_pkts = 64.0;
+  int dupack_threshold = 3;
+  sim::TimeDelta min_rto = sim::TimeDelta::millis(200);
+  sim::TimeDelta max_rto = sim::TimeDelta::seconds(60);
+  /// Cap on cwnd (packets) — stands in for the receiver window.
+  double max_cwnd_pkts = 1000.0;
+
+  /// Receiver: delayed ACKs (RFC 1122 style).  Ack every second in-order
+  /// segment, or after `ack_delay` if only one is pending; out-of-order
+  /// arrivals are always acked immediately (they drive fast retransmit).
+  bool delayed_acks = false;
+  sim::TimeDelta ack_delay = sim::TimeDelta::millis(200);
+};
+
+/// Infinite-backlog TCP sender attached to a host node.
+class TcpSender {
+ public:
+  TcpSender(net::Network& network, net::NodeId host, net::NodeId destination,
+            net::FlowId flow, TcpConfig config = {});
+
+  TcpSender(const TcpSender&) = delete;
+  TcpSender& operator=(const TcpSender&) = delete;
+  ~TcpSender();
+
+  /// Begin transmitting at `at` (schedules the first window).
+  void start(sim::SimTime at);
+
+  /// Deliver an incoming ACK (the host node's local sink routes here).
+  void on_ack(const net::Packet& ack);
+
+  [[nodiscard]] double cwnd_pkts() const { return cwnd_; }
+  [[nodiscard]] double ssthresh_pkts() const { return ssthresh_; }
+  [[nodiscard]] bool in_slow_start() const { return cwnd_ < ssthresh_; }
+  [[nodiscard]] std::uint64_t highest_acked() const { return highest_acked_; }
+  [[nodiscard]] std::uint64_t segments_sent() const { return segments_sent_; }
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] sim::TimeDelta current_rto() const { return rto_; }
+  [[nodiscard]] double srtt_sec() const { return srtt_; }
+
+ private:
+  void try_send();
+  void send_segment(std::uint64_t seq, bool retransmit);
+  void arm_rto();
+  void on_rto();
+  void update_rtt(sim::TimeDelta sample);
+
+  net::Network& net_;
+  net::NodeId host_;
+  net::NodeId dst_;
+  net::FlowId flow_;
+  TcpConfig cfg_;
+
+  std::uint64_t next_seq_ = 0;       ///< next new segment to send
+  std::uint64_t highest_acked_ = 0;  ///< all seqs < this are acked
+  double cwnd_;
+  double ssthresh_;
+  int dup_acks_ = 0;
+  bool in_fast_recovery_ = false;
+  /// NewReno: highest seq outstanding when fast recovery began; partial
+  /// ACKs below this retransmit the next hole without leaving recovery.
+  std::uint64_t recovery_point_ = 0;
+  double rto_backoff_ = 1.0;
+
+  // RTT estimation (RFC 6298 style).
+  bool rtt_seeded_ = false;
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  sim::TimeDelta rto_;
+  std::uint64_t rtt_probe_seq_ = 0;  ///< seq whose ACK times the RTT sample
+  sim::SimTime rtt_probe_sent_;
+  bool rtt_probe_armed_ = false;
+
+  sim::EventHandle rto_event_;
+  std::uint64_t segments_sent_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t timeouts_ = 0;
+  bool started_ = false;
+};
+
+/// Cumulative-ACK receiver attached to the destination node.
+class TcpReceiver {
+ public:
+  TcpReceiver(net::Network& network, net::NodeId host, net::NodeId sender_host,
+              net::FlowId flow, TcpConfig config = {});
+  ~TcpReceiver();
+
+  /// Deliver an incoming data segment; emits a (possibly duplicate)
+  /// cumulative ACK back to the sender (immediately, or per the delayed
+  /// ACK policy when enabled).
+  void on_segment(const net::Packet& segment);
+
+  [[nodiscard]] std::uint64_t next_expected() const { return next_expected_; }
+  [[nodiscard]] std::uint64_t delivered_in_order() const { return next_expected_; }
+  [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
+  [[nodiscard]] std::size_t reorder_buffer_size() const { return out_of_order_.size(); }
+
+ private:
+  void send_ack();
+
+  net::Network& net_;
+  net::NodeId host_;
+  net::NodeId sender_;
+  net::FlowId flow_;
+  TcpConfig cfg_;
+  std::uint64_t next_expected_ = 0;
+  std::set<std::uint64_t> out_of_order_;
+  std::uint64_t acks_sent_ = 0;
+  int unacked_in_order_ = 0;
+  sim::EventHandle delayed_ack_event_;
+};
+
+}  // namespace corelite::transport

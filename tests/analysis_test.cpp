@@ -1,0 +1,138 @@
+// Tests holding the simulator to the closed-form LIMD model — the
+// "analysis" side of the paper's "simulations and analysis" claim.
+#include <gtest/gtest.h>
+
+#include "analysis/limd_model.h"
+#include "qos/rate_controller.h"
+#include "scenario/scenario.h"
+
+namespace corelite::analysis {
+namespace {
+
+qos::RateAdaptConfig paper_adapt() {
+  qos::RateAdaptConfig cfg;  // defaults are the paper's
+  return cfg;
+}
+
+TEST(LimdModel, SlowStartClosedForm) {
+  // 1 -> 2 -> 4 -> 8 -> 16 -> 32 -> 64 (exceeds 32) -> halve to 32.
+  const auto p = predict_slow_start(paper_adapt());
+  EXPECT_EQ(p.doublings, 6);
+  EXPECT_DOUBLE_EQ(p.exit_rate_pps, 32.0);
+  EXPECT_DOUBLE_EQ(p.exit_time_sec, 6.0);
+}
+
+TEST(LimdModel, SlowStartMatchesController) {
+  const auto cfg = paper_adapt();
+  const auto p = predict_slow_start(cfg);
+  qos::LimdRateController c{cfg};
+  c.reset(sim::SimTime::zero());
+  double exit_t = -1.0;
+  for (int e = 1; e <= 200; ++e) {
+    const auto t = sim::SimTime::seconds(0.1 * e);
+    c.on_epoch(0, t);
+    if (!c.in_slow_start()) {
+      exit_t = t.sec();
+      break;
+    }
+  }
+  ASSERT_GT(exit_t, 0.0);
+  EXPECT_NEAR(exit_t, p.exit_time_sec, 0.2);
+  EXPECT_DOUBLE_EQ(c.rate_pps(), p.exit_rate_pps);
+}
+
+TEST(LimdModel, TimeToShareClosedForm) {
+  // Share 83.3 (weight-5 flow in Fig 5): exit at 32 @ t=6, climb at
+  // +10 pkt/s^2 -> 6 + 5.13 = 11.1 s.
+  const double t = predict_time_to_share(paper_adapt(), sim::TimeDelta::millis(100), 83.33);
+  EXPECT_NEAR(t, 11.13, 0.05);
+  // Share below the exit rate: slow-start time only.
+  EXPECT_DOUBLE_EQ(
+      predict_time_to_share(paper_adapt(), sim::TimeDelta::millis(100), 16.67), 6.0);
+}
+
+TEST(LimdModel, ConvergencePredictionHoldsInSimulation) {
+  // The highest-weight flows of the Figure-5 run must first touch their
+  // share close to the predicted time (within a few adaptation epochs +
+  // feedback RTT).
+  auto spec = scenario::fig5_simultaneous_start(scenario::Mechanism::Corelite);
+  const auto r = scenario::run_paper_scenario(spec);
+  const auto ideal = scenario::ideal_rates_at(spec, sim::SimTime::seconds(40));
+
+  for (net::FlowId f : {9u, 10u}) {  // weight 5, share 83.3
+    const double predicted =
+        predict_time_to_share(spec.corelite.adapt, spec.corelite.edge_epoch, ideal.at(f));
+    // First time the measured rate reaches the share.
+    double reached = spec.duration.sec();
+    for (const auto& pt : r.tracker.series(f).allotted_rate.points()) {
+      if (pt.v >= ideal.at(f)) {
+        reached = pt.t;
+        break;
+      }
+    }
+    EXPECT_NEAR(reached, predicted, 2.5) << "flow " << f;
+  }
+}
+
+TEST(LimdModel, OscillationBoundHoldsInSimulation) {
+  auto spec = scenario::fig5_simultaneous_start(scenario::Mechanism::Corelite);
+  const auto r = scenario::run_paper_scenario(spec);
+  const auto ideal = scenario::ideal_rates_at(spec, sim::SimTime::seconds(40));
+  // Peak-to-trough swing in the converged window: at least alpha+beta
+  // (the model's lower bound), and not absurdly larger (a few markers
+  // per marked epoch at most for mid-weight flows).
+  const double lower = predict_oscillation_pps(spec.corelite.adapt, 1.0);
+  const double upper = predict_oscillation_pps(spec.corelite.adapt, 10.0) * 2.0;
+  for (net::FlowId f : {5u, 6u, 7u, 8u}) {
+    const auto& series = r.tracker.series(f).allotted_rate;
+    const double swing = series.max_over(50, 80) - series.min_over(50, 80);
+    EXPECT_GE(swing, lower * 0.99) << "flow " << f;
+    EXPECT_LE(swing, upper) << "flow " << f;
+    // And the swing straddles the ideal share.
+    EXPECT_LT(series.min_over(50, 80), ideal.at(f));
+    EXPECT_GT(series.max_over(50, 80), ideal.at(f));
+  }
+}
+
+TEST(LimdModel, MarkerRates) {
+  EXPECT_DOUBLE_EQ(marker_rate_pps(100.0, 2.0, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(marker_rate_pps(100.0, 2.0, 4.0), 12.5);
+  // Fig-5 equilibrium on the first link: sum of normalized rates =
+  // 10 * 16.67 = 166.7 markers/s at K1 = 1.
+  std::vector<double> rates;
+  std::vector<double> weights{1, 1, 2, 2, 3, 3, 4, 4, 5, 5};
+  for (double w : weights) rates.push_back(16.667 * w);
+  EXPECT_NEAR(link_marker_rate_pps(rates, weights, 1.0), 166.67, 0.1);
+}
+
+TEST(LimdModel, MarkerRateMatchesSimulation) {
+  auto spec = scenario::fig5_simultaneous_start(scenario::Mechanism::Corelite);
+  const auto r = scenario::run_paper_scenario(spec);
+  // Converged marker load: roughly sum of normalized rates / K1.
+  // Total markers over 80 s includes slow start; compare loosely using
+  // the aggregate: 166.7 markers/s * 80 s ~ 13.3k, transient-adjusted.
+  EXPECT_NEAR(static_cast<double>(r.markers_injected), 166.7 * 80.0, 0.25 * 166.7 * 80.0);
+}
+
+TEST(LimdModel, EquilibriumQueuePrediction) {
+  qos::CoreliteConfig cfg;
+  // 10 flows probing +1 pkt/s per 100 ms epoch on a 500 pkt/s link:
+  // requires F_n(q*) = 10 markers/epoch; with mu = 500 pkt/s the M/M/1
+  // term supplies that just above q_thresh.
+  const double q = predict_equilibrium_qavg(cfg, 500.0, 10);
+  EXPECT_GT(q, cfg.q_thresh_pkts);
+  EXPECT_LT(q, 16.0);
+
+  // The fluid prediction brackets the simulated time-average of q_avg
+  // on the fully loaded first link: the oscillation overshoots the
+  // marked point during the feedback lag, so the measured mean lands
+  // between q_thresh and ~2x the fluid equilibrium.
+  auto spec = scenario::fig5_simultaneous_start(scenario::Mechanism::Corelite);
+  const auto r = scenario::run_paper_scenario(spec);
+  ASSERT_FALSE(r.mean_q_avg.empty());
+  EXPECT_GT(r.mean_q_avg[0], cfg.q_thresh_pkts * 0.8);
+  EXPECT_LT(r.mean_q_avg[0], 2.0 * q);
+}
+
+}  // namespace
+}  // namespace corelite::analysis

@@ -1,0 +1,218 @@
+// End-to-end integration tests on the paper's Figure-2 topology: the
+// headline properties each figure demonstrates, checked quantitatively
+// against the weighted max-min oracle.  These run the real scenarios at
+// reduced duration where possible to keep the suite fast.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "stats/fairness.h"
+
+namespace corelite::scenario {
+namespace {
+
+double rate_avg(const ScenarioResult& r, net::FlowId f, double t0, double t1) {
+  return r.tracker.series(f).allotted_rate.average_over(t0, t1);
+}
+
+TEST(Integration, CoreliteConvergesToWeightedMaxMin) {
+  auto spec = fig5_simultaneous_start(Mechanism::Corelite);
+  const auto r = run_paper_scenario(spec);
+  const auto ideal = ideal_rates_at(spec, sim::SimTime::seconds(40));
+  for (std::size_t i = 1; i <= spec.num_flows; ++i) {
+    const auto f = static_cast<net::FlowId>(i);
+    const double got = rate_avg(r, f, 40.0, 80.0);
+    // Within 20% of the weighted max-min ideal (plus 3 pkt/s slack for
+    // the lowest-weight flows whose oscillation amplitude is coarse).
+    EXPECT_NEAR(got, ideal.at(f), 0.2 * ideal.at(f) + 3.0) << "flow " << i;
+  }
+}
+
+TEST(Integration, CoreliteHasNoSteadyStateLoss) {
+  auto spec = fig5_simultaneous_start(Mechanism::Corelite);
+  const auto r = run_paper_scenario(spec);
+  // Startup transients may clip the queue while ten synchronized flows
+  // ramp; after convergence (t > 20 s) Corelite must be loss-free
+  // (paper §4.2: "none of the flows experienced packet drops").
+  int late_drops = 0;
+  for (double t : r.drop_times) {
+    if (t > 20.0) ++late_drops;
+  }
+  EXPECT_EQ(late_drops, 0);
+}
+
+TEST(Integration, CoreliteWeightedFairnessIndexNearOne) {
+  auto spec = fig5_simultaneous_start(Mechanism::Corelite);
+  const auto r = run_paper_scenario(spec);
+  std::vector<double> rates;
+  std::vector<double> weights;
+  for (std::size_t i = 1; i <= spec.num_flows; ++i) {
+    rates.push_back(rate_avg(r, static_cast<net::FlowId>(i), 40.0, 80.0));
+    weights.push_back(spec.weights[i - 1]);
+  }
+  EXPECT_GT(stats::jain_index(rates, weights), 0.98);
+}
+
+TEST(Integration, CsfqAlsoConvergesButWithLosses) {
+  auto spec = fig5_simultaneous_start(Mechanism::Csfq);
+  const auto r = run_paper_scenario(spec);
+  const auto ideal = ideal_rates_at(spec, sim::SimTime::seconds(40));
+  std::vector<double> rates;
+  std::vector<double> weights;
+  for (std::size_t i = 1; i <= spec.num_flows; ++i) {
+    rates.push_back(rate_avg(r, static_cast<net::FlowId>(i), 40.0, 80.0));
+    weights.push_back(spec.weights[i - 1]);
+  }
+  // Steady state close to ideal (paper: "both mechanisms achieve results
+  // that closely approximate the ideal values in steady state")...
+  EXPECT_GT(stats::jain_index(rates, weights), 0.95);
+  EXPECT_NEAR(rates[9], ideal.at(10), 0.35 * ideal.at(10));
+  // ...but CSFQ experiences real packet loss (its congestion signal).
+  EXPECT_GT(r.total_data_drops, 100u);
+}
+
+TEST(Integration, CoreliteConvergesFasterThanCsfq) {
+  // Paper §4.2: Corelite converges ~30 s faster.  Measure the earliest
+  // time after which every flow stays within 30% of its ideal share.
+  auto converged_by = [](Mechanism m) {
+    auto spec = fig5_simultaneous_start(m);
+    const auto r = run_paper_scenario(spec);
+    const auto ideal = ideal_rates_at(spec, sim::SimTime::seconds(40));
+    double latest = 0.0;
+    for (std::size_t i = 1; i <= spec.num_flows; ++i) {
+      const auto f = static_cast<net::FlowId>(i);
+      // March backward in 2 s steps until a window deviates.
+      double t = 78.0;
+      while (t > 2.0) {
+        const double got = r.tracker.series(f).allotted_rate.average_over(t - 2.0, t);
+        if (std::abs(got - ideal.at(f)) > 0.3 * ideal.at(f) + 3.0) break;
+        t -= 2.0;
+      }
+      latest = std::max(latest, t);
+    }
+    return latest;
+  };
+  const double corelite_t = converged_by(Mechanism::Corelite);
+  const double csfq_t = converged_by(Mechanism::Csfq);
+  EXPECT_LE(corelite_t, csfq_t + 2.0);  // at least as fast (ties allowed)
+  EXPECT_LE(corelite_t, 30.0);          // and absolutely fast
+}
+
+TEST(Integration, NetworkDynamicsTrackIdealThroughChurn) {
+  // Figure 3 compressed: the same churn pattern at 1/5 the duration.
+  ScenarioSpec spec = fig3_network_dynamics(Mechanism::Corelite);
+  spec.duration = sim::SimTime::seconds(152);
+  for (auto& windows : spec.activity) {
+    for (auto& w : windows) {
+      w.start = sim::SimTime::seconds(w.start.sec() / 5.0);
+      if (w.stop < sim::SimTime::infinite()) {
+        w.stop = sim::SimTime::seconds(w.stop.sec() / 5.0);
+      }
+    }
+  }
+  const auto r = run_paper_scenario(spec);
+
+  // Phase 1 (late flows absent): 33.33 per unit weight.
+  const auto p1 = ideal_rates_at(spec, sim::SimTime::seconds(40));
+  EXPECT_NEAR(rate_avg(r, 5, 30, 49), p1.at(5), 0.25 * p1.at(5));   // ~100
+  EXPECT_NEAR(rate_avg(r, 2, 30, 49), p1.at(2), 0.25 * p1.at(2));   // ~66.7
+  // Phase 2 (all 20 flows): 25 per unit weight.
+  const auto p2 = ideal_rates_at(spec, sim::SimTime::seconds(80));
+  EXPECT_NEAR(rate_avg(r, 5, 70, 99), p2.at(5), 0.25 * p2.at(5));   // ~75
+  EXPECT_NEAR(rate_avg(r, 1, 70, 99), p2.at(1), 0.25 * p2.at(1) + 4.0);  // ~25
+  EXPECT_NEAR(rate_avg(r, 16, 70, 99), p2.at(16), 0.25 * p2.at(16) + 4.0);
+  // Phase 3 (late flows gone again): rates recover.
+  EXPECT_NEAR(rate_avg(r, 5, 120, 149), p1.at(5), 0.3 * p1.at(5));
+}
+
+TEST(Integration, MultiBottleneckFlowsGetMaxMinShare) {
+  // Flows 9 and 10 cross all three congested links yet must receive the
+  // same per-unit-weight share as single-link flows (max-min, not
+  // proportional fairness) — the paper's Figure 4 point.
+  auto spec = fig3_network_dynamics(Mechanism::Corelite);
+  spec.duration = sim::SimTime::seconds(120);
+  // Make all flows always-on for this check.
+  for (auto& windows : spec.activity) {
+    windows = {{sim::SimTime::zero(), sim::SimTime::infinite()}};
+  }
+  const auto r = run_paper_scenario(spec);
+  const auto ideal = ideal_rates_at(spec, sim::SimTime::seconds(60));
+  // Flow 9 (3 links, weight 2) vs flow 2 (1 link, weight 2).
+  const double f9 = rate_avg(r, 9, 60, 120);
+  const double f2 = rate_avg(r, 2, 60, 120);
+  EXPECT_NEAR(f9, ideal.at(9), 0.25 * ideal.at(9));
+  EXPECT_NEAR(f2, ideal.at(2), 0.25 * ideal.at(2));
+  EXPECT_NEAR(f9 / f2, 1.0, 0.35);
+}
+
+TEST(Integration, MinRateContractsHonored) {
+  // Extension: one flow buys a 120 pkt/s floor, far above its weighted
+  // share (~16.7); Corelite must never throttle it below the contract.
+  auto spec = fig5_simultaneous_start(Mechanism::Corelite);
+  spec.min_rates.assign(spec.num_flows, 0.0);
+  spec.min_rates[0] = 120.0;  // flow 1 (weight 1)
+  const auto r = run_paper_scenario(spec);
+  const double floor_rate = r.tracker.series(1).allotted_rate.min_over(5.0, 80.0);
+  EXPECT_GE(floor_rate, 120.0);
+  // The other flows still share what remains, weighted.
+  const double f9 = rate_avg(r, 9, 40, 80);
+  const double f3 = rate_avg(r, 3, 40, 80);
+  EXPECT_NEAR(f9 / f3, 2.5, 1.0);  // weights 5:2
+}
+
+TEST(Integration, DropTailBaselineIgnoresWeights) {
+  // The naive FIFO core cannot differentiate rate classes: the weighted
+  // fairness index over normalized rates falls well below Corelite's.
+  auto spec = fig5_simultaneous_start(Mechanism::DropTail);
+  const auto r = run_paper_scenario(spec);
+  std::vector<double> rates;
+  std::vector<double> weights;
+  for (std::size_t i = 1; i <= spec.num_flows; ++i) {
+    rates.push_back(rate_avg(r, static_cast<net::FlowId>(i), 40.0, 80.0));
+    weights.push_back(spec.weights[i - 1]);
+  }
+  EXPECT_LT(stats::jain_index(rates, weights), 0.92);
+}
+
+TEST(Integration, EcnBinaryMarkingIgnoresWeights) {
+  // The DECbit/ECN control: binary congestion marks arrive in
+  // proportion to the packet rate, not the normalized rate, so the
+  // same LIMD edges converge to EQUAL rates — weights are invisible.
+  auto spec = fig5_simultaneous_start(Mechanism::EcnBit);
+  const auto r = run_paper_scenario(spec);
+  std::vector<double> rates;
+  std::vector<double> weights;
+  for (std::size_t i = 1; i <= spec.num_flows; ++i) {
+    rates.push_back(rate_avg(r, static_cast<net::FlowId>(i), 40.0, 80.0));
+    weights.push_back(spec.weights[i - 1]);
+  }
+  // Plain (unweighted) fairness is excellent...
+  EXPECT_GT(stats::jain_index(rates), 0.98);
+  // ...which is exactly the failure for the weighted service model.
+  EXPECT_LT(stats::jain_index(rates, weights), 0.85);
+  // Weight-5 flows get no more than weight-1 flows (within noise).
+  EXPECT_NEAR(rates[9] / rates[0], 1.0, 0.25);
+}
+
+TEST(Integration, MarkerCacheSelectorMatchesStatelessShape) {
+  // §3.2 claims the stateless scheme replaces the marker cache without
+  // changing the service model; both must land near the same allocation.
+  auto stateless = fig5_simultaneous_start(Mechanism::Corelite);
+  auto cache = fig5_simultaneous_start(Mechanism::Corelite);
+  cache.corelite.selector = qos::SelectorKind::MarkerCache;
+  const auto rs = run_paper_scenario(stateless);
+  const auto rc = run_paper_scenario(cache);
+  const auto ideal = ideal_rates_at(stateless, sim::SimTime::seconds(40));
+  for (std::size_t i = 1; i <= stateless.num_flows; ++i) {
+    const auto f = static_cast<net::FlowId>(i);
+    EXPECT_NEAR(rate_avg(rc, f, 40, 80), ideal.at(f), 0.30 * ideal.at(f) + 5.0)
+        << "marker-cache flow " << i;
+    EXPECT_NEAR(rate_avg(rc, f, 40, 80), rate_avg(rs, f, 40, 80),
+                0.35 * ideal.at(f) + 5.0)
+        << "selector divergence on flow " << i;
+  }
+}
+
+}  // namespace
+}  // namespace corelite::scenario

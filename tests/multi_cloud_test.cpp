@@ -1,0 +1,155 @@
+// Multi-cloud deployment (paper §2): "the mechanisms proposed in
+// Corelite are for a single network cloud and hence can be deployed in
+// a network cloud independently of other network clouds" — edge-to-edge
+// mechanisms, chained at cloud boundaries.
+//
+// Topology: two Corelite clouds in series.
+//
+//   src1 edge ──► [cloud 1: X ══500══ Y] ──► boundary edge ──►
+//        ──► [cloud 2: U ══250══ V] ──► sink
+//
+// Flow 1 crosses both clouds; flow 2 lives only in cloud 1; flow 3
+// only in cloud 2.  Each cloud runs its own edges/cores with its own
+// weights for flow 1.  The end-to-end rate of flow 1 must be the MIN of
+// its two per-cloud allocations, and the surplus the first cloud
+// forwards is policed away at the second cloud's ingress edge — losses
+// at the cloud boundary, never inside either core.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/network.h"
+#include "qos/core_router.h"
+#include "qos/edge_router.h"
+#include "sim/simulator.h"
+#include "stats/flow_tracker.h"
+
+namespace corelite::qos {
+namespace {
+
+TEST(MultiCloud, IndependentCloudsComposeEndToEnd) {
+  sim::Simulator simulator{31};
+  net::Network network{simulator};
+
+  // Cloud 1.
+  const auto e1 = network.add_node("cloud1-ingress-f1");
+  const auto e2 = network.add_node("cloud1-ingress-f2");
+  const auto X = network.add_node("X");
+  const auto Y = network.add_node("Y");
+  const auto x2 = network.add_node("cloud1-egress-f2");
+  // Cloud boundary: egress edge of cloud 1 == ingress edge of cloud 2.
+  const auto boundary = network.add_node("boundary-edge");
+  // Cloud 2.
+  const auto e3 = network.add_node("cloud2-ingress-f3");
+  const auto U = network.add_node("U");
+  const auto V = network.add_node("V");
+  const auto sink1 = network.add_node("sink-f1");
+  const auto sink3 = network.add_node("sink-f3");
+
+  const auto fast = sim::Rate::mbps(20);
+  const auto d = sim::TimeDelta::millis(5);
+  network.connect_duplex(e1, X, fast, d, 100);
+  network.connect_duplex(e2, X, fast, d, 100);
+  network.connect_duplex(X, Y, sim::Rate::mbps(4), d, 40);  // cloud-1 bottleneck: 500 pkt/s
+  network.connect_duplex(Y, x2, fast, d, 100);
+  network.connect_duplex(Y, boundary, fast, d, 100);
+  network.connect_duplex(boundary, U, fast, d, 100);
+  network.connect_duplex(e3, U, fast, d, 100);
+  network.connect_duplex(U, V, sim::Rate::mbps(2), d, 40);  // cloud-2 bottleneck: 250 pkt/s
+  network.connect_duplex(V, sink1, fast, d, 100);
+  network.connect_duplex(V, sink3, fast, d, 100);
+  network.build_routes();
+
+  CoreliteConfig cfg;
+  // Per-cloud trackers: flow 1 has a b_g in EACH cloud.
+  stats::FlowTracker tracker1;
+  stats::FlowTracker tracker2;
+
+  // Cloud 1 machinery: cores X, Y; ingress edges e1 (flow 1), e2 (flow 2).
+  CoreliteCoreRouter core_x{network, X, cfg};
+  CoreliteCoreRouter core_y{network, Y, cfg};
+  CoreliteEdgeRouter edge1{network, e1, cfg, &tracker1};
+  CoreliteEdgeRouter edge2{network, e2, cfg, &tracker1};
+  // Cloud 2 machinery: cores U, V; ingress edges boundary (flow 1,
+  // transit: the traffic already exists) and e3 (flow 3).
+  CoreliteCoreRouter core_u{network, U, cfg};
+  CoreliteCoreRouter core_v{network, V, cfg};
+  CoreliteEdgeRouter edge_boundary{network, boundary, cfg, &tracker2};
+  CoreliteEdgeRouter edge3{network, e3, cfg, &tracker2};
+
+  // Flow 1, cloud-1 leg: sourced at e1, weight 1, addressed THROUGH the
+  // boundary (cloud 1's egress edge).  Note: within cloud 1 the flow's
+  // "egress" is the boundary edge — edge-to-edge, not end-to-end.
+  {
+    net::FlowSpec fs;
+    fs.id = 1;
+    fs.ingress = e1;
+    fs.egress = sink1;  // final destination: the boundary interception
+                        // diverts it into cloud 2's shaping queue
+    fs.weight = 1.0;
+    edge1.add_flow(fs);
+  }
+  // Flow 2: cloud 1 only, weight 1 -> cloud-1 split is 250/250.
+  {
+    net::FlowSpec fs;
+    fs.id = 2;
+    fs.ingress = e2;
+    fs.egress = x2;
+    fs.weight = 1.0;
+    edge2.add_flow(fs);
+  }
+  // Flow 1, cloud-2 leg: transit at the boundary edge with weight 1.
+  {
+    net::FlowSpec fs;
+    fs.id = 1;
+    fs.ingress = boundary;
+    fs.egress = sink1;
+    fs.weight = 1.0;
+    edge_boundary.add_transit_flow(fs);
+  }
+  // Flow 3: cloud 2 only, weight 2 -> cloud-2 split is ~83 vs ~167.
+  {
+    net::FlowSpec fs;
+    fs.id = 3;
+    fs.ingress = e3;
+    fs.egress = sink3;
+    fs.weight = 2.0;
+    edge3.add_flow(fs);
+  }
+
+  std::uint64_t sink1_count = 0;
+  network.node(sink1).set_local_sink([&](net::Packet&& p) {
+    if (p.is_data()) ++sink1_count;
+  });
+  network.node(sink3).set_local_sink([](net::Packet&&) {});
+  network.node(x2).set_local_sink([](net::Packet&&) {});
+
+  simulator.run_until(sim::SimTime::seconds(120));
+
+  // Cloud-2 allocation for flow 1: 250 * 1/(1+2) = 83.3 pkt/s, the
+  // end-to-end bottleneck (cloud 1 grants it 250).
+  const double f1_goodput = static_cast<double>(sink1_count) / 120.0;
+  EXPECT_NEAR(f1_goodput, 83.3, 15.0);
+
+  // The surplus (cloud-1 rate ~250 minus ~83) is shed at the boundary
+  // edge's shaping queue, NOT inside either cloud's core links.
+  EXPECT_GT(edge_boundary.transit_drops(), 0u);
+  for (const auto& link : network.links()) {
+    EXPECT_EQ(link->stats().dropped, 0u)
+        << "in-network drop on link " << link->from() << "->" << link->to();
+  }
+
+  // Cloud 1 still splits its bottleneck ~250/250 between flows 1 and 2
+  // (it is oblivious to cloud 2's tighter allocation).
+  const double f1_cloud1 = tracker1.series(1).allotted_rate.average_over(60, 120);
+  const double f2_cloud1 = tracker1.series(2).allotted_rate.average_over(60, 120);
+  EXPECT_NEAR(f1_cloud1, 250.0, 50.0);
+  EXPECT_NEAR(f2_cloud1, 250.0, 50.0);
+
+  // Cloud 2 allots flow 1 its weighted share of the 250 pkt/s link.
+  const double f1_cloud2 = tracker2.series(1).allotted_rate.average_over(60, 120);
+  EXPECT_NEAR(f1_cloud2, 83.3, 15.0);
+}
+
+}  // namespace
+}  // namespace corelite::qos

@@ -1,0 +1,157 @@
+// Unit tests for the CHOKe and stochastic-fair-queueing baselines.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/choke_queue.h"
+#include "net/sfq_queue.h"
+#include "sim/random.h"
+
+namespace corelite::net {
+namespace {
+
+Packet data_packet(FlowId flow, std::uint64_t uid = 0) {
+  Packet p;
+  p.uid = uid;
+  p.kind = PacketKind::Data;
+  p.flow = flow;
+  p.size = sim::DataSize::kilobytes(1);
+  return p;
+}
+
+const sim::SimTime t0 = sim::SimTime::zero();
+
+// ---------------------------------------------------------------------------
+// CHOKe
+
+TEST(ChokeQueue, AcceptsEverythingWhileAverageLow) {
+  sim::Rng rng{1};
+  ChokeQueue q{ChokeQueue::Config{}, rng};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.enqueue(data_packet(1), t0));
+    (void)q.dequeue(t0);
+  }
+  EXPECT_EQ(q.choke_matches(), 0u);
+}
+
+TEST(ChokeQueue, MatchKillsBothPackets) {
+  sim::Rng rng{7};
+  ChokeQueue::Config cfg;
+  cfg.min_thresh = 1.0;   // engage the comparison immediately
+  cfg.max_thresh = 100.0;
+  cfg.max_drop_prob = 0.0;  // isolate the CHOKe mechanism from RED drops
+  cfg.ewma_weight = 1.0;    // average == instantaneous queue
+  ChokeQueue q{cfg, rng};
+  // Single-flow flood: once the average passes min_thresh, every
+  // arrival has a same-flow match with probability 1.
+  int accepted = 0;
+  for (int i = 0; i < 100; ++i) accepted += q.enqueue(data_packet(1), t0);
+  EXPECT_GT(q.choke_matches(), 0u);
+  // Matches remove a queued packet per rejected arrival: occupancy
+  // stays small even though nothing was ever dequeued.
+  EXPECT_LT(q.data_packet_count(), 10u);
+  EXPECT_LT(accepted, 100);
+}
+
+TEST(ChokeQueue, MatchesScaleWithBufferShare) {
+  // Flow 1 floods; flow 2 trickles.  Flow 1 dominates the buffer, so
+  // its arrivals match far more often than flow 2's.
+  sim::Rng rng{3};
+  ChokeQueue::Config cfg;
+  cfg.capacity_data_packets = 100;
+  cfg.min_thresh = 1.0;
+  cfg.max_thresh = 200.0;
+  cfg.max_drop_prob = 0.0;
+  cfg.ewma_weight = 1.0;
+  ChokeQueue q{cfg, rng};
+  std::map<FlowId, int> rejected;
+  std::map<FlowId, int> offered;
+  for (int round = 0; round < 300; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      ++offered[1];
+      if (!q.enqueue(data_packet(1), t0)) ++rejected[1];
+    }
+    ++offered[2];
+    if (!q.enqueue(data_packet(2), t0)) ++rejected[2];
+    (void)q.dequeue(t0);
+    (void)q.dequeue(t0);
+  }
+  const double frac1 = static_cast<double>(rejected[1]) / offered[1];
+  const double frac2 = static_cast<double>(rejected[2]) / offered[2];
+  EXPECT_GT(frac1, 2.0 * frac2);
+}
+
+TEST(ChokeQueue, ControlBypasses) {
+  sim::Rng rng{1};
+  ChokeQueue q{ChokeQueue::Config{}, rng};
+  Packet m;
+  m.kind = PacketKind::Marker;
+  m.flow = 1;
+  EXPECT_TRUE(q.enqueue(std::move(m), t0));
+  EXPECT_EQ(q.data_packet_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SFQ
+
+TEST(SfqQueue, HashIsDeterministicAndSpread) {
+  SfqQueue q{16, 4};
+  std::map<std::size_t, int> used;
+  for (FlowId f = 1; f <= 32; ++f) {
+    EXPECT_EQ(q.band_of(f), q.band_of(f));
+    ++used[q.band_of(f)];
+  }
+  // 32 flows over 16 bands: expect a reasonable spread (>= 8 bands hit).
+  EXPECT_GE(used.size(), 8u);
+}
+
+TEST(SfqQueue, RoundRobinInterleavesBands) {
+  SfqQueue q{16, 10};
+  // Find two flows hashing to different bands.
+  FlowId a = 1;
+  FlowId b = 2;
+  while (q.band_of(a) == q.band_of(b)) ++b;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q.enqueue(data_packet(a), t0));
+    ASSERT_TRUE(q.enqueue(data_packet(b), t0));
+  }
+  std::map<FlowId, int> first_four;
+  for (int i = 0; i < 4; ++i) ++first_four[q.dequeue(t0)->flow];
+  EXPECT_EQ(first_four[a], 2);
+  EXPECT_EQ(first_four[b], 2);
+}
+
+TEST(SfqQueue, PerBandCapacityIsolates) {
+  SfqQueue q{16, 3};
+  FlowId a = 1;
+  FlowId b = 2;
+  while (q.band_of(a) == q.band_of(b)) ++b;
+  // Flow a floods its band to the 3-packet cap...
+  int accepted_a = 0;
+  for (int i = 0; i < 20; ++i) accepted_a += q.enqueue(data_packet(a), t0);
+  EXPECT_EQ(accepted_a, 3);
+  // ...but flow b's band is untouched.
+  EXPECT_TRUE(q.enqueue(data_packet(b), t0));
+}
+
+TEST(SfqQueue, AggregateCountSpansBands) {
+  SfqQueue q{4, 10};
+  for (FlowId f = 1; f <= 8; ++f) ASSERT_TRUE(q.enqueue(data_packet(f), t0));
+  EXPECT_EQ(q.data_packet_count(), 8u);
+  (void)q.dequeue(t0);
+  EXPECT_EQ(q.data_packet_count(), 7u);
+}
+
+TEST(SfqQueue, ControlStrictPriority) {
+  SfqQueue q{4, 10};
+  ASSERT_TRUE(q.enqueue(data_packet(1), t0));
+  Packet m;
+  m.kind = PacketKind::Feedback;
+  m.flow = 9;
+  ASSERT_TRUE(q.enqueue(std::move(m), t0));
+  EXPECT_EQ(q.dequeue(t0)->kind, PacketKind::Feedback);
+  EXPECT_EQ(q.dequeue(t0)->kind, PacketKind::Data);
+}
+
+}  // namespace
+}  // namespace corelite::net

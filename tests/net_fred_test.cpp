@@ -1,0 +1,142 @@
+// Unit tests for the FRED queue: per-flow buffering caps, strike-based
+// policing of non-adaptive flows, state lifetime, and the fairness
+// property that distinguishes it from plain RED.
+#include <gtest/gtest.h>
+
+#include "net/fred_queue.h"
+#include "sim/random.h"
+
+namespace corelite::net {
+namespace {
+
+Packet data_packet(FlowId flow) {
+  Packet p;
+  p.kind = PacketKind::Data;
+  p.flow = flow;
+  p.size = sim::DataSize::kilobytes(1);
+  return p;
+}
+
+Packet marker_packet(FlowId flow) {
+  Packet p;
+  p.kind = PacketKind::Marker;
+  p.flow = flow;
+  p.size = sim::DataSize::zero();
+  return p;
+}
+
+const sim::SimTime t0 = sim::SimTime::zero();
+
+FredQueue::Config small_cfg() {
+  FredQueue::Config cfg;
+  cfg.capacity_data_packets = 40;
+  cfg.min_thresh = 5.0;
+  cfg.max_thresh = 15.0;
+  cfg.min_q = 2;
+  return cfg;
+}
+
+TEST(FredQueue, EveryFlowMayBufferMinQ) {
+  sim::Rng rng{1};
+  FredQueue q{small_cfg(), rng};
+  // Ten flows, two packets each: all accepted (within min_q, avg low).
+  for (FlowId f = 1; f <= 10; ++f) {
+    EXPECT_TRUE(q.enqueue(data_packet(f), t0));
+    EXPECT_TRUE(q.enqueue(data_packet(f), t0));
+  }
+  EXPECT_EQ(q.data_packet_count(), 20u);
+}
+
+TEST(FredQueue, SingleFlowCappedAtMaxQ) {
+  sim::Rng rng{1};
+  FredQueue q{small_cfg(), rng};
+  // One flow floods: it may hold at most max_q = max(min_q, minth) = 5.
+  int accepted = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (q.enqueue(data_packet(1), t0)) ++accepted;
+  }
+  EXPECT_EQ(accepted, 5);
+  EXPECT_EQ(q.queued_for(1), 5u);
+}
+
+TEST(FredQueue, PerFlowStateOnlyWhileBuffered) {
+  sim::Rng rng{1};
+  FredQueue q{small_cfg(), rng};
+  ASSERT_TRUE(q.enqueue(data_packet(1), t0));
+  ASSERT_TRUE(q.enqueue(data_packet(2), t0));
+  EXPECT_EQ(q.tracked_flows(), 2u);
+  (void)q.dequeue(t0);
+  (void)q.dequeue(t0);
+  EXPECT_EQ(q.tracked_flows(), 0u);  // FRED forgets drained flows
+}
+
+TEST(FredQueue, ControlPacketsBypass) {
+  sim::Rng rng{1};
+  FredQueue q{small_cfg(), rng};
+  for (int i = 0; i < 30; ++i) (void)q.enqueue(data_packet(1), t0);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(q.enqueue(marker_packet(1), t0));
+  EXPECT_EQ(q.tracked_flows(), 1u);
+}
+
+TEST(FredQueue, HardCapacityRespected) {
+  sim::Rng rng{1};
+  auto cfg = small_cfg();
+  cfg.capacity_data_packets = 10;
+  cfg.min_thresh = 50.0;  // disable RED-zone drops
+  cfg.max_thresh = 100.0;
+  FredQueue q{cfg, rng};
+  int accepted = 0;
+  for (FlowId f = 1; f <= 20; ++f) {
+    for (int i = 0; i < 2; ++i) {
+      if (q.enqueue(data_packet(f), t0)) ++accepted;
+    }
+  }
+  EXPECT_LE(q.data_packet_count(), 10u);
+  EXPECT_EQ(accepted, 10);
+}
+
+TEST(FredQueue, GreedyFlowPunishedPoliteFlowProtected) {
+  // A greedy flow hammers the queue while a polite flow keeps a single
+  // packet buffered.  FRED must keep accepting the polite flow's
+  // packets while rejecting most of the greedy flow's.
+  sim::Rng rng{1};
+  FredQueue q{small_cfg(), rng};
+  int greedy_ok = 0;
+  int greedy_try = 0;
+  int polite_ok = 0;
+  int polite_try = 0;
+  double t = 0.0;
+  for (int round = 0; round < 400; ++round) {
+    t += 0.002;
+    // Greedy: four arrivals per service; polite: one per four services.
+    for (int i = 0; i < 4; ++i) {
+      ++greedy_try;
+      if (q.enqueue(data_packet(1), sim::SimTime::seconds(t))) ++greedy_ok;
+    }
+    if (round % 4 == 0) {
+      ++polite_try;
+      if (q.enqueue(data_packet(2), sim::SimTime::seconds(t))) ++polite_ok;
+    }
+    (void)q.dequeue(sim::SimTime::seconds(t));
+  }
+  const double greedy_frac = static_cast<double>(greedy_ok) / greedy_try;
+  const double polite_frac = static_cast<double>(polite_ok) / polite_try;
+  EXPECT_GT(polite_frac, 0.75);
+  EXPECT_LT(greedy_frac, 0.4);
+}
+
+TEST(FredQueue, FifoOrderPreserved) {
+  sim::Rng rng{1};
+  FredQueue q{small_cfg(), rng};
+  Packet a = data_packet(1);
+  a.uid = 1;
+  Packet b = data_packet(2);
+  b.uid = 2;
+  ASSERT_TRUE(q.enqueue(std::move(a), t0));
+  ASSERT_TRUE(q.enqueue(std::move(b), t0));
+  EXPECT_EQ(q.dequeue(t0)->uid, 1u);
+  EXPECT_EQ(q.dequeue(t0)->uid, 2u);
+}
+
+}  // namespace
+}  // namespace corelite::net

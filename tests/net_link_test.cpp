@@ -1,0 +1,201 @@
+// Unit tests for Link: serialization/propagation timing, FIFO service,
+// observer callbacks, admission policies, statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace corelite::net {
+namespace {
+
+struct TwoNodeFixture {
+  sim::Simulator simulator{1};
+  Network network{simulator};
+  NodeId a = network.add_node("a");
+  NodeId b = network.add_node("b");
+  std::vector<Packet> received;
+
+  TwoNodeFixture() {
+    network.node(b).set_local_sink([this](Packet&& p) { received.push_back(p); });
+  }
+
+  Link& make_link(sim::Rate rate, sim::TimeDelta delay, std::size_t cap = 100) {
+    Link& l = network.connect(a, b, rate, delay, cap);
+    network.build_routes();
+    return l;
+  }
+
+  Packet data(std::uint64_t uid = 0, FlowId flow = 1) {
+    Packet p;
+    p.uid = uid;
+    p.kind = PacketKind::Data;
+    p.flow = flow;
+    p.src = a;
+    p.dst = b;
+    p.size = sim::DataSize::kilobytes(1);
+    p.created = simulator.now();
+    return p;
+  }
+};
+
+TEST(Link, DeliveryTimeIsSerializationPlusPropagation) {
+  TwoNodeFixture f;
+  // 4 Mbps, 40 ms: 1 KB serializes in 2 ms, so arrival at 42 ms.
+  Link& l = f.make_link(sim::Rate::mbps(4), sim::TimeDelta::millis(40));
+  l.send(f.data());
+  f.simulator.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_NEAR(f.simulator.now().sec(), 0.042, 1e-9);
+}
+
+TEST(Link, BackToBackPacketsSpacedBySerialization) {
+  TwoNodeFixture f;
+  Link& l = f.make_link(sim::Rate::mbps(4), sim::TimeDelta::zero());
+  std::vector<double> arrival_times;
+  f.network.node(f.b).set_local_sink(
+      [&](Packet&&) { arrival_times.push_back(f.simulator.now().sec()); });
+  l.send(f.data(1));
+  l.send(f.data(2));
+  l.send(f.data(3));
+  f.simulator.run();
+  ASSERT_EQ(arrival_times.size(), 3u);
+  EXPECT_NEAR(arrival_times[0], 0.002, 1e-9);
+  EXPECT_NEAR(arrival_times[1], 0.004, 1e-9);
+  EXPECT_NEAR(arrival_times[2], 0.006, 1e-9);
+}
+
+TEST(Link, ZeroSizeControlSerializesInstantly) {
+  TwoNodeFixture f;
+  Link& l = f.make_link(sim::Rate::mbps(4), sim::TimeDelta::millis(10));
+  Packet m;
+  m.kind = PacketKind::Marker;
+  m.src = f.a;
+  m.dst = f.b;
+  m.size = sim::DataSize::zero();
+  l.send(std::move(m));
+  f.simulator.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_NEAR(f.simulator.now().sec(), 0.010, 1e-9);  // propagation only
+}
+
+TEST(Link, FifoOrderAcrossKinds) {
+  TwoNodeFixture f;
+  Link& l = f.make_link(sim::Rate::mbps(4), sim::TimeDelta::millis(1));
+  l.send(f.data(1));
+  Packet m;
+  m.uid = 2;
+  m.kind = PacketKind::Marker;
+  m.src = f.a;
+  m.dst = f.b;
+  l.send(std::move(m));
+  l.send(f.data(3));
+  f.simulator.run();
+  ASSERT_EQ(f.received.size(), 3u);
+  EXPECT_EQ(f.received[0].uid, 1u);
+  EXPECT_EQ(f.received[1].uid, 2u);
+  EXPECT_EQ(f.received[2].uid, 3u);
+}
+
+TEST(Link, TailDropUpdatesStats) {
+  TwoNodeFixture f;
+  Link& l = f.make_link(sim::Rate::kbps(8), sim::TimeDelta::zero(), /*cap=*/2);
+  // 1 KB at 8 kbps = 1 s per packet; flood 10 packets instantly.
+  // Packet 0 is dequeued into the transmitter at once, packets 1-2 fill
+  // the 2-slot queue, packets 3-9 tail-drop.
+  for (int i = 0; i < 10; ++i) l.send(f.data(static_cast<std::uint64_t>(i)));
+  f.simulator.run();
+  EXPECT_EQ(l.stats().dropped, 7u);
+  EXPECT_EQ(l.stats().delivered, 3u);
+  EXPECT_EQ(f.received.size(), 3u);
+}
+
+struct CountingObserver final : LinkObserver {
+  int enq = 0, drop = 0, deq = 0;
+  std::vector<std::size_t> lengths;
+  void on_enqueue(const Packet&, sim::SimTime) override { ++enq; }
+  void on_drop(const Packet&, sim::SimTime) override { ++drop; }
+  void on_dequeue(const Packet&, sim::SimTime) override { ++deq; }
+  void on_queue_length(std::size_t len, sim::SimTime) override { lengths.push_back(len); }
+};
+
+TEST(Link, ObserverSeesEnqueueDequeueDrop) {
+  TwoNodeFixture f;
+  Link& l = f.make_link(sim::Rate::kbps(8), sim::TimeDelta::zero(), /*cap=*/1);
+  CountingObserver obs;
+  l.add_observer(&obs);
+  for (int i = 0; i < 5; ++i) l.send(f.data(static_cast<std::uint64_t>(i)));
+  f.simulator.run();
+  EXPECT_EQ(obs.enq, 2);   // 1 serializing + 1 queued
+  EXPECT_EQ(obs.drop, 3);
+  EXPECT_EQ(obs.deq, 2);
+  EXPECT_FALSE(obs.lengths.empty());
+}
+
+struct RejectOddFlows final : AdmissionPolicy {
+  bool admit(Packet& p, sim::SimTime) override { return p.flow % 2 == 0; }
+};
+
+TEST(Link, AdmissionPolicyFiltersData) {
+  TwoNodeFixture f;
+  Link& l = f.make_link(sim::Rate::mbps(4), sim::TimeDelta::zero());
+  RejectOddFlows policy;
+  l.set_admission(&policy);
+  l.send(f.data(1, /*flow=*/1));
+  l.send(f.data(2, /*flow=*/2));
+  l.send(f.data(3, /*flow=*/3));
+  f.simulator.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].flow, 2u);
+  EXPECT_EQ(l.stats().dropped, 2u);
+}
+
+TEST(Link, AdmissionPolicyNotAppliedToControl) {
+  TwoNodeFixture f;
+  Link& l = f.make_link(sim::Rate::mbps(4), sim::TimeDelta::zero());
+  RejectOddFlows policy;  // would reject flow 1
+  l.set_admission(&policy);
+  Packet m;
+  m.kind = PacketKind::Feedback;
+  m.flow = 1;
+  m.src = f.a;
+  m.dst = f.b;
+  l.send(std::move(m));
+  f.simulator.run();
+  EXPECT_EQ(f.received.size(), 1u);
+}
+
+struct Relabeler final : AdmissionPolicy {
+  bool admit(Packet& p, sim::SimTime) override {
+    p.label = 42.0;
+    return true;
+  }
+};
+
+TEST(Link, AdmissionPolicyMayRelabel) {
+  TwoNodeFixture f;
+  Link& l = f.make_link(sim::Rate::mbps(4), sim::TimeDelta::zero());
+  Relabeler policy;
+  l.set_admission(&policy);
+  Packet p = f.data(1);
+  p.label = 7.0;
+  l.send(std::move(p));
+  f.simulator.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.received[0].label, 42.0);
+}
+
+TEST(Link, StatsCountDataBytes) {
+  TwoNodeFixture f;
+  Link& l = f.make_link(sim::Rate::mbps(4), sim::TimeDelta::zero());
+  l.send(f.data(1));
+  l.send(f.data(2));
+  f.simulator.run();
+  EXPECT_EQ(l.stats().data_delivered, 2u);
+  EXPECT_EQ(l.stats().data_bytes_delivered.byte_count(), 2000);
+}
+
+}  // namespace
+}  // namespace corelite::net

@@ -1,0 +1,170 @@
+// Unit tests for the queue disciplines: drop-tail capacity semantics,
+// control-packet bypass, FIFO order, and RED's drop ramp.
+#include <gtest/gtest.h>
+
+#include "net/queue.h"
+#include "sim/random.h"
+
+namespace corelite::net {
+namespace {
+
+Packet data_packet(FlowId flow = 1, std::uint64_t uid = 0) {
+  Packet p;
+  p.uid = uid;
+  p.kind = PacketKind::Data;
+  p.flow = flow;
+  p.size = sim::DataSize::kilobytes(1);
+  return p;
+}
+
+Packet marker_packet(FlowId flow = 1) {
+  Packet p;
+  p.kind = PacketKind::Marker;
+  p.flow = flow;
+  p.size = sim::DataSize::zero();
+  return p;
+}
+
+const sim::SimTime t0 = sim::SimTime::zero();
+
+TEST(DropTailQueue, AcceptsUpToCapacity) {
+  DropTailQueue q{3};
+  EXPECT_TRUE(q.enqueue(data_packet(), t0));
+  EXPECT_TRUE(q.enqueue(data_packet(), t0));
+  EXPECT_TRUE(q.enqueue(data_packet(), t0));
+  EXPECT_EQ(q.data_packet_count(), 3u);
+  EXPECT_FALSE(q.enqueue(data_packet(), t0));  // tail drop
+  EXPECT_EQ(q.data_packet_count(), 3u);
+}
+
+TEST(DropTailQueue, ControlPacketsBypassCapacity) {
+  DropTailQueue q{1};
+  EXPECT_TRUE(q.enqueue(data_packet(), t0));
+  // Queue is "full" for data, but markers (piggybacked headers) always fit
+  // and never count toward the data length.
+  EXPECT_TRUE(q.enqueue(marker_packet(), t0));
+  EXPECT_TRUE(q.enqueue(marker_packet(), t0));
+  EXPECT_EQ(q.data_packet_count(), 1u);
+  EXPECT_FALSE(q.enqueue(data_packet(), t0));
+}
+
+TEST(DropTailQueue, FifoOrderPreserved) {
+  DropTailQueue q{10};
+  for (std::uint64_t i = 0; i < 5; ++i) ASSERT_TRUE(q.enqueue(data_packet(1, i), t0));
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    auto p = q.dequeue(t0);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->uid, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DropTailQueue, InterleavedControlKeepsRelativeOrder) {
+  DropTailQueue q{10};
+  ASSERT_TRUE(q.enqueue(data_packet(1, 1), t0));
+  ASSERT_TRUE(q.enqueue(marker_packet(7), t0));
+  ASSERT_TRUE(q.enqueue(data_packet(1, 2), t0));
+  EXPECT_EQ(q.dequeue(t0)->uid, 1u);
+  EXPECT_EQ(q.dequeue(t0)->kind, PacketKind::Marker);
+  EXPECT_EQ(q.dequeue(t0)->uid, 2u);
+}
+
+TEST(DropTailQueue, DequeueEmptyReturnsNullopt) {
+  DropTailQueue q{2};
+  EXPECT_FALSE(q.dequeue(t0).has_value());
+}
+
+TEST(DropTailQueue, DataCountTracksDequeues) {
+  DropTailQueue q{5};
+  ASSERT_TRUE(q.enqueue(data_packet(), t0));
+  ASSERT_TRUE(q.enqueue(marker_packet(), t0));
+  ASSERT_TRUE(q.enqueue(data_packet(), t0));
+  EXPECT_EQ(q.data_packet_count(), 2u);
+  (void)q.dequeue(t0);  // data
+  EXPECT_EQ(q.data_packet_count(), 1u);
+  (void)q.dequeue(t0);  // marker
+  EXPECT_EQ(q.data_packet_count(), 1u);
+  (void)q.dequeue(t0);  // data
+  EXPECT_EQ(q.data_packet_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RED
+
+TEST(RedQueue, NoDropsBelowMinThresh) {
+  sim::Rng rng{1};
+  RedQueue::Config cfg;
+  cfg.capacity_data_packets = 40;
+  cfg.min_thresh = 5.0;
+  cfg.max_thresh = 15.0;
+  RedQueue q{cfg, rng};
+  // Keep the instantaneous queue at 0-1: average stays ~0, nothing drops.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(q.enqueue(data_packet(), sim::SimTime::seconds(i * 0.01)));
+    (void)q.dequeue(sim::SimTime::seconds(i * 0.01));
+  }
+}
+
+TEST(RedQueue, DropsEverythingAtCapacity) {
+  sim::Rng rng{1};
+  RedQueue::Config cfg;
+  cfg.capacity_data_packets = 10;
+  cfg.min_thresh = 2.0;
+  cfg.max_thresh = 8.0;
+  RedQueue q{cfg, rng};
+  int accepted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (q.enqueue(data_packet(), t0)) ++accepted;
+  }
+  EXPECT_LE(accepted, 10);
+}
+
+TEST(RedQueue, RandomDropsBetweenThresholds) {
+  sim::Rng rng{1};
+  RedQueue::Config cfg;
+  cfg.capacity_data_packets = 1000;
+  cfg.min_thresh = 5.0;
+  cfg.max_thresh = 50.0;
+  cfg.max_drop_prob = 0.5;
+  cfg.ewma_weight = 0.5;  // fast average so the test converges quickly
+  RedQueue q{cfg, rng};
+  // Fill without ever dequeuing: the average chases the growing queue;
+  // once it crosses min_thresh some (but not all) packets must drop.
+  int dropped = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!q.enqueue(data_packet(), t0)) ++dropped;
+  }
+  EXPECT_GT(dropped, 0);
+  EXPECT_LT(dropped, 200);
+}
+
+TEST(RedQueue, ControlPacketsNeverDropped) {
+  sim::Rng rng{1};
+  RedQueue::Config cfg;
+  cfg.capacity_data_packets = 2;
+  RedQueue q{cfg, rng};
+  ASSERT_TRUE(q.enqueue(data_packet(), t0));
+  ASSERT_TRUE(q.enqueue(data_packet(), t0));
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(q.enqueue(marker_packet(), t0));
+}
+
+TEST(RedQueue, IdleAgingDecaysAverage) {
+  sim::Rng rng{1};
+  RedQueue::Config cfg;
+  cfg.capacity_data_packets = 100;
+  cfg.ewma_weight = 0.2;
+  cfg.typical_service_time = sim::TimeDelta::millis(1);
+  RedQueue q{cfg, rng};
+  // Build up an average.
+  for (int i = 0; i < 30; ++i) (void)q.enqueue(data_packet(), t0);
+  const double avg_loaded = q.average_queue();
+  EXPECT_GT(avg_loaded, 1.0);
+  // Drain completely, then arrive much later: the average must have aged.
+  while (q.dequeue(sim::SimTime::seconds(1)).has_value()) {
+  }
+  (void)q.enqueue(data_packet(), sim::SimTime::seconds(10));
+  EXPECT_LT(q.average_queue(), avg_loaded * 0.1);
+}
+
+}  // namespace
+}  // namespace corelite::net

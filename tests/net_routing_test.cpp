@@ -1,0 +1,154 @@
+// Unit tests for Node forwarding and Network routing (Dijkstra FIBs,
+// path extraction, delivery, unrouteable accounting).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace corelite::net {
+namespace {
+
+Packet make_data(NodeId src, NodeId dst, FlowId flow = 1) {
+  Packet p;
+  p.kind = PacketKind::Data;
+  p.flow = flow;
+  p.src = src;
+  p.dst = dst;
+  p.size = sim::DataSize::kilobytes(1);
+  return p;
+}
+
+TEST(Routing, ChainShortestPath) {
+  sim::Simulator simulator{1};
+  Network net{simulator};
+  // a - b - c - d chain.
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto c = net.add_node("c");
+  const auto d = net.add_node("d");
+  net.connect_duplex(a, b, sim::Rate::mbps(10), sim::TimeDelta::millis(1), 10);
+  net.connect_duplex(b, c, sim::Rate::mbps(10), sim::TimeDelta::millis(1), 10);
+  net.connect_duplex(c, d, sim::Rate::mbps(10), sim::TimeDelta::millis(1), 10);
+  net.build_routes();
+
+  EXPECT_EQ(net.path(a, d), (std::vector<NodeId>{a, b, c, d}));
+  EXPECT_EQ(net.path(d, a), (std::vector<NodeId>{d, c, b, a}));
+  EXPECT_EQ(net.path(b, c), (std::vector<NodeId>{b, c}));
+}
+
+TEST(Routing, PrefersLowerDelayPath) {
+  sim::Simulator simulator{1};
+  Network net{simulator};
+  // Two routes a->d: direct (50 ms) vs via b (10+10 ms).
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto d = net.add_node("d");
+  net.connect(a, d, sim::Rate::mbps(10), sim::TimeDelta::millis(50), 10);
+  net.connect(a, b, sim::Rate::mbps(10), sim::TimeDelta::millis(10), 10);
+  net.connect(b, d, sim::Rate::mbps(10), sim::TimeDelta::millis(10), 10);
+  net.build_routes();
+  EXPECT_EQ(net.path(a, d), (std::vector<NodeId>{a, b, d}));
+}
+
+TEST(Routing, EqualDelayPrefersFewerHops) {
+  sim::Simulator simulator{1};
+  Network net{simulator};
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto d = net.add_node("d");
+  net.connect(a, d, sim::Rate::mbps(10), sim::TimeDelta::millis(20), 10);
+  net.connect(a, b, sim::Rate::mbps(10), sim::TimeDelta::millis(10), 10);
+  net.connect(b, d, sim::Rate::mbps(10), sim::TimeDelta::millis(10), 10);
+  net.build_routes();
+  // 20 ms direct vs 20 ms two-hop: per-hop epsilon favours the direct link.
+  EXPECT_EQ(net.path(a, d), (std::vector<NodeId>{a, d}));
+}
+
+TEST(Routing, EndToEndDeliveryAcrossChain) {
+  sim::Simulator simulator{1};
+  Network net{simulator};
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto c = net.add_node("c");
+  net.connect_duplex(a, b, sim::Rate::mbps(4), sim::TimeDelta::millis(40), 10);
+  net.connect_duplex(b, c, sim::Rate::mbps(4), sim::TimeDelta::millis(40), 10);
+  net.build_routes();
+
+  int delivered = 0;
+  net.node(c).set_local_sink([&](Packet&&) { ++delivered; });
+  net.inject(a, make_data(a, c));
+  simulator.run();
+  EXPECT_EQ(delivered, 1);
+  // Two hops: 2 x (2 ms serialization + 40 ms propagation) = 84 ms.
+  EXPECT_NEAR(simulator.now().sec(), 0.084, 1e-9);
+}
+
+TEST(Routing, UnrouteablePacketCounted) {
+  sim::Simulator simulator{1};
+  Network net{simulator};
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  net.add_node("isolated");
+  net.connect_duplex(a, b, sim::Rate::mbps(4), sim::TimeDelta::millis(1), 10);
+  net.build_routes();
+  net.inject(a, make_data(a, 2));  // no route to the isolated node
+  simulator.run();
+  EXPECT_EQ(net.unrouteable_count(), 1u);
+}
+
+TEST(Routing, PathUnreachableIsEmpty) {
+  sim::Simulator simulator{1};
+  Network net{simulator};
+  const auto a = net.add_node("a");
+  net.add_node("b");
+  net.build_routes();
+  EXPECT_TRUE(net.path(a, 1).empty());
+}
+
+TEST(Routing, FindLinkByEndpoints) {
+  sim::Simulator simulator{1};
+  Network net{simulator};
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  net.connect_duplex(a, b, sim::Rate::mbps(4), sim::TimeDelta::millis(1), 10);
+  EXPECT_NE(net.find_link(a, b), nullptr);
+  EXPECT_NE(net.find_link(b, a), nullptr);
+  EXPECT_EQ(net.find_link(a, a), nullptr);
+  EXPECT_NE(net.find_link(a, b), net.find_link(b, a));
+}
+
+TEST(Routing, LocalSinkReceivesAddressedPackets) {
+  sim::Simulator simulator{1};
+  Network net{simulator};
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  net.connect_duplex(a, b, sim::Rate::mbps(4), sim::TimeDelta::millis(1), 10);
+  net.build_routes();
+  std::vector<FlowId> flows;
+  net.node(b).set_local_sink([&](Packet&& p) { flows.push_back(p.flow); });
+  net.inject(a, make_data(a, b, 9));
+  net.inject(a, make_data(a, b, 17));
+  simulator.run();
+  EXPECT_EQ(flows, (std::vector<FlowId>{9, 17}));
+}
+
+TEST(Routing, NodeCountersTrackForwarding) {
+  sim::Simulator simulator{1};
+  Network net{simulator};
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto c = net.add_node("c");
+  net.connect_duplex(a, b, sim::Rate::mbps(4), sim::TimeDelta::millis(1), 10);
+  net.connect_duplex(b, c, sim::Rate::mbps(4), sim::TimeDelta::millis(1), 10);
+  net.build_routes();
+  net.node(c).set_local_sink([](Packet&&) {});
+  net.inject(a, make_data(a, c));
+  simulator.run();
+  EXPECT_EQ(net.node(b).forwarded(), 1u);
+  EXPECT_EQ(net.node(c).delivered_locally(), 1u);
+}
+
+}  // namespace
+}  // namespace corelite::net

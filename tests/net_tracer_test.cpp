@@ -1,0 +1,132 @@
+// Tests for the packet tracer: event recording, filters, formatting,
+// memory limits.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/network.h"
+#include "net/tracer.h"
+#include "sim/simulator.h"
+
+namespace corelite::net {
+namespace {
+
+struct TracerFixture {
+  sim::Simulator simulator{1};
+  Network network{simulator};
+  NodeId a = network.add_node("a");
+  NodeId b = network.add_node("b");
+  Link* link = nullptr;
+
+  TracerFixture() {
+    link = &network.connect(a, b, sim::Rate::mbps(4), sim::TimeDelta::millis(1), 2);
+    network.build_routes();
+    network.node(b).set_local_sink([](Packet&&) {});
+  }
+
+  Packet data(FlowId flow, std::uint64_t uid) {
+    Packet p;
+    p.uid = uid;
+    p.kind = PacketKind::Data;
+    p.flow = flow;
+    p.src = a;
+    p.dst = b;
+    p.size = sim::DataSize::kilobytes(1);
+    return p;
+  }
+};
+
+TEST(Tracer, RecordsEnqueueDequeuePairs) {
+  TracerFixture f;
+  PacketTracer tracer;
+  tracer.attach(*f.link);
+  f.link->send(f.data(1, 100));
+  f.simulator.run();
+  // One enqueue + one dequeue.
+  ASSERT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.records()[0].event, TraceEvent::Enqueue);
+  EXPECT_EQ(tracer.records()[1].event, TraceEvent::Dequeue);
+  EXPECT_EQ(tracer.records()[0].uid, 100u);
+  EXPECT_EQ(tracer.records()[0].from, f.a);
+  EXPECT_EQ(tracer.records()[0].to, f.b);
+}
+
+TEST(Tracer, RecordsDrops) {
+  TracerFixture f;
+  PacketTracer tracer;
+  tracer.attach(*f.link);
+  for (std::uint64_t i = 0; i < 10; ++i) f.link->send(f.data(1, i));
+  f.simulator.run();
+  int drops = 0;
+  for (const auto& r : tracer.records()) drops += r.event == TraceEvent::Drop;
+  EXPECT_EQ(drops, 7);  // capacity 2 + 1 in transmitter
+}
+
+TEST(Tracer, FlowFilter) {
+  TracerFixture f;
+  PacketTracer tracer;
+  tracer.set_flow_filter(2);
+  tracer.attach(*f.link);
+  f.link->send(f.data(1, 1));
+  f.link->send(f.data(2, 2));
+  f.simulator.run();
+  for (const auto& r : tracer.records()) EXPECT_EQ(r.flow, 2u);
+  EXPECT_EQ(tracer.records().size(), 2u);
+}
+
+TEST(Tracer, KindFilter) {
+  TracerFixture f;
+  PacketTracer tracer;
+  tracer.set_kind_filter(PacketKind::Marker);
+  tracer.attach(*f.link);
+  f.link->send(f.data(1, 1));
+  Packet m;
+  m.kind = PacketKind::Marker;
+  m.flow = 1;
+  m.src = f.a;
+  m.dst = f.b;
+  f.link->send(std::move(m));
+  f.simulator.run();
+  ASSERT_GE(tracer.records().size(), 1u);
+  for (const auto& r : tracer.records()) EXPECT_EQ(r.kind, PacketKind::Marker);
+}
+
+TEST(Tracer, MemoryLimitStopsRetentionNotCounting) {
+  TracerFixture f;
+  PacketTracer tracer;
+  tracer.set_memory_limit(3);
+  tracer.attach(*f.link);
+  for (std::uint64_t i = 0; i < 5; ++i) f.link->send(f.data(1, i));
+  f.simulator.run();
+  EXPECT_EQ(tracer.records().size(), 3u);
+  EXPECT_GT(tracer.total_events(), 3u);
+}
+
+TEST(Tracer, StreamsFormattedLines) {
+  TracerFixture f;
+  std::ostringstream os;
+  PacketTracer tracer{&os};
+  tracer.attach(*f.link);
+  f.link->send(f.data(7, 42));
+  f.simulator.run();
+  const std::string out = os.str();
+  EXPECT_NE(out.find("+ 0->1 data f=7 uid=42 size=1000"), std::string::npos);
+  EXPECT_NE(out.find("- 0->1 data"), std::string::npos);
+}
+
+TEST(Tracer, FormatRecordFields) {
+  TraceRecord r;
+  r.t = 1.5;
+  r.event = TraceEvent::Drop;
+  r.from = 3;
+  r.to = 5;
+  r.kind = PacketKind::Feedback;
+  r.flow = 9;
+  r.uid = 77;
+  r.size_bytes = 0;
+  r.queue_len = 4;
+  EXPECT_EQ(format_trace_record(r), "t=1.500000 d 3->5 feedback f=9 uid=77 size=0 q=4");
+}
+
+}  // namespace
+}  // namespace corelite::net

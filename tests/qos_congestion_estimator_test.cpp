@@ -1,0 +1,122 @@
+// Unit tests for incipient congestion detection: time-weighted queue
+// averaging, epoch bookkeeping, and the F_n formula's analytic
+// properties (threshold behaviour, the diminishing M/M/1 term, and the
+// cubic self-correction the paper's §3.1 motivates).
+#include <gtest/gtest.h>
+
+#include "qos/congestion_estimator.h"
+
+namespace corelite::qos {
+namespace {
+
+sim::SimTime at(double t) { return sim::SimTime::seconds(t); }
+
+TEST(CongestionEstimator, NoCongestionBelowThreshold) {
+  CongestionEstimator est{8.0, 0.01, 500.0, 1.0};
+  est.on_queue_length(5, at(0.0));
+  EXPECT_DOUBLE_EQ(est.end_epoch(at(0.1)), 0.0);
+  EXPECT_DOUBLE_EQ(est.last_q_avg(), 5.0);
+  EXPECT_FALSE(est.last_congested());
+}
+
+TEST(CongestionEstimator, TimeWeightedAverage) {
+  CongestionEstimator est{8.0, 0.0, 500.0, 1.0};
+  // len 0 for 50 ms, then 20 for 50 ms: q_avg = 10.
+  est.on_queue_length(0, at(0.0));
+  est.on_queue_length(20, at(0.05));
+  (void)est.end_epoch(at(0.1));
+  EXPECT_NEAR(est.last_q_avg(), 10.0, 1e-9);
+  EXPECT_TRUE(est.last_congested());
+}
+
+TEST(CongestionEstimator, EpochResetsIntegral) {
+  CongestionEstimator est{8.0, 0.0, 500.0, 1.0};
+  est.on_queue_length(30, at(0.0));
+  (void)est.end_epoch(at(0.1));
+  EXPECT_NEAR(est.last_q_avg(), 30.0, 1e-9);
+  // Queue drains to zero right at the boundary: next epoch must not see
+  // the previous epoch's buildup.
+  est.on_queue_length(0, at(0.1));
+  (void)est.end_epoch(at(0.2));
+  EXPECT_NEAR(est.last_q_avg(), 0.0, 1e-9);
+}
+
+TEST(CongestionEstimator, LengthPersistsAcrossEpochs) {
+  CongestionEstimator est{8.0, 0.0, 500.0, 1.0};
+  est.on_queue_length(12, at(0.0));
+  (void)est.end_epoch(at(0.1));
+  // No further updates: the queue stayed at 12 the whole next epoch.
+  (void)est.end_epoch(at(0.2));
+  EXPECT_NEAR(est.last_q_avg(), 12.0, 1e-9);
+}
+
+TEST(CongestionEstimator, FnFormulaMatchesClosedForm) {
+  const double mu = 500.0;
+  const double k = 0.02;
+  const double beta = 2.0;
+  CongestionEstimator est{8.0, k, mu, beta};
+  const double q = 14.0;
+  const double expected =
+      mu * (q / (1.0 + q) - 8.0 / 9.0) / beta + k * (q - 8.0) * (q - 8.0) * (q - 8.0);
+  EXPECT_NEAR(est.markers_for(q), expected, 1e-12);
+}
+
+TEST(CongestionEstimator, FnZeroAtOrBelowThreshold) {
+  CongestionEstimator est{8.0, 0.01, 500.0, 1.0};
+  EXPECT_DOUBLE_EQ(est.markers_for(8.0), 0.0);
+  EXPECT_DOUBLE_EQ(est.markers_for(3.0), 0.0);
+  EXPECT_GT(est.markers_for(8.01), 0.0);
+}
+
+TEST(CongestionEstimator, FnMonotonicInQueueAverage) {
+  CongestionEstimator est{8.0, 0.01, 500.0, 1.0};
+  double prev = 0.0;
+  for (double q = 8.5; q < 40.0; q += 0.5) {
+    const double fn = est.markers_for(q);
+    EXPECT_GT(fn, prev);
+    prev = fn;
+  }
+}
+
+TEST(CongestionEstimator, WithoutCubicTermMarginalFeedbackShrinks) {
+  // Paper §3.1: with k = 0 the derivative dF_n/dq ~ 1/(1+q)^2 falls as
+  // the queue grows — the very failure mode the cubic term corrects.
+  CongestionEstimator flat{8.0, 0.0, 500.0, 1.0};
+  const double d_small = flat.markers_for(11.0) - flat.markers_for(10.0);
+  const double d_large = flat.markers_for(31.0) - flat.markers_for(30.0);
+  EXPECT_LT(d_large, d_small);
+
+  // With k > 0 the marginal feedback grows with the queue instead.
+  CongestionEstimator cubic{8.0, 0.05, 500.0, 1.0};
+  const double c_small = cubic.markers_for(11.0) - cubic.markers_for(10.0);
+  const double c_large = cubic.markers_for(31.0) - cubic.markers_for(30.0);
+  EXPECT_GT(c_large, c_small);
+}
+
+TEST(CongestionEstimator, BetaScalesMarkerCount) {
+  CongestionEstimator beta1{8.0, 0.0, 500.0, 1.0};
+  CongestionEstimator beta2{8.0, 0.0, 500.0, 2.0};
+  // A marker that throttles twice as hard means half as many are needed.
+  EXPECT_NEAR(beta1.markers_for(15.0), 2.0 * beta2.markers_for(15.0), 1e-12);
+}
+
+// Parameterized sweep: for any (threshold, q) with q > threshold, F_n is
+// positive, finite and increases with the capacity mu.
+class FnSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FnSweep, PositiveFiniteAndCapacityMonotone) {
+  const auto [thresh, excess] = GetParam();
+  const double q = thresh + excess;
+  CongestionEstimator small{thresh, 0.01, 250.0, 1.0};
+  CongestionEstimator large{thresh, 0.01, 1000.0, 1.0};
+  EXPECT_GT(small.markers_for(q), 0.0);
+  EXPECT_TRUE(std::isfinite(small.markers_for(q)));
+  EXPECT_GT(large.markers_for(q), small.markers_for(q));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, FnSweep,
+                         ::testing::Combine(::testing::Values(2.0, 8.0, 16.0, 32.0),
+                                            ::testing::Values(0.5, 2.0, 8.0, 20.0)));
+
+}  // namespace
+}  // namespace corelite::qos

@@ -1,0 +1,101 @@
+// Unit tests for the DECbit/ECN binary-marking baseline.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "qos/ecn.h"
+#include "sim/simulator.h"
+
+namespace corelite::qos {
+namespace {
+
+struct EcnFixture {
+  sim::Simulator simulator{5};
+  net::Network network{simulator};
+  net::NodeId a = network.add_node("a");
+  net::NodeId b = network.add_node("b");
+  net::Link* link = nullptr;
+
+  EcnFixture() {
+    link = &network.connect(a, b, sim::Rate::mbps(4), sim::TimeDelta::millis(1), 40);
+    network.connect(b, a, sim::Rate::mbps(4), sim::TimeDelta::millis(1), 40);
+    network.build_routes();
+  }
+
+  net::Packet data(net::FlowId flow) {
+    net::Packet p;
+    p.uid = network.next_packet_uid();
+    p.kind = net::PacketKind::Data;
+    p.flow = flow;
+    p.src = a;
+    p.dst = b;
+    p.size = sim::DataSize::kilobytes(1);
+    return p;
+  }
+};
+
+TEST(EcnPolicy, NoMarkingWhileQueueShort) {
+  EcnFixture f;
+  EcnMarkPolicy policy{*f.link, 8.0, 0.5};
+  for (int i = 0; i < 20; ++i) {
+    auto p = f.data(1);
+    EXPECT_TRUE(policy.admit(p, f.simulator.now()));
+    EXPECT_FALSE(p.ecn);  // queue is empty; average stays 0
+  }
+  EXPECT_EQ(policy.marked(), 0u);
+}
+
+TEST(EcnPolicy, MarksWhenAverageExceedsThreshold) {
+  EcnFixture f;
+  // Fill the link's queue without letting the simulator drain it.
+  for (int i = 0; i < 30; ++i) f.link->send(f.data(1));
+  ASSERT_GT(f.link->queued_data_packets(), 8u);
+  EcnMarkPolicy policy{*f.link, 8.0, 0.5};
+  bool marked = false;
+  for (int i = 0; i < 10; ++i) {
+    auto p = f.data(1);
+    EXPECT_TRUE(policy.admit(p, f.simulator.now()));  // never drops
+    marked |= p.ecn;
+  }
+  EXPECT_TRUE(marked);
+  EXPECT_GT(policy.average_queue(), 8.0);
+}
+
+TEST(EcnCore, MarksOnlyUnderCongestionEndToEnd) {
+  EcnFixture f;
+  CoreliteConfig cfg;
+  EcnCoreRouter core{f.network, f.a, cfg};
+  int marked = 0;
+  int total = 0;
+  f.network.node(f.b).set_local_sink([&](net::Packet&& p) {
+    if (p.is_data()) {
+      ++total;
+      marked += p.ecn ? 1 : 0;
+    }
+  });
+  // Offer 1000 pkt/s on a 500 pkt/s link for 2 s: sustained congestion.
+  f.simulator.every(sim::TimeDelta::millis(1), [&f] { f.network.inject(f.a, f.data(1)); });
+  f.simulator.run_until(sim::SimTime::seconds(2));
+  EXPECT_GT(total, 500);
+  EXPECT_GT(marked, total / 2);  // most survivors crossed a long queue
+  EXPECT_GT(core.total_marked(), 0u);
+}
+
+TEST(EcnEgress, EchoesOnlyMarkedPackets) {
+  EcnFixture f;
+  EcnEgressAgent agent{f.network, f.b};
+  int feedback_at_a = 0;
+  f.network.node(f.a).set_local_sink([&](net::Packet&& p) {
+    if (p.kind == net::PacketKind::Feedback) ++feedback_at_a;
+  });
+  auto plain = f.data(7);
+  agent.on_data(plain);
+  auto tagged = f.data(7);
+  tagged.ecn = true;
+  agent.on_data(tagged);
+  f.simulator.run();
+  EXPECT_EQ(agent.echoes_sent(), 1u);
+  EXPECT_EQ(feedback_at_a, 1);
+}
+
+}  // namespace
+}  // namespace corelite::qos

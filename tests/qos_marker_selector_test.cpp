@@ -1,0 +1,266 @@
+// Unit tests for the two weighted-fair marker selection mechanisms:
+// the §2.2 circular cache and the §3.2 stateless r_av/w_av/deficit
+// scheme, including the statistical proportionality property both must
+// satisfy (feedback per flow proportional to normalized rate).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "net/packet.h"
+#include "qos/marker_selector.h"
+#include "sim/random.h"
+
+namespace corelite::qos {
+namespace {
+
+net::MarkerInfo marker(net::FlowId flow, double rate, net::NodeId edge = 0) {
+  return net::MarkerInfo{edge, flow, rate};
+}
+
+// ---------------------------------------------------------------------------
+// MarkerCacheSelector
+
+TEST(MarkerCache, HoldsMostRecentMarkers) {
+  sim::Rng rng{1};
+  MarkerCacheSelector sel{4, rng};
+  MarkerSelector::FeedbackFn nop = [](const net::MarkerInfo&) {};
+  for (net::FlowId f = 1; f <= 10; ++f) sel.on_marker(marker(f, 1.0), nop);
+  EXPECT_EQ(sel.cached(), 4u);
+}
+
+TEST(MarkerCache, NoFeedbackWithoutCongestion) {
+  sim::Rng rng{1};
+  MarkerCacheSelector sel{16, rng};
+  int feedbacks = 0;
+  MarkerSelector::FeedbackFn count = [&](const net::MarkerInfo&) { ++feedbacks; };
+  for (net::FlowId f = 1; f <= 10; ++f) sel.on_marker(marker(f, 1.0), count);
+  sel.on_epoch(0.0, count);
+  EXPECT_EQ(feedbacks, 0);
+}
+
+TEST(MarkerCache, SendsRequestedCount) {
+  sim::Rng rng{1};
+  MarkerCacheSelector sel{100, rng};
+  int feedbacks = 0;
+  MarkerSelector::FeedbackFn count = [&](const net::MarkerInfo&) { ++feedbacks; };
+  for (int i = 0; i < 100; ++i) sel.on_marker(marker(1, 1.0), count);
+  sel.on_epoch(7.0, count);
+  EXPECT_EQ(feedbacks, 7);
+  EXPECT_EQ(sel.feedback_count(), 7u);
+}
+
+TEST(MarkerCache, FractionalCountRoundsProbabilistically) {
+  sim::Rng rng{1};
+  MarkerCacheSelector sel{100, rng};
+  MarkerSelector::FeedbackFn nop = [](const net::MarkerInfo&) {};
+  int total = 0;
+  MarkerSelector::FeedbackFn count = [&](const net::MarkerInfo&) { ++total; };
+  const int rounds = 2000;
+  for (int i = 0; i < rounds; ++i) {
+    for (int j = 0; j < 5; ++j) sel.on_marker(marker(1, 1.0), nop);
+    sel.on_epoch(0.5, count);
+  }
+  // E[total] = 0.5 * rounds; allow 10%.
+  EXPECT_NEAR(static_cast<double>(total), 0.5 * rounds, 0.1 * rounds);
+}
+
+TEST(MarkerCache, FeedbackCappedAtEpochArrivals) {
+  // F_n may spike far beyond the marker arrival rate during transients;
+  // the cache must not amplify feedback beyond what actually arrived.
+  sim::Rng rng{1};
+  MarkerCacheSelector sel{256, rng};
+  MarkerSelector::FeedbackFn nop = [](const net::MarkerInfo&) {};
+  for (int i = 0; i < 200; ++i) sel.on_marker(marker(1, 1.0), nop);
+  sel.on_epoch(0.0, nop);  // roll the epoch: history cached, counter reset
+  for (int i = 0; i < 10; ++i) sel.on_marker(marker(1, 1.0), nop);
+  int feedbacks = 0;
+  sel.on_epoch(300.0, [&](const net::MarkerInfo&) { ++feedbacks; });
+  EXPECT_EQ(feedbacks, 10);
+}
+
+TEST(MarkerCache, FeedbackProportionalToCachePresence) {
+  // Flow A inserts 3x the markers of flow B (3x the normalized rate);
+  // uniform sampling must feed back ~3x as often to A.
+  sim::Rng rng{7};
+  MarkerCacheSelector sel{400, rng};
+  MarkerSelector::FeedbackFn nop = [](const net::MarkerInfo&) {};
+
+  std::map<net::FlowId, int> hits;
+  MarkerSelector::FeedbackFn tally = [&](const net::MarkerInfo& m) { ++hits[m.flow]; };
+  for (int round = 0; round < 500; ++round) {
+    for (int i = 0; i < 6; ++i) sel.on_marker(marker(1, 3.0), nop);
+    for (int i = 0; i < 2; ++i) sel.on_marker(marker(2, 1.0), nop);
+    sel.on_epoch(4.0, tally);
+  }
+  ASSERT_GT(hits[2], 0);
+  const double ratio = static_cast<double>(hits[1]) / hits[2];
+  EXPECT_NEAR(ratio, 3.0, 0.5);
+}
+
+TEST(MarkerCache, RequestBeyondCacheSendsAll) {
+  sim::Rng rng{1};
+  MarkerCacheSelector sel{8, rng};
+  for (int i = 0; i < 8; ++i) sel.on_marker(marker(1, 1.0), [](const net::MarkerInfo&) {});
+  int feedbacks = 0;
+  sel.on_epoch(100.0, [&](const net::MarkerInfo&) { ++feedbacks; });
+  EXPECT_EQ(feedbacks, 8);
+}
+
+// ---------------------------------------------------------------------------
+// StatelessSelector
+
+TEST(Stateless, RunningAverageTracksLabels) {
+  sim::Rng rng{1};
+  StatelessSelector sel{0.1, 0.25, rng};
+  MarkerSelector::FeedbackFn nop = [](const net::MarkerInfo&) {};
+  sel.on_marker(marker(1, 10.0), nop);
+  sel.on_epoch(0.0, nop);
+  EXPECT_DOUBLE_EQ(sel.running_avg_rate(), 10.0);  // initialized to first epoch mean
+  for (int e = 0; e < 100; ++e) {
+    for (int i = 0; i < 20; ++i) sel.on_marker(marker(1, 20.0), nop);
+    sel.on_epoch(0.0, nop);
+  }
+  EXPECT_NEAR(sel.running_avg_rate(), 20.0, 0.1);
+}
+
+TEST(Stateless, RunningAverageIsMarkerWeighted) {
+  // Two flows, labels 15 and 5, markers in 3:1 proportion: the epoch
+  // mean is (3*15 + 1*5)/4 = 12.5 — biased toward the faster flow, the
+  // overestimation property §3.2 relies on.
+  sim::Rng rng{1};
+  StatelessSelector sel{1.0, 0.25, rng};  // gain 1: r_av = last epoch mean
+  MarkerSelector::FeedbackFn nop = [](const net::MarkerInfo&) {};
+  for (int i = 0; i < 3; ++i) sel.on_marker(marker(1, 15.0), nop);
+  sel.on_marker(marker(2, 5.0), nop);
+  sel.on_epoch(0.0, nop);
+  EXPECT_DOUBLE_EQ(sel.running_avg_rate(), 12.5);
+}
+
+TEST(Stateless, NoFeedbackWhenUncongested) {
+  sim::Rng rng{1};
+  StatelessSelector sel{0.1, 0.25, rng};
+  int feedbacks = 0;
+  MarkerSelector::FeedbackFn count = [&](const net::MarkerInfo&) { ++feedbacks; };
+  sel.on_epoch(0.0, count);  // p_w stays 0
+  for (int i = 0; i < 100; ++i) sel.on_marker(marker(1, 10.0), count);
+  EXPECT_EQ(feedbacks, 0);
+}
+
+TEST(Stateless, OnlyAboveAverageFlowsReceiveFeedback) {
+  sim::Rng rng{3};
+  StatelessSelector sel{0.01, 0.25, rng};
+  MarkerSelector::FeedbackFn nop = [](const net::MarkerInfo&) {};
+  // Establish r_av ~ 10 (mix of 5 and 15 in marker-rate proportion).
+  for (int i = 0; i < 150; ++i) sel.on_marker(marker(1, 15.0), nop);
+  for (int i = 0; i < 50; ++i) sel.on_marker(marker(2, 5.0), nop);
+  sel.on_epoch(20.0, nop);  // congested: p_w = 20 / w_av
+
+  std::map<net::FlowId, int> hits;
+  MarkerSelector::FeedbackFn tally = [&](const net::MarkerInfo& m) { ++hits[m.flow]; };
+  for (int e = 0; e < 50; ++e) {
+    for (int i = 0; i < 15; ++i) sel.on_marker(marker(1, 15.0), tally);
+    for (int i = 0; i < 5; ++i) sel.on_marker(marker(2, 5.0), tally);
+    sel.on_epoch(20.0, tally);
+  }
+  EXPECT_GT(hits[1], 0);
+  // The below-average flow is never throttled (the paper's selective
+  // punishment property).
+  EXPECT_EQ(hits[2], 0);
+}
+
+TEST(Stateless, DeficitSwapsPreserveFeedbackVolume) {
+  // With a mix of labels, markers "selected" for a below-average flow are
+  // swapped to above-average ones; total volume stays near p_w * markers.
+  sim::Rng rng{11};
+  StatelessSelector sel{0.001, 0.5, rng};
+  MarkerSelector::FeedbackFn nop = [](const net::MarkerInfo&) {};
+  // Interleave arrivals (3:1) the way markers interleave on a real link;
+  // a deficit incurred on a below-average marker can then be repaid by a
+  // following above-average one within the same epoch.
+  auto feed_epoch = [&](const MarkerSelector::FeedbackFn& fn) {
+    for (int i = 0; i < 10; ++i) {
+      sel.on_marker(marker(1, 15.0), fn);
+      sel.on_marker(marker(1, 15.0), fn);
+      sel.on_marker(marker(1, 15.0), fn);
+      sel.on_marker(marker(2, 5.0), fn);
+    }
+  };
+  feed_epoch(nop);
+  sel.on_epoch(8.0, nop);  // request 8 markers/epoch
+
+  int total = 0;
+  MarkerSelector::FeedbackFn tally = [&](const net::MarkerInfo&) { ++total; };
+  const int epochs = 300;
+  for (int e = 0; e < epochs; ++e) {
+    feed_epoch(tally);
+    sel.on_epoch(8.0, tally);
+  }
+  // Expect close to the requested 8 per epoch (within 25%).
+  EXPECT_NEAR(static_cast<double>(total) / epochs, 8.0, 2.0);
+}
+
+TEST(Stateless, SelectionProbabilityFollowsFnOverWav) {
+  sim::Rng rng{1};
+  StatelessSelector sel{0.1, 1.0, rng};  // wav gain 1: wav = last epoch count
+  MarkerSelector::FeedbackFn nop = [](const net::MarkerInfo&) {};
+  for (int i = 0; i < 40; ++i) sel.on_marker(marker(1, 10.0), nop);
+  sel.on_epoch(10.0, nop);
+  EXPECT_NEAR(sel.running_avg_markers(), 40.0, 1e-9);
+  EXPECT_NEAR(sel.selection_probability(), 0.25, 1e-9);
+}
+
+TEST(Stateless, DeficitResetsEachEpoch) {
+  sim::Rng rng{1};
+  StatelessSelector sel{0.001, 0.5, rng};
+  MarkerSelector::FeedbackFn nop = [](const net::MarkerInfo&) {};
+  // Big r_av, then feed only below-average markers with certain selection:
+  // deficit grows within the epoch...
+  sel.on_marker(marker(1, 100.0), nop);
+  sel.on_epoch(50.0, nop);  // p_w huge -> every marker "selected"
+  for (int i = 0; i < 20; ++i) sel.on_marker(marker(2, 1.0), nop);
+  EXPECT_GT(sel.deficit(), 0);
+  // ...and is cleared at the boundary (paper §3.2: per-epoch state only).
+  sel.on_epoch(50.0, nop);
+  EXPECT_EQ(sel.deficit(), 0);
+}
+
+TEST(Stateless, ProportionalFeedbackAcrossManyFlows) {
+  // Five flows with normalized rates 1..5 over many congested epochs:
+  // feedback counts must order by rate, and the top flow must receive
+  // a disproportionally large share (selective throttling).
+  sim::Rng rng{23};
+  sim::Rng arrival_order{99};
+  StatelessSelector sel{0.01, 0.25, rng};
+  std::map<net::FlowId, int> hits;
+  MarkerSelector::FeedbackFn tally = [&](const net::MarkerInfo& m) { ++hits[m.flow]; };
+  MarkerSelector::FeedbackFn nop = [](const net::MarkerInfo&) {};
+  auto epoch = [&](const MarkerSelector::FeedbackFn& fn) {
+    // Marker counts proportional to normalized rates (edge behaviour),
+    // shuffled into a random interleaving like real link arrivals.
+    std::vector<net::FlowId> arrivals;
+    for (net::FlowId f = 1; f <= 5; ++f) {
+      for (int i = 0; i < static_cast<int>(f); ++i) arrivals.push_back(f);
+    }
+    for (std::size_t i = arrivals.size(); i > 1; --i) {
+      std::swap(arrivals[i - 1],
+                arrivals[static_cast<std::size_t>(arrival_order.uniform_int(0, i - 1))]);
+    }
+    for (net::FlowId f : arrivals) sel.on_marker(marker(f, static_cast<double>(f)), fn);
+  };
+  epoch(nop);
+  sel.on_epoch(5.0, nop);
+  for (int e = 0; e < 400; ++e) {
+    epoch(tally);
+    sel.on_epoch(5.0, tally);
+  }
+  // r_av converges to the marker-weighted mean ~3.67: flows 1-3 are
+  // below it and protected; flows 4 and 5 take all the feedback.
+  EXPECT_EQ(hits[1], 0);
+  EXPECT_EQ(hits[2], 0);
+  EXPECT_GT(hits[5], hits[4]);
+}
+
+}  // namespace
+}  // namespace corelite::qos

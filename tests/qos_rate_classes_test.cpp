@@ -1,0 +1,80 @@
+// Tests for the administrative rate-class registry (paper §2.1) and a
+// small end-to-end check that class selection yields the classes'
+// weighted shares.
+#include <gtest/gtest.h>
+
+#include "qos/rate_classes.h"
+#include "scenario/scenario.h"
+
+namespace corelite::qos {
+namespace {
+
+TEST(RateClasses, DefineAndLookup) {
+  RateClassRegistry reg;
+  reg.define("best-effort", 1.0);
+  reg.define("premium", 5.0, 20.0);
+  EXPECT_TRUE(reg.has("premium"));
+  EXPECT_FALSE(reg.has("platinum"));
+  const auto rc = reg.find("premium");
+  ASSERT_TRUE(rc.has_value());
+  EXPECT_DOUBLE_EQ(rc->weight, 5.0);
+  EXPECT_DOUBLE_EQ(rc->min_rate_pps, 20.0);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(RateClasses, RedefineReplaces) {
+  RateClassRegistry reg;
+  reg.define("gold", 4.0);
+  reg.define("gold", 8.0);
+  EXPECT_DOUBLE_EQ(reg.find("gold")->weight, 8.0);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(RateClasses, MakeFlowStampsSpec) {
+  const auto reg = RateClassRegistry::standard_tiers();
+  const auto fs = reg.make_flow(7, /*ingress=*/3, /*egress=*/9, "silver");
+  ASSERT_TRUE(fs.has_value());
+  EXPECT_EQ(fs->id, 7u);
+  EXPECT_EQ(fs->ingress, 3u);
+  EXPECT_EQ(fs->egress, 9u);
+  EXPECT_DOUBLE_EQ(fs->weight, 2.0);
+  EXPECT_FALSE(reg.make_flow(8, 3, 9, "platinum").has_value());
+}
+
+TEST(RateClasses, StandardTiersOrdering) {
+  const auto reg = RateClassRegistry::standard_tiers();
+  const auto classes = reg.list();
+  ASSERT_EQ(classes.size(), 3u);
+  EXPECT_LT(reg.find("bronze")->weight, reg.find("silver")->weight);
+  EXPECT_LT(reg.find("silver")->weight, reg.find("gold")->weight);
+}
+
+TEST(RateClasses, TiersYieldWeightedSharesEndToEnd) {
+  // Ten flows select tiers round-robin: gold flows must receive 4x the
+  // bronze rate and 2x the silver rate at the shared bottleneck.
+  const auto reg = RateClassRegistry::standard_tiers();
+  auto spec = scenario::fig5_simultaneous_start(scenario::Mechanism::Corelite);
+  const char* tiers[] = {"bronze", "silver", "gold"};
+  for (std::size_t i = 0; i < spec.num_flows; ++i) {
+    spec.weights[i] = reg.find(tiers[i % 3])->weight;
+  }
+  const auto r = scenario::run_paper_scenario(spec);
+  auto tier_avg = [&](std::size_t offset) {
+    double sum = 0.0;
+    int n = 0;
+    for (std::size_t i = offset; i < spec.num_flows; i += 3) {
+      sum += r.tracker.series(static_cast<net::FlowId>(i + 1)).allotted_rate.average_over(40,
+                                                                                          80);
+      ++n;
+    }
+    return sum / n;
+  };
+  const double bronze = tier_avg(0);
+  const double silver = tier_avg(1);
+  const double gold = tier_avg(2);
+  EXPECT_NEAR(silver / bronze, 2.0, 0.5);
+  EXPECT_NEAR(gold / bronze, 4.0, 0.9);
+}
+
+}  // namespace
+}  // namespace corelite::qos

@@ -1,0 +1,89 @@
+// Unit tests for the token-bucket shaper.
+#include <gtest/gtest.h>
+
+#include "qos/token_bucket.h"
+
+namespace corelite::qos {
+namespace {
+
+sim::SimTime at(double t) { return sim::SimTime::seconds(t); }
+
+TEST(TokenBucket, StartsFullAllowsBurst) {
+  TokenBucket tb{10.0, 5.0};
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(tb.try_consume(1.0, at(0)));
+  EXPECT_FALSE(tb.try_consume(1.0, at(0)));
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket tb{10.0, 5.0};
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(tb.try_consume(1.0, at(0)));
+  // 0.1 s at 10 tokens/s => exactly 1 token.
+  EXPECT_FALSE(tb.try_consume(1.0, at(0.05)));
+  EXPECT_TRUE(tb.try_consume(1.0, at(0.1)));
+  EXPECT_FALSE(tb.try_consume(1.0, at(0.1)));
+}
+
+TEST(TokenBucket, CapsAtBurst) {
+  TokenBucket tb{10.0, 3.0};
+  // A long idle period must not bank more than `burst` tokens.
+  EXPECT_DOUBLE_EQ(tb.tokens(at(100.0)), 3.0);
+  EXPECT_TRUE(tb.try_consume(3.0, at(100.0)));
+  EXPECT_FALSE(tb.try_consume(0.5, at(100.0)));
+}
+
+TEST(TokenBucket, TimeUntilIsExact) {
+  TokenBucket tb{4.0, 2.0};
+  ASSERT_TRUE(tb.try_consume(2.0, at(0)));
+  EXPECT_DOUBLE_EQ(tb.time_until(1.0, at(0)).sec(), 0.25);
+  EXPECT_DOUBLE_EQ(tb.time_until(2.0, at(0)).sec(), 0.5);
+  EXPECT_DOUBLE_EQ(tb.time_until(1.0, at(0.25)).sec(), 0.0);
+}
+
+TEST(TokenBucket, SetRateRefillsAtOldRateFirst) {
+  TokenBucket tb{10.0, 10.0};
+  ASSERT_TRUE(tb.try_consume(10.0, at(0)));
+  // Half a second at the OLD rate banks 5 tokens, then switch to 2/s.
+  tb.set_rate(2.0, at(0.5));
+  EXPECT_NEAR(tb.tokens(at(0.5)), 5.0, 1e-9);
+  EXPECT_NEAR(tb.tokens(at(1.0)), 6.0, 1e-9);  // +0.5 s at 2/s
+}
+
+TEST(TokenBucket, ClearEmptiesBucket) {
+  TokenBucket tb{10.0, 5.0};
+  tb.clear(at(1.0));
+  EXPECT_DOUBLE_EQ(tb.tokens(at(1.0)), 0.0);
+  EXPECT_NEAR(tb.tokens(at(1.1)), 1.0, 1e-9);
+}
+
+TEST(TokenBucket, TimeUntilNeverBelowSchedulableQuantum) {
+  // Regression: with the bucket a hair (~1e-12 tokens) short, the naive
+  // wait (deficit / rate) is ~3e-15 s — BELOW the double ulp of a
+  // mid-simulation timestamp like t = 32.5 s, so `now + wait == now`
+  // and a rescheduling waiter livelocks at constant virtual time.
+  TokenBucket tb{289.0, 8.0};
+  const auto now = at(32.5);
+  // Drain to a value just under 1 token.
+  ASSERT_TRUE(tb.try_consume(8.0, at(0)));
+  // Let it refill to just below 1: a 2e-12-token deficit (just past the
+  // consume epsilon) whose naive wait is ~7e-15 s at rate 289.
+  const double target = (1.0 - 2e-12) / 289.0;
+  EXPECT_FALSE(tb.try_consume(1.0, at(target)));
+  const auto wait = tb.time_until(1.0, at(target));
+  EXPECT_GE(wait.sec(), 1e-6);
+  // And the floored wait actually advances a mid-run timestamp.
+  EXPECT_GT((now + wait).sec(), now.sec());
+}
+
+TEST(TokenBucket, LongRunRateIsEnforced) {
+  TokenBucket tb{100.0, 8.0};
+  tb.clear(at(0));
+  int sent = 0;
+  // Greedy consumption over 10 s in 1 ms steps.
+  for (int ms = 0; ms < 10000; ++ms) {
+    while (tb.try_consume(1.0, at(ms * 0.001))) ++sent;
+  }
+  EXPECT_NEAR(static_cast<double>(sent) / 10.0, 100.0, 2.0);
+}
+
+}  // namespace
+}  // namespace corelite::qos

@@ -1,0 +1,206 @@
+// Direct unit tests for the edge router's transit-shaping mode (the
+// end-host interaction substrate): interception, shaping rate, queue
+// bounds, marker injection for forwarded traffic, lifecycle, and the
+// ill-behaved-flow protection the paper's §6 promises.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+#include "qos/core_router.h"
+#include "qos/edge_router.h"
+#include "sim/simulator.h"
+#include "stats/flow_tracker.h"
+
+namespace corelite::qos {
+namespace {
+
+// host -> edge -> sink; the edge shapes transit flows.
+struct TransitFixture {
+  sim::Simulator simulator{41};
+  net::Network network{simulator};
+  net::NodeId host = network.add_node("host");
+  net::NodeId edge = network.add_node("edge");
+  net::NodeId sink = network.add_node("sink");
+  CoreliteConfig cfg;
+  stats::FlowTracker tracker;
+  std::vector<double> arrivals;
+
+  TransitFixture() {
+    network.connect_duplex(host, edge, sim::Rate::mbps(100), sim::TimeDelta::millis(1), 500);
+    network.connect_duplex(edge, sink, sim::Rate::mbps(100), sim::TimeDelta::millis(1), 500);
+    network.build_routes();
+    network.node(sink).set_local_sink([this](net::Packet&& p) {
+      if (p.is_data()) {
+        arrivals.push_back(simulator.now().sec());
+        tracker.on_delivered(p.flow);
+      }
+    });
+  }
+
+  net::FlowSpec flow(net::FlowId id, double weight = 1.0) {
+    net::FlowSpec fs;
+    fs.id = id;
+    fs.ingress = edge;
+    fs.egress = sink;
+    fs.weight = weight;
+    return fs;
+  }
+
+  // CBR blaster at the host: `pps` packets/s of flow `id`.
+  void blast(net::FlowId id, double pps) {
+    simulator.every(sim::TimeDelta::seconds(1.0 / pps), [this, id] {
+      net::Packet p;
+      p.uid = network.next_packet_uid();
+      p.kind = net::PacketKind::Data;
+      p.flow = id;
+      p.src = host;
+      p.dst = sink;
+      p.size = sim::DataSize::kilobytes(1);
+      network.inject(host, std::move(p));
+    });
+  }
+
+  [[nodiscard]] double delivered_pps(double t0, double t1) const {
+    int n = 0;
+    for (double t : arrivals) {
+      if (t >= t0 && t < t1) ++n;
+    }
+    return n / (t1 - t0);
+  }
+};
+
+TEST(Transit, ShapesBlasterToAllottedRate) {
+  TransitFixture f;
+  CoreliteEdgeRouter er{f.network, f.edge, f.cfg, &f.tracker};
+  er.add_transit_flow(f.flow(1));
+  f.blast(1, 400.0);  // host sends 400 pkt/s regardless of its share
+  f.simulator.run_until(sim::SimTime::seconds(60));
+  // No congestion anywhere (fat links): the edge's b_g keeps climbing,
+  // so eventually everything passes — but while b_g < 400 the shaping
+  // bound binds and the excess is dropped at the edge.
+  EXPECT_GT(er.transit_drops(), 0u);
+  // b_g crosses 400 around t ~ 43 s (slow-start exit at 32 at t = 6,
+  // then +1 pkt/s per 100 ms epoch); delivery then equals the offer.
+  EXPECT_NEAR(f.delivered_pps(50, 60), 400.0, 20.0);
+  // While shaping was binding, delivery tracked b_g instead (~150 at
+  // t ~ 17-18 s).
+  EXPECT_LT(f.delivered_pps(15, 20), 250.0);
+}
+
+TEST(Transit, DropsStayAtEdgeQueueBound) {
+  TransitFixture f;
+  f.cfg.edge_queue_capacity = 8;
+  CoreliteEdgeRouter er{f.network, f.edge, f.cfg, &f.tracker};
+  er.add_transit_flow(f.flow(1));
+  f.blast(1, 300.0);
+  f.simulator.run_until(sim::SimTime::seconds(10));
+  // In-network links never drop; the edge queue polices.
+  for (const auto& link : f.network.links()) EXPECT_EQ(link->stats().dropped, 0u);
+  EXPECT_GT(er.transit_drops(), 0u);
+}
+
+TEST(Transit, NonTransitFlowsForwardUntouched) {
+  TransitFixture f;
+  CoreliteEdgeRouter er{f.network, f.edge, f.cfg, &f.tracker};
+  er.add_transit_flow(f.flow(1));
+  f.blast(2, 100.0);  // flow 2 is NOT registered: plain forwarding
+  f.simulator.run_until(sim::SimTime::seconds(5));
+  EXPECT_NEAR(f.delivered_pps(1, 5), 100.0, 10.0);
+  EXPECT_EQ(er.transit_drops(), 0u);
+}
+
+TEST(Transit, InactiveWindowDropsAtEdge) {
+  TransitFixture f;
+  CoreliteEdgeRouter er{f.network, f.edge, f.cfg, &f.tracker};
+  auto fs = f.flow(1);
+  fs.active = {{sim::SimTime::seconds(5), sim::SimTime::infinite()}};
+  er.add_transit_flow(fs);
+  f.blast(1, 100.0);
+  f.simulator.run_until(sim::SimTime::seconds(20));
+  // Nothing passes before the admission window opens at t = 5; after
+  // it opens the flow slow-starts from scratch and ramps up.
+  EXPECT_NEAR(f.delivered_pps(0, 5), 0.0, 1.0);
+  EXPECT_GT(f.delivered_pps(6, 10), 2.0);
+  EXPECT_GT(f.delivered_pps(15, 20), 40.0);
+}
+
+TEST(Transit, MarkersInjectedForForwardedTraffic) {
+  TransitFixture f;
+  CoreliteEdgeRouter er{f.network, f.edge, f.cfg, &f.tracker};
+  er.add_transit_flow(f.flow(1, /*weight=*/2.0));
+  f.blast(1, 200.0);
+  f.simulator.run_until(sim::SimTime::seconds(10));
+  EXPECT_GT(er.markers_injected(), 0u);
+  // Spacing ~ K1 * w = 2 data packets per marker.
+  const auto sent = f.tracker.series(1).sent;
+  EXPECT_NEAR(static_cast<double>(sent) / er.markers_injected(), 2.0, 0.5);
+}
+
+// Ill-behaved flow protection (paper §6: "drop packets from ill behaved
+// flows at the edges of the network"): a blaster ignoring all feedback
+// must not degrade a conforming flow sharing the same bottleneck.
+TEST(Transit, IllBehavedFlowCannotHurtConformingFlow) {
+  sim::Simulator simulator{43};
+  net::Network network{simulator};
+  const auto host_bad = network.add_node("hostBad");
+  const auto edge_bad = network.add_node("edgeBad");
+  const auto edge_good = network.add_node("edgeGood");
+  const auto core = network.add_node("core");
+  const auto sink = network.add_node("sink");
+  const auto d = sim::TimeDelta::millis(2);
+  network.connect_duplex(host_bad, edge_bad, sim::Rate::mbps(100), d, 500);
+  network.connect_duplex(edge_bad, core, sim::Rate::mbps(20), d, 100);
+  network.connect_duplex(edge_good, core, sim::Rate::mbps(20), d, 100);
+  network.connect_duplex(core, sink, sim::Rate::mbps(4), d, 40);  // 500 pkt/s
+  network.build_routes();
+
+  CoreliteConfig cfg;
+  stats::FlowTracker tracker;
+  CoreliteCoreRouter core_router{network, core, cfg};
+  CoreliteEdgeRouter er_bad{network, edge_bad, cfg, &tracker};
+  CoreliteEdgeRouter er_good{network, edge_good, cfg, &tracker};
+
+  // Flow 1: hostile 2000 pkt/s blaster behind edge_bad (transit).
+  net::FlowSpec f1;
+  f1.id = 1;
+  f1.ingress = edge_bad;
+  f1.egress = sink;
+  f1.weight = 1.0;
+  er_bad.add_transit_flow(f1);
+  simulator.every(sim::TimeDelta::millis(0.5), [&network, host_bad, sink] {
+    net::Packet p;
+    p.uid = network.next_packet_uid();
+    p.kind = net::PacketKind::Data;
+    p.flow = 1;
+    p.src = host_bad;
+    p.dst = sink;
+    p.size = sim::DataSize::kilobytes(1);
+    network.inject(host_bad, std::move(p));
+  });
+
+  // Flow 2: conforming sourced flow with equal weight.
+  net::FlowSpec f2;
+  f2.id = 2;
+  f2.ingress = edge_good;
+  f2.egress = sink;
+  f2.weight = 1.0;
+  er_good.add_flow(f2);
+
+  network.node(sink).set_local_sink([&tracker](net::Packet&& p) {
+    if (p.is_data()) tracker.on_delivered(p.flow);
+  });
+
+  simulator.run_until(sim::SimTime::seconds(120));
+
+  // Equal weights: the conforming flow still receives its ~250 pkt/s.
+  const double good_rate = tracker.series(2).allotted_rate.average_over(60, 120);
+  EXPECT_NEAR(good_rate, 250.0, 50.0);
+  // The blaster's excess (2000 - ~250) dies at ITS edge, not in the core.
+  EXPECT_GT(er_bad.transit_drops(), 50000u);
+  const auto* bottleneck = network.find_link(core, sink);
+  EXPECT_EQ(bottleneck->stats().dropped, 0u);
+}
+
+}  // namespace
+}  // namespace corelite::qos

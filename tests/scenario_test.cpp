@@ -1,0 +1,165 @@
+// Tests for the paper-topology builder and scenario factories: path
+// assignment, round-trip times, the ideal-rate oracle reproducing the
+// paper's §4.1 arithmetic, and spec construction.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "scenario/paper_topology.h"
+#include "scenario/scenario.h"
+#include "sim/simulator.h"
+
+namespace corelite::scenario {
+namespace {
+
+TEST(PaperTopology, CoreSpanAssignment) {
+  using P = std::pair<std::size_t, std::size_t>;
+  EXPECT_EQ(PaperTopology::core_span(1), (P{0, 1}));
+  EXPECT_EQ(PaperTopology::core_span(5), (P{0, 1}));
+  EXPECT_EQ(PaperTopology::core_span(6), (P{0, 2}));
+  EXPECT_EQ(PaperTopology::core_span(8), (P{0, 2}));
+  EXPECT_EQ(PaperTopology::core_span(9), (P{0, 3}));
+  EXPECT_EQ(PaperTopology::core_span(10), (P{0, 3}));
+  EXPECT_EQ(PaperTopology::core_span(11), (P{1, 2}));
+  EXPECT_EQ(PaperTopology::core_span(12), (P{1, 2}));
+  EXPECT_EQ(PaperTopology::core_span(13), (P{1, 3}));
+  EXPECT_EQ(PaperTopology::core_span(15), (P{1, 3}));
+  EXPECT_EQ(PaperTopology::core_span(16), (P{2, 3}));
+  EXPECT_EQ(PaperTopology::core_span(20), (P{2, 3}));
+}
+
+TEST(PaperTopology, CongestedLinksPerFlow) {
+  EXPECT_EQ(PaperTopology::congested_links(3), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(PaperTopology::congested_links(7), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(PaperTopology::congested_links(9), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(PaperTopology::congested_links(14), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(PaperTopology::congested_links(18), (std::vector<std::size_t>{2}));
+}
+
+TEST(PaperTopology, RoutesFollowAssignedSpans) {
+  sim::Simulator simulator{1};
+  net::Network network{simulator};
+  PaperTopology topo{network, 20};
+  network.build_routes();
+  // Flow 9 (C1 -> C4): ingress -> C1 -> C2 -> C3 -> C4 -> egress.
+  const auto& ep = topo.endpoints(9);
+  const auto path = network.path(ep.ingress, ep.egress);
+  ASSERT_EQ(path.size(), 6u);
+  EXPECT_EQ(path[1], topo.core(0));
+  EXPECT_EQ(path[2], topo.core(1));
+  EXPECT_EQ(path[3], topo.core(2));
+  EXPECT_EQ(path[4], topo.core(3));
+}
+
+TEST(PaperTopology, RoundTripTimesMatchPaper) {
+  // One-way: access 40 + n x 40 core + access 40; RTT doubles it.
+  // 1 congested link -> 240 ms, 2 -> 320 ms, 3 -> 400 ms (paper §4.1).
+  sim::Simulator simulator{1};
+  net::Network network{simulator};
+  PaperTopology topo{network, 20};
+  network.build_routes();
+  auto rtt_ms = [&](net::FlowId f) {
+    const auto& ep = topo.endpoints(f);
+    const auto path = network.path(ep.ingress, ep.egress);
+    double one_way = 0.0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      one_way += network.find_link(path[i], path[i + 1])->propagation_delay().sec();
+    }
+    return 2.0 * one_way * 1000.0;
+  };
+  EXPECT_NEAR(rtt_ms(1), 240.0, 1e-9);
+  EXPECT_NEAR(rtt_ms(7), 320.0, 1e-9);
+  EXPECT_NEAR(rtt_ms(9), 400.0, 1e-9);
+  EXPECT_NEAR(rtt_ms(11), 240.0, 1e-9);
+  EXPECT_NEAR(rtt_ms(14), 320.0, 1e-9);
+  EXPECT_NEAR(rtt_ms(17), 240.0, 1e-9);
+}
+
+TEST(PaperTopology, CapacityIs500PacketsPerSecond) {
+  sim::Simulator simulator{1};
+  net::Network network{simulator};
+  PaperTopology topo{network, 4};
+  EXPECT_DOUBLE_EQ(topo.capacity_pps(), 500.0);
+}
+
+TEST(ScenarioSpec, Fig3WeightsAndActivity) {
+  const auto s = fig3_network_dynamics(Mechanism::Corelite);
+  ASSERT_EQ(s.num_flows, 20u);
+  EXPECT_DOUBLE_EQ(s.weights[4], 3.0);   // flow 5
+  EXPECT_DOUBLE_EQ(s.weights[14], 3.0);  // flow 15
+  EXPECT_DOUBLE_EQ(s.weights[0], 1.0);   // flow 1
+  EXPECT_DOUBLE_EQ(s.weights[10], 1.0);  // flow 11
+  EXPECT_DOUBLE_EQ(s.weights[15], 1.0);  // flow 16
+  EXPECT_DOUBLE_EQ(s.weights[9], 2.0);   // flow 10 has weight 2 in §4.1
+  // Late flows run [250, 500); the rest [0, 750).
+  EXPECT_DOUBLE_EQ(s.activity[0][0].start.sec(), 250.0);
+  EXPECT_DOUBLE_EQ(s.activity[0][0].stop.sec(), 500.0);
+  EXPECT_DOUBLE_EQ(s.activity[1][0].start.sec(), 0.0);
+  EXPECT_DOUBLE_EQ(s.activity[1][0].stop.sec(), 750.0);
+}
+
+TEST(ScenarioSpec, Fig5Weights) {
+  const auto s = fig5_simultaneous_start(Mechanism::Csfq);
+  ASSERT_EQ(s.num_flows, 10u);
+  const std::vector<double> expect{1, 1, 2, 2, 3, 3, 4, 4, 5, 5};
+  EXPECT_EQ(s.weights, expect);
+  EXPECT_EQ(s.mechanism, Mechanism::Csfq);
+}
+
+TEST(ScenarioSpec, Fig7WeightsDifferFromFig3) {
+  const auto s = fig7_staggered_start(Mechanism::Corelite);
+  EXPECT_DOUBLE_EQ(s.weights[9], 3.0);  // flow 10 has weight 3 in §4.3
+  EXPECT_DOUBLE_EQ(s.activity[4][0].start.sec(), 4.0);  // flow 5 starts at t=4
+}
+
+TEST(ScenarioSpec, Fig9ChurnWindows) {
+  const auto s = fig9_churn(Mechanism::Corelite);
+  // Flow 3: [2, 62) then [67, inf).
+  ASSERT_EQ(s.activity[2].size(), 2u);
+  EXPECT_DOUBLE_EQ(s.activity[2][0].start.sec(), 2.0);
+  EXPECT_DOUBLE_EQ(s.activity[2][0].stop.sec(), 62.0);
+  EXPECT_DOUBLE_EQ(s.activity[2][1].start.sec(), 67.0);
+}
+
+TEST(IdealRates, MatchesPaperExpectations) {
+  const auto spec = fig3_network_dynamics(Mechanism::Corelite);
+  // t = 100: flows 1, 9, 10, 11, 16 inactive -> 33.33 per unit weight.
+  const auto early = ideal_rates_at(spec, sim::SimTime::seconds(100));
+  EXPECT_EQ(early.count(1), 0u);
+  EXPECT_NEAR(early.at(5), 100.0, 0.01);
+  EXPECT_NEAR(early.at(2), 66.67, 0.01);
+  // t = 300: all 20 active -> 25 per unit weight.
+  const auto mid = ideal_rates_at(spec, sim::SimTime::seconds(300));
+  EXPECT_NEAR(mid.at(1), 25.0, 0.01);
+  EXPECT_NEAR(mid.at(5), 75.0, 0.01);
+  EXPECT_NEAR(mid.at(9), 50.0, 0.01);
+  // t = 600: the late flows have left again.
+  const auto late = ideal_rates_at(spec, sim::SimTime::seconds(600));
+  EXPECT_EQ(late.count(16), 0u);
+  EXPECT_NEAR(late.at(20), 66.67, 0.01);
+}
+
+TEST(ScenarioRun, SmallRunProducesSaneAccounting) {
+  auto spec = fig5_simultaneous_start(Mechanism::Corelite);
+  spec.duration = sim::SimTime::seconds(10);
+  const auto r = run_paper_scenario(spec);
+  EXPECT_GT(r.events_processed, 1000u);
+  EXPECT_EQ(r.unrouteable, 0u);
+  EXPECT_GT(r.markers_injected, 0u);
+  EXPECT_EQ(r.queue_series.size(), 3u);
+  for (std::size_t i = 1; i <= spec.num_flows; ++i) {
+    const auto& fs = r.tracker.series(static_cast<net::FlowId>(i));
+    EXPECT_GT(fs.sent, 0u) << "flow " << i;
+    // Conservation: deliveries can't exceed sends.
+    EXPECT_LE(fs.delivered, fs.sent);
+  }
+}
+
+TEST(ScenarioRun, MechanismNames) {
+  EXPECT_EQ(mechanism_name(Mechanism::Corelite), "corelite");
+  EXPECT_EQ(mechanism_name(Mechanism::Csfq), "csfq");
+  EXPECT_EQ(mechanism_name(Mechanism::DropTail), "droptail");
+  EXPECT_EQ(mechanism_name(Mechanism::Red), "red");
+}
+
+}  // namespace
+}  // namespace corelite::scenario

@@ -1,0 +1,69 @@
+// Tests for the logging facility: levels, sinks, formatting, and the
+// off-by-default guarantee (experiment binaries must stay quiet).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace corelite::sim {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LogConfig::set_sink(buffer_);
+    LogConfig::set_level(LogLevel::None);
+  }
+  void TearDown() override {
+    LogConfig::set_level(LogLevel::None);
+    LogConfig::set_sink(std::cerr);
+  }
+  std::ostringstream buffer_;
+};
+
+TEST_F(LoggingTest, SilentByDefault) {
+  CORELITE_LOG(Error, "test", SimTime::seconds(1)) << "should not appear";
+  EXPECT_TRUE(buffer_.str().empty());
+}
+
+TEST_F(LoggingTest, LevelGatesOutput) {
+  LogConfig::set_level(LogLevel::Warn);
+  CORELITE_LOG(Error, "c", SimTime::seconds(1)) << "E";
+  CORELITE_LOG(Warn, "c", SimTime::seconds(2)) << "W";
+  CORELITE_LOG(Info, "c", SimTime::seconds(3)) << "I";
+  CORELITE_LOG(Debug, "c", SimTime::seconds(4)) << "D";
+  const std::string out = buffer_.str();
+  EXPECT_NE(out.find("E"), std::string::npos);
+  EXPECT_NE(out.find("W"), std::string::npos);
+  EXPECT_EQ(out.find("I\n"), std::string::npos);
+  EXPECT_EQ(out.find("D\n"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FormatsTimestampComponentAndLevel) {
+  LogConfig::set_level(LogLevel::Debug);
+  CORELITE_LOG(Info, "edge", SimTime::seconds(2.5)) << "flow " << 7 << " rate " << 33.5;
+  const std::string out = buffer_.str();
+  EXPECT_NE(out.find("[INFO]"), std::string::npos);
+  EXPECT_NE(out.find("t=2.5"), std::string::npos);
+  EXPECT_NE(out.find("edge:"), std::string::npos);
+  EXPECT_NE(out.find("flow 7 rate 33.5"), std::string::npos);
+}
+
+TEST_F(LoggingTest, EachLineTerminated) {
+  LogConfig::set_level(LogLevel::Debug);
+  CORELITE_LOG(Debug, "a", SimTime::zero()) << "one";
+  CORELITE_LOG(Debug, "a", SimTime::zero()) << "two";
+  const std::string out = buffer_.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_EQ(log_level_name(LogLevel::Error), "ERROR");
+  EXPECT_EQ(log_level_name(LogLevel::Warn), "WARN");
+  EXPECT_EQ(log_level_name(LogLevel::Info), "INFO");
+  EXPECT_EQ(log_level_name(LogLevel::Debug), "DEBUG");
+}
+
+}  // namespace
+}  // namespace corelite::sim

@@ -1,0 +1,260 @@
+// Unit tests for the discrete-event kernel: units, event queue,
+// simulator clock, periodic timers, RNG determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/units.h"
+
+namespace corelite::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Units
+
+TEST(Units, TimeDeltaConversions) {
+  EXPECT_DOUBLE_EQ(TimeDelta::seconds(1.5).sec(), 1.5);
+  EXPECT_DOUBLE_EQ(TimeDelta::millis(250).sec(), 0.25);
+  EXPECT_DOUBLE_EQ(TimeDelta::micros(500).sec(), 0.0005);
+  EXPECT_DOUBLE_EQ(TimeDelta::seconds(2).ms(), 2000.0);
+}
+
+TEST(Units, TimeDeltaArithmetic) {
+  const auto a = TimeDelta::seconds(1.0);
+  const auto b = TimeDelta::millis(500);
+  EXPECT_DOUBLE_EQ((a + b).sec(), 1.5);
+  EXPECT_DOUBLE_EQ((a - b).sec(), 0.5);
+  EXPECT_DOUBLE_EQ((a * 3).sec(), 3.0);
+  EXPECT_DOUBLE_EQ((a / 4).sec(), 0.25);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(Units, SimTimeArithmetic) {
+  const auto t = SimTime::seconds(10);
+  EXPECT_DOUBLE_EQ((t + TimeDelta::seconds(5)).sec(), 15.0);
+  EXPECT_DOUBLE_EQ((t - SimTime::seconds(4)).sec(), 6.0);
+  EXPECT_LT(t, SimTime::infinite());
+}
+
+TEST(Units, DataSize) {
+  EXPECT_EQ(DataSize::kilobytes(1).byte_count(), 1000);
+  EXPECT_DOUBLE_EQ(DataSize::bytes(125).bits(), 1000.0);
+  EXPECT_TRUE(DataSize::zero().is_zero());
+}
+
+TEST(Units, RateConversions) {
+  const auto r = Rate::mbps(4);
+  EXPECT_DOUBLE_EQ(r.bits_per_second(), 4e6);
+  // 4 Mbps at 1 KB packets = 500 packets/s — the paper's link capacity.
+  EXPECT_DOUBLE_EQ(r.pps(DataSize::kilobytes(1)), 500.0);
+}
+
+TEST(Units, SerializationTime) {
+  const auto r = Rate::mbps(4);
+  // 1 KB = 8000 bits over 4e6 bps = 2 ms.
+  EXPECT_DOUBLE_EQ(r.serialization_time(DataSize::kilobytes(1)).sec(), 0.002);
+  // Zero-size (piggybacked control) packets serialize instantly.
+  EXPECT_TRUE(r.serialization_time(DataSize::zero()).is_zero());
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime::seconds(3), [&] { order.push_back(3); });
+  q.schedule(SimTime::seconds(1), [&] { order.push_back(1); });
+  q.schedule(SimTime::seconds(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(SimTime::seconds(1), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  auto h = q.schedule(SimTime::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto h = q.schedule(SimTime::seconds(1), [] {});
+  q.schedule(SimTime::seconds(2), [] {});
+  h.cancel();
+  EXPECT_DOUBLE_EQ(q.next_time().sec(), 2.0);
+}
+
+TEST(EventQueue, HandleReportsFired) {
+  EventQueue q;
+  auto h = q.schedule(SimTime::seconds(1), [] {});
+  q.run_next();
+  EXPECT_FALSE(h.pending());
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator s;
+  std::vector<double> times;
+  s.after(TimeDelta::seconds(1), [&] { times.push_back(s.now().sec()); });
+  s.after(TimeDelta::seconds(2.5), [&] { times.push_back(s.now().sec()); });
+  s.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.5}));
+  EXPECT_DOUBLE_EQ(s.now().sec(), 2.5);
+  EXPECT_EQ(s.events_processed(), 2u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.after(TimeDelta::seconds(1), [&] { ++fired; });
+  s.after(TimeDelta::seconds(5), [&] { ++fired; });
+  s.run_until(SimTime::seconds(3));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now().sec(), 3.0);  // clock advances to the deadline
+  s.run_until(SimTime::seconds(10));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NestedSchedulingFromCallbacks) {
+  Simulator s;
+  std::vector<double> times;
+  s.after(TimeDelta::seconds(1), [&] {
+    times.push_back(s.now().sec());
+    s.after(TimeDelta::seconds(1), [&] { times.push_back(s.now().sec()); });
+  });
+  s.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Simulator, PeriodicFiresUntilCancelled) {
+  Simulator s;
+  int count = 0;
+  auto h = s.every(TimeDelta::seconds(1), [&] { ++count; });
+  s.run_until(SimTime::seconds(5.5));
+  EXPECT_EQ(count, 5);
+  h.cancel();
+  s.run_until(SimTime::seconds(20));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, PeriodicCancelFromInsideCallback) {
+  Simulator s;
+  int count = 0;
+  PeriodicHandle h;
+  h = s.every(TimeDelta::seconds(1), [&] {
+    if (++count == 3) h.cancel();
+  });
+  s.run_until(SimTime::seconds(100));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator s;
+  int count = 0;
+  s.every(TimeDelta::seconds(1), [&] {
+    if (++count == 4) s.stop();
+  });
+  s.run_until(SimTime::seconds(1000));
+  EXPECT_EQ(count, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r{7};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-1.0));
+    EXPECT_TRUE(r.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r{7};
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r{7};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng r{7};
+  const auto idx = r.sample_indices(10, 4);
+  ASSERT_EQ(idx.size(), 4u);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    EXPECT_LT(idx[i], 10u);
+    for (std::size_t j = i + 1; j < idx.size(); ++j) EXPECT_NE(idx[i], idx[j]);
+  }
+}
+
+TEST(Rng, SampleIndicesWantMoreThanAvailable) {
+  Rng r{7};
+  const auto idx = r.sample_indices(3, 10);
+  EXPECT_EQ(idx.size(), 3u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r{7};
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace corelite::sim

@@ -1,0 +1,67 @@
+// Tests for descriptive statistics and convergence detection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/summary.h"
+
+namespace corelite::stats {
+namespace {
+
+TEST(Summary, EmptyIsZeros) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summary, Percentiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  EXPECT_NEAR(percentile(xs, 50.0), 50.5, 1e-9);
+  EXPECT_NEAR(percentile(xs, 0.0), 1.0, 1e-9);
+  EXPECT_NEAR(percentile(xs, 100.0), 100.0, 1e-9);
+  EXPECT_NEAR(percentile(xs, 90.0), 90.1, 1e-9);
+}
+
+TEST(Summary, PercentileSingleElement) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 42.0);
+}
+
+TEST(Convergence, DetectsSettlingPoint) {
+  TimeSeries ts;
+  // Ramp 0..50 over [0, 10], then hold at 100 +/- 2.
+  for (int i = 0; i <= 100; ++i) ts.add(i * 0.1, i * 0.5);
+  for (int i = 1; i <= 300; ++i) ts.add(10.0 + i * 0.1, 100.0 + ((i % 2 == 0) ? 2.0 : -2.0));
+  const double t = convergence_time(ts, 100.0, 40.0);
+  EXPECT_GT(t, 8.0);
+  EXPECT_LT(t, 14.0);
+}
+
+TEST(Convergence, NeverSettledReturnsEnd) {
+  TimeSeries ts;
+  for (int i = 0; i <= 400; ++i) ts.add(i * 0.1, static_cast<double>(i));  // diverges
+  EXPECT_DOUBLE_EQ(convergence_time(ts, 10.0, 40.0), 40.0);
+}
+
+TEST(Convergence, ImmediatelySettledReturnsNearZero) {
+  TimeSeries ts;
+  for (int i = 0; i <= 400; ++i) ts.add(i * 0.1, 50.0);
+  EXPECT_LE(convergence_time(ts, 50.0, 40.0), 2.0);
+}
+
+}  // namespace
+}  // namespace corelite::stats

@@ -1,0 +1,321 @@
+// Tests for the TCP agents: ACK clocking, slow start / congestion
+// avoidance, fast retransmit, RTO recovery, receiver reordering — and
+// the end-host <-> Corelite-edge interaction (transit shaping) the
+// paper lists as ongoing work.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+#include "qos/core_router.h"
+#include "qos/edge_router.h"
+#include "sim/simulator.h"
+#include "stats/flow_tracker.h"
+#include "transport/tcp.h"
+
+namespace corelite::transport {
+namespace {
+
+// Sender host -> link -> receiver host.
+struct TcpPairFixture {
+  sim::Simulator simulator{11};
+  net::Network network{simulator};
+  net::NodeId a = network.add_node("sender");
+  net::NodeId b = network.add_node("receiver");
+  TcpConfig cfg;
+
+  std::unique_ptr<TcpSender> sender;
+  std::unique_ptr<TcpReceiver> receiver;
+
+  void wire(sim::Rate rate, sim::TimeDelta delay, std::size_t queue) {
+    network.connect_duplex(a, b, rate, delay, queue);
+    network.build_routes();
+    sender = std::make_unique<TcpSender>(network, a, b, /*flow=*/1, cfg);
+    receiver = std::make_unique<TcpReceiver>(network, b, a, /*flow=*/1, cfg);
+    network.node(b).set_local_sink([this](net::Packet&& p) {
+      if (p.kind == net::PacketKind::Data) receiver->on_segment(p);
+    });
+    network.node(a).set_local_sink([this](net::Packet&& p) {
+      if (p.kind == net::PacketKind::Ack) sender->on_ack(p);
+    });
+    sender->start(sim::SimTime::zero());
+  }
+};
+
+TEST(Tcp, DeliversInOrderOverCleanLink) {
+  TcpPairFixture f;
+  // Cap cwnd below BDP + queue so the window never overruns the path:
+  // a genuinely loss-free run.
+  f.cfg.max_cwnd_pkts = 60.0;
+  f.wire(sim::Rate::mbps(8), sim::TimeDelta::millis(10), 100);
+  f.simulator.run_until(sim::SimTime::seconds(10));
+  // 8 Mbps = 1000 pkt/s; after 10 s nearly 10k segments in order.
+  EXPECT_GT(f.receiver->delivered_in_order(), 8000u);
+  EXPECT_EQ(f.receiver->reorder_buffer_size(), 0u);
+  EXPECT_EQ(f.sender->retransmits(), 0u);
+  EXPECT_EQ(f.sender->timeouts(), 0u);
+}
+
+TEST(Tcp, SlowStartDoublesWindow) {
+  TcpPairFixture f;
+  f.cfg.initial_ssthresh_pkts = 512.0;
+  f.wire(sim::Rate::mbps(100), sim::TimeDelta::millis(50), 2000);
+  // One RTT = ~100 ms.  After k RTTs in slow start, cwnd ~ 2^k * init.
+  f.simulator.run_until(sim::SimTime::seconds(0.45));  // ~4 RTTs
+  EXPECT_GT(f.sender->cwnd_pkts(), 16.0);
+  EXPECT_TRUE(f.sender->in_slow_start() || f.sender->cwnd_pkts() >= 512.0);
+}
+
+TEST(Tcp, BottleneckCausesLossAndRecovery) {
+  TcpPairFixture f;
+  // Slow link, small queue: loss is inevitable; TCP must keep going.
+  f.wire(sim::Rate::mbps(1), sim::TimeDelta::millis(20), 10);
+  f.simulator.run_until(sim::SimTime::seconds(30));
+  EXPECT_GT(f.sender->retransmits(), 0u);
+  // Goodput close to the 125 pkt/s bottleneck (>= 70%).
+  EXPECT_GT(f.receiver->delivered_in_order(), 30u * 125u * 7 / 10);
+  // No stuck connection: everything sent was eventually acked or refilled.
+  EXPECT_GT(f.sender->highest_acked(), 30u * 125u * 7 / 10);
+}
+
+TEST(Tcp, FastRetransmitWithoutTimeout) {
+  TcpPairFixture f;
+  f.wire(sim::Rate::mbps(2), sim::TimeDelta::millis(20), 20);
+  f.simulator.run_until(sim::SimTime::seconds(20));
+  EXPECT_GT(f.sender->retransmits(), 0u);
+  // With steady dup-ACK streams, most recoveries avoid RTO.
+  EXPECT_LT(f.sender->timeouts(), f.sender->retransmits());
+}
+
+TEST(Tcp, RttEstimateTracksPathDelay) {
+  TcpPairFixture f;
+  f.wire(sim::Rate::mbps(8), sim::TimeDelta::millis(40), 200);
+  f.simulator.run_until(sim::SimTime::seconds(5));
+  // Path RTT: 2 x 40 ms + queueing/serialization.
+  EXPECT_GT(f.sender->srtt_sec(), 0.07);
+  EXPECT_LT(f.sender->srtt_sec(), 0.4);
+}
+
+TEST(Tcp, DelayedAcksHalveAckVolume) {
+  TcpPairFixture plain;
+  plain.cfg.max_cwnd_pkts = 60.0;
+  plain.wire(sim::Rate::mbps(8), sim::TimeDelta::millis(10), 100);
+  plain.simulator.run_until(sim::SimTime::seconds(10));
+
+  TcpPairFixture delayed;
+  delayed.cfg.max_cwnd_pkts = 60.0;
+  delayed.cfg.delayed_acks = true;
+  delayed.wire(sim::Rate::mbps(8), sim::TimeDelta::millis(10), 100);
+  delayed.simulator.run_until(sim::SimTime::seconds(10));
+
+  // Roughly one ACK per two segments instead of one per segment...
+  const double plain_ratio = static_cast<double>(plain.receiver->acks_sent()) /
+                             static_cast<double>(plain.receiver->delivered_in_order());
+  const double delayed_ratio = static_cast<double>(delayed.receiver->acks_sent()) /
+                               static_cast<double>(delayed.receiver->delivered_in_order());
+  EXPECT_NEAR(plain_ratio, 1.0, 0.05);
+  EXPECT_NEAR(delayed_ratio, 0.5, 0.1);
+  // ...at comparable goodput (ACK clocking at every-other segment).
+  EXPECT_GT(delayed.receiver->delivered_in_order(),
+            plain.receiver->delivered_in_order() * 8 / 10);
+}
+
+TEST(Tcp, DelayedAcksStillRecoverFromLoss) {
+  TcpPairFixture f;
+  f.cfg.delayed_acks = true;
+  f.wire(sim::Rate::mbps(1), sim::TimeDelta::millis(20), 10);
+  f.simulator.run_until(sim::SimTime::seconds(30));
+  // Out-of-order arrivals bypass the delay, so dup-ACKs still flow and
+  // the connection keeps its goodput near the 125 pkt/s bottleneck.
+  EXPECT_GT(f.sender->retransmits(), 0u);
+  EXPECT_GT(f.receiver->delivered_in_order(), 30u * 125u * 6 / 10);
+}
+
+TEST(TcpReceiver, ReordersOutOfOrderSegments) {
+  sim::Simulator simulator{1};
+  net::Network network{simulator};
+  const auto a = network.add_node("a");
+  const auto b = network.add_node("b");
+  network.connect_duplex(a, b, sim::Rate::mbps(10), sim::TimeDelta::millis(1), 50);
+  network.build_routes();
+  TcpReceiver rx{network, b, a, 1};
+  auto seg = [&](std::uint64_t seq) {
+    net::Packet p;
+    p.kind = net::PacketKind::Data;
+    p.flow = 1;
+    p.seq = seq;
+    return p;
+  };
+  rx.on_segment(seg(0));
+  rx.on_segment(seg(2));  // gap at 1
+  rx.on_segment(seg(3));
+  EXPECT_EQ(rx.next_expected(), 1u);
+  EXPECT_EQ(rx.reorder_buffer_size(), 2u);
+  rx.on_segment(seg(1));  // fills the hole; drains the buffer
+  EXPECT_EQ(rx.next_expected(), 4u);
+  EXPECT_EQ(rx.reorder_buffer_size(), 0u);
+  // Duplicate ACKs were emitted for the out-of-order arrivals.
+  EXPECT_EQ(rx.acks_sent(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// TCP through a Corelite edge (transit shaping): the end-host <-> edge
+// interaction of paper §6.
+
+struct TcpOverCoreliteFixture {
+  sim::Simulator simulator{21};
+  net::Network network{simulator};
+  // host_a -> edge_a -> core -> sink edge -> receiver hosts,
+  // host_b -> edge_b -> core (same bottleneck core -> sink).
+  net::NodeId host_a = network.add_node("hostA");
+  net::NodeId host_b = network.add_node("hostB");
+  net::NodeId edge_a = network.add_node("edgeA");
+  net::NodeId edge_b = network.add_node("edgeB");
+  net::NodeId core = network.add_node("core");
+  net::NodeId sink = network.add_node("sinkEdge");
+  net::NodeId rx_a = network.add_node("rxA");
+  net::NodeId rx_b = network.add_node("rxB");
+
+  qos::CoreliteConfig cfg;
+  stats::FlowTracker tracker;
+  std::unique_ptr<qos::CoreliteCoreRouter> core_router;
+  std::unique_ptr<qos::CoreliteEdgeRouter> er_a;
+  std::unique_ptr<qos::CoreliteEdgeRouter> er_b;
+  std::unique_ptr<TcpSender> tcp_a;
+  std::unique_ptr<TcpSender> tcp_b;
+  std::unique_ptr<TcpReceiver> rxr_a;
+  std::unique_ptr<TcpReceiver> rxr_b;
+
+  void wire(double weight_a, double weight_b) {
+    const auto fast = sim::Rate::mbps(20);
+    const auto slow = sim::Rate::mbps(4);  // 500 pkt/s bottleneck
+    const auto d = sim::TimeDelta::millis(5);
+    network.connect_duplex(host_a, edge_a, fast, d, 200);
+    network.connect_duplex(host_b, edge_b, fast, d, 200);
+    network.connect_duplex(edge_a, core, fast, d, 200);
+    network.connect_duplex(edge_b, core, fast, d, 200);
+    network.connect_duplex(core, sink, slow, d, 40);
+    network.connect_duplex(sink, rx_a, fast, d, 200);
+    network.connect_duplex(sink, rx_b, fast, d, 200);
+    network.build_routes();
+
+    core_router = std::make_unique<qos::CoreliteCoreRouter>(network, core, cfg);
+    er_a = std::make_unique<qos::CoreliteEdgeRouter>(network, edge_a, cfg, &tracker);
+    er_b = std::make_unique<qos::CoreliteEdgeRouter>(network, edge_b, cfg, &tracker);
+
+    net::FlowSpec fa;
+    fa.id = 1;
+    fa.ingress = edge_a;
+    fa.egress = rx_a;
+    fa.weight = weight_a;
+    er_a->add_transit_flow(fa);
+    net::FlowSpec fb;
+    fb.id = 2;
+    fb.ingress = edge_b;
+    fb.egress = rx_b;
+    fb.weight = weight_b;
+    er_b->add_transit_flow(fb);
+
+    tcp_a = std::make_unique<TcpSender>(network, host_a, rx_a, 1);
+    tcp_b = std::make_unique<TcpSender>(network, host_b, rx_b, 2);
+    rxr_a = std::make_unique<TcpReceiver>(network, rx_a, host_a, 1);
+    rxr_b = std::make_unique<TcpReceiver>(network, rx_b, host_b, 2);
+    network.node(rx_a).set_local_sink([this](net::Packet&& p) {
+      if (p.kind == net::PacketKind::Data) rxr_a->on_segment(p);
+    });
+    network.node(rx_b).set_local_sink([this](net::Packet&& p) {
+      if (p.kind == net::PacketKind::Data) rxr_b->on_segment(p);
+    });
+    network.node(host_a).set_local_sink([this](net::Packet&& p) {
+      if (p.kind == net::PacketKind::Ack) tcp_a->on_ack(p);
+    });
+    network.node(host_b).set_local_sink([this](net::Packet&& p) {
+      if (p.kind == net::PacketKind::Ack) tcp_b->on_ack(p);
+    });
+    tcp_a->start(sim::SimTime::zero());
+    tcp_b->start(sim::SimTime::zero());
+  }
+};
+
+TEST(TcpOverCorelite, WeightedGoodputAndLossFreeCore) {
+  TcpOverCoreliteFixture f;
+  f.wire(/*weight_a=*/1.0, /*weight_b=*/3.0);
+  f.simulator.run_until(sim::SimTime::seconds(120));
+
+  const double goodput_a = static_cast<double>(f.rxr_a->delivered_in_order()) / 120.0;
+  const double goodput_b = static_cast<double>(f.rxr_b->delivered_in_order()) / 120.0;
+  // Weighted shares ~125 / ~375 pkt/s, with TCP/shaping overhead slack.
+  EXPECT_GT(goodput_a + goodput_b, 380.0);
+  EXPECT_NEAR(goodput_b / goodput_a, 3.0, 1.2);
+
+  // The core (and every in-network link) stays loss-free; all drops are
+  // edge shaping-queue drops, as §6 prescribes.
+  for (const auto& link : f.network.links()) {
+    EXPECT_EQ(link->stats().dropped, 0u);
+  }
+  EXPECT_GT(f.er_a->transit_drops() + f.er_b->transit_drops(), 0u);
+}
+
+TEST(TcpOverCorelite, MicroFlowAggregation) {
+  // Paper §2: "any reference to a flow ... signifies an edge to edge
+  // flow that can potentially comprise of several end to end micro
+  // flows."  Three TCP micro-flows share edge-to-edge flow 1 while a
+  // single micro-flow is flow 2; with equal weights the AGGREGATES get
+  // equal bandwidth (not 3:1 by connection count).
+  TcpOverCoreliteFixture f;
+  f.wire(/*weight_a=*/1.0, /*weight_b=*/1.0);
+
+  // Two more TCP connections through edge_a, all under FlowId 1, each
+  // with its own receiver host behind the sink edge.
+  struct Micro {
+    net::NodeId host, rx;
+    std::unique_ptr<TcpSender> tcp;
+    std::unique_ptr<TcpReceiver> receiver;
+  };
+  std::vector<Micro> extra(2);
+  for (auto& m : extra) {
+    m.host = f.network.add_node("microHost");
+    m.rx = f.network.add_node("microRx");
+    f.network.connect_duplex(m.host, f.edge_a, sim::Rate::mbps(20),
+                             sim::TimeDelta::millis(5), 200);
+    f.network.connect_duplex(f.sink, m.rx, sim::Rate::mbps(20), sim::TimeDelta::millis(5),
+                             200);
+  }
+  f.network.build_routes();
+  for (auto& m : extra) {
+    m.tcp = std::make_unique<TcpSender>(f.network, m.host, m.rx, /*flow=*/1);
+    m.receiver = std::make_unique<TcpReceiver>(f.network, m.rx, m.host, /*flow=*/1);
+    f.network.node(m.rx).set_local_sink([&m](net::Packet&& p) {
+      if (p.kind == net::PacketKind::Data) m.receiver->on_segment(p);
+    });
+    f.network.node(m.host).set_local_sink([&m](net::Packet&& p) {
+      if (p.kind == net::PacketKind::Ack) m.tcp->on_ack(p);
+    });
+    m.tcp->start(sim::SimTime::zero());
+  }
+
+  f.simulator.run_until(sim::SimTime::seconds(120));
+
+  const double agg_a = (static_cast<double>(f.rxr_a->delivered_in_order()) +
+                        static_cast<double>(extra[0].receiver->delivered_in_order()) +
+                        static_cast<double>(extra[1].receiver->delivered_in_order())) /
+                       120.0;
+  const double agg_b = static_cast<double>(f.rxr_b->delivered_in_order()) / 120.0;
+  // Equal weights => equal aggregate shares (~250 each), regardless of
+  // the 3:1 connection count.
+  EXPECT_NEAR(agg_a / agg_b, 1.0, 0.35);
+  EXPECT_GT(agg_a + agg_b, 350.0);
+}
+
+TEST(TcpOverCorelite, EdgeQueueBoundsHoldUnderPressure) {
+  TcpOverCoreliteFixture f;
+  f.cfg.edge_queue_capacity = 16;
+  f.wire(1.0, 1.0);
+  f.simulator.run_until(sim::SimTime::seconds(60));
+  // Both connections make progress despite the tiny shaping queues.
+  EXPECT_GT(f.rxr_a->delivered_in_order(), 3000u);
+  EXPECT_GT(f.rxr_b->delivered_in_order(), 3000u);
+}
+
+}  // namespace
+}  // namespace corelite::transport
