@@ -1,0 +1,314 @@
+// Event-engine microbenchmark: events/sec and heap allocations/event.
+//
+// The paper's experiments are million-event runs; the engine exists to
+// make those cheap.  This bench measures the three layers that matter:
+//   1. raw schedule/fire throughput of detached events with realistic
+//      (24-byte) captures — the forwarding plane's bread and butter,
+//   2. the same loop through handle-keeping schedule(), isolating the
+//      cost of the cancellation control block,
+//   3. steady-state packet forwarding on a live link, asserting the
+//      zero-allocations-per-hop property end to end,
+//   4. the 80-flow scale_flows rows (wall clock), tying the micro
+//      numbers back to a full scenario.
+//
+// Results go to stdout and, machine-readable, to
+// BENCH_event_engine.json in the working directory.  The baseline
+// constants below were measured on the pre-engine seed (std::function
+// callbacks, shared_ptr packets, binary heap of fat entries) on the
+// same reference machine, so the JSON also carries the speedup ratios
+// the acceptance criteria quote.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "net/network.h"
+#include "scenario/scenario.h"
+#include "sim/simulator.h"
+
+// ---------------------------------------------------------------------------
+// Allocation counting: replace global new/delete for this binary.
+
+namespace {
+std::uint64_t g_allocs = 0;
+std::uint64_t g_frees = 0;
+}  // namespace
+
+void* operator new(std::size_t n) {
+  ++g_allocs;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) {
+  ++g_allocs;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void operator delete(void* p) noexcept {
+  ++g_frees;
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  ++g_frees;
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  ++g_frees;
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  ++g_frees;
+  std::free(p);
+}
+
+namespace {
+
+namespace sim = corelite::sim;
+namespace net = corelite::net;
+namespace sc = corelite::scenario;
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+// Seed-engine reference numbers (same machine, Release build):
+//   - 2M detached-equivalent events, 8 chains, 24-byte captures:
+//     11.6M events/s at 2.00 allocs/event (std::function heap copy +
+//     shared_ptr control block per event).
+//   - scale_flows 80-flow rows: corelite 253.0 ms, csfq 207.9 ms wall.
+// Wall-clock baselines are sensitive to machine load; for a fair
+// comparison rebuild the seed commit and interleave the two binaries
+// in the same session rather than trusting these frozen numbers.
+constexpr double kSeedEventsPerSec = 11.6e6;
+constexpr double kSeedAllocsPerEvent = 2.0;
+constexpr double kSeedCorelite80WallMs = 253.0;
+constexpr double kSeedCsfq80WallMs = 207.9;
+
+constexpr std::uint64_t kEvents = 2'000'000;
+constexpr std::size_t kChains = 8;
+
+struct LoopResult {
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  double allocs_per_event = 0.0;
+};
+
+// One self-rescheduling chain of detached events.  The capture is
+// 24 bytes — the size of a link-completion closure — and lives inline
+// in the event slot.
+void arm_detached(sim::Simulator& s, std::uint64_t& fired, std::uint64_t limit) {
+  s.after_detached(sim::TimeDelta::micros(1), [&s, &fired, limit] {
+    if (++fired < limit) arm_detached(s, fired, limit);
+  });
+}
+
+LoopResult run_detached_loop() {
+  sim::Simulator s;
+  std::uint64_t fired = 0;
+  // Warm the slot pool and heap storage before counting.
+  arm_detached(s, fired, 1024);
+  s.run();
+  fired = 0;
+
+  const std::uint64_t allocs0 = g_allocs;
+  const double t0 = now_seconds();
+  for (std::size_t c = 0; c < kChains; ++c) arm_detached(s, fired, kEvents);
+  s.run();
+  const double wall = now_seconds() - t0;
+  const std::uint64_t allocs = g_allocs - allocs0;
+
+  LoopResult r;
+  r.events = fired;
+  r.events_per_sec = static_cast<double>(fired) / wall;
+  r.allocs_per_event = static_cast<double>(allocs) / static_cast<double>(fired);
+  return r;
+}
+
+void arm_handled(sim::Simulator& s, std::uint64_t& fired, std::uint64_t limit) {
+  (void)s.after(sim::TimeDelta::micros(1), [&s, &fired, limit] {
+    if (++fired < limit) arm_handled(s, fired, limit);
+  });
+}
+
+LoopResult run_handled_loop() {
+  sim::Simulator s;
+  std::uint64_t fired = 0;
+  arm_handled(s, fired, 1024);
+  s.run();
+  fired = 0;
+
+  const std::uint64_t allocs0 = g_allocs;
+  const double t0 = now_seconds();
+  for (std::size_t c = 0; c < kChains; ++c) arm_handled(s, fired, kEvents);
+  s.run();
+  const double wall = now_seconds() - t0;
+  const std::uint64_t allocs = g_allocs - allocs0;
+
+  LoopResult r;
+  r.events = fired;
+  r.events_per_sec = static_cast<double>(fired) / wall;
+  r.allocs_per_event = static_cast<double>(allocs) / static_cast<double>(fired);
+  return r;
+}
+
+struct ForwardingResult {
+  std::uint64_t hops = 0;
+  std::uint64_t allocs = 0;
+  double allocs_per_hop = 0.0;
+  double hops_per_sec = 0.0;
+};
+
+// Saturate one 10 Mb/s link with 1 KB packets for 11 simulated seconds;
+// after a 1 s warmup (pool slots, ring buffers and heap storage all
+// materialized), the steady-state forwarding path must not touch the
+// heap at all.
+ForwardingResult run_forwarding_loop() {
+  sim::Simulator s;
+  net::Network network{s};
+  const net::NodeId a = network.add_node("a");
+  const net::NodeId b = network.add_node("b");
+  const sim::DataSize pkt = sim::DataSize::bytes(1000);
+  const sim::Rate rate = sim::Rate::mbps(10);
+  network.connect(a, b, rate, sim::TimeDelta::millis(1), 64);
+  network.build_routes();
+
+  std::uint64_t delivered = 0;
+  network.node(b).set_local_sink([&delivered](net::Packet&&) { ++delivered; });
+
+  // Inject at 99% of line rate so the queue stays shallow and bounded.
+  const double dt = rate.serialization_time(pkt).sec() / 0.99;
+  struct Pump {
+    sim::Simulator& s;
+    net::Network& network;
+    net::NodeId a, b;
+    sim::DataSize pkt;
+    double dt;
+    void fire() {
+      net::Packet p;
+      p.uid = network.next_packet_uid();
+      p.flow = 1;
+      p.src = a;
+      p.dst = b;
+      p.size = pkt;
+      p.created = s.now();
+      network.inject(a, std::move(p));
+      s.after_detached(sim::TimeDelta::seconds(dt), [this] { fire(); });
+    }
+  };
+  Pump pump{s, network, a, b, pkt, dt};
+  pump.fire();
+
+  s.run_until(sim::SimTime::seconds(1));  // warmup
+  const std::uint64_t allocs0 = g_allocs;
+  const std::uint64_t delivered0 = delivered;
+  const double t0 = now_seconds();
+  s.run_until(sim::SimTime::seconds(11));
+  const double wall = now_seconds() - t0;
+
+  ForwardingResult r;
+  r.hops = delivered - delivered0;
+  r.allocs = g_allocs - allocs0;
+  r.allocs_per_hop = static_cast<double>(r.allocs) / static_cast<double>(r.hops);
+  r.hops_per_sec = static_cast<double>(r.hops) / wall;
+  return r;
+}
+
+double run_scale_row(sc::Mechanism mech) {
+  sc::ScenarioSpec spec;
+  spec.mechanism = mech;
+  spec.num_flows = 80;
+  spec.duration = sim::SimTime::seconds(60);
+  spec.weights.resize(80);
+  for (std::size_t i = 0; i < 80; ++i) spec.weights[i] = static_cast<double>(i % 3 + 1);
+  const double t0 = now_seconds();
+  const auto r = sc::run_paper_scenario(spec);
+  const double wall_ms = (now_seconds() - t0) * 1e3;
+  // Keep the run honest: the result must be materially the same workload.
+  if (r.events_processed < 100000) std::abort();
+  return wall_ms;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Event-engine microbenchmark (%llu events, %zu chains, 24-byte captures)\n\n",
+              static_cast<unsigned long long>(kEvents), kChains);
+
+  // Scenario rows first, before the hot loops heat the machine — the
+  // seed reference numbers were captured the same way (fresh process).
+  const double cl80 = run_scale_row(sc::Mechanism::Corelite);
+  const double cs80 = run_scale_row(sc::Mechanism::Csfq);
+
+  const LoopResult detached = run_detached_loop();
+  std::printf("detached schedule/fire : %8.2f M events/s   %.4f allocs/event\n",
+              detached.events_per_sec / 1e6, detached.allocs_per_event);
+
+  const LoopResult handled = run_handled_loop();
+  std::printf("handled schedule/fire  : %8.2f M events/s   %.4f allocs/event\n",
+              handled.events_per_sec / 1e6, handled.allocs_per_event);
+
+  const ForwardingResult fwd = run_forwarding_loop();
+  std::printf("forwarding steady state: %8.2f M hops/s     %.4f allocs/hop (%llu allocs / %llu hops)\n",
+              fwd.hops_per_sec / 1e6, fwd.allocs_per_hop,
+              static_cast<unsigned long long>(fwd.allocs),
+              static_cast<unsigned long long>(fwd.hops));
+
+  std::printf("scale_flows 80 flows   : corelite %.1f ms, csfq %.1f ms wall\n", cl80, cs80);
+
+  const double speedup_events = detached.events_per_sec / kSeedEventsPerSec;
+  const double speedup_cl = kSeedCorelite80WallMs / cl80;
+  const double speedup_cs = kSeedCsfq80WallMs / cs80;
+  std::printf("\nvs seed engine         : %.2fx events/s, %.2fx corelite-80, %.2fx csfq-80\n",
+              speedup_events, speedup_cl, speedup_cs);
+
+  std::FILE* json = std::fopen("BENCH_event_engine.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"detached_schedule_fire\": {\n"
+                 "    \"events\": %llu,\n"
+                 "    \"events_per_sec\": %.0f,\n"
+                 "    \"allocs_per_event\": %.6f\n"
+                 "  },\n"
+                 "  \"handled_schedule_fire\": {\n"
+                 "    \"events\": %llu,\n"
+                 "    \"events_per_sec\": %.0f,\n"
+                 "    \"allocs_per_event\": %.6f\n"
+                 "  },\n"
+                 "  \"forwarding_steady_state\": {\n"
+                 "    \"hops\": %llu,\n"
+                 "    \"allocs\": %llu,\n"
+                 "    \"allocs_per_hop\": %.6f,\n"
+                 "    \"hops_per_sec\": %.0f\n"
+                 "  },\n"
+                 "  \"scale_flows_80\": {\n"
+                 "    \"corelite_wall_ms\": %.1f,\n"
+                 "    \"csfq_wall_ms\": %.1f\n"
+                 "  },\n"
+                 "  \"seed_reference\": {\n"
+                 "    \"events_per_sec\": %.0f,\n"
+                 "    \"allocs_per_event\": %.2f,\n"
+                 "    \"corelite_80_wall_ms\": %.1f,\n"
+                 "    \"csfq_80_wall_ms\": %.1f\n"
+                 "  },\n"
+                 "  \"speedup_vs_seed\": {\n"
+                 "    \"events_per_sec\": %.2f,\n"
+                 "    \"corelite_80_wall\": %.2f,\n"
+                 "    \"csfq_80_wall\": %.2f\n"
+                 "  }\n"
+                 "}\n",
+                 static_cast<unsigned long long>(detached.events), detached.events_per_sec,
+                 detached.allocs_per_event, static_cast<unsigned long long>(handled.events),
+                 handled.events_per_sec, handled.allocs_per_event,
+                 static_cast<unsigned long long>(fwd.hops),
+                 static_cast<unsigned long long>(fwd.allocs), fwd.allocs_per_hop,
+                 fwd.hops_per_sec, cl80, cs80, kSeedEventsPerSec, kSeedAllocsPerEvent,
+                 kSeedCorelite80WallMs, kSeedCsfq80WallMs, speedup_events, speedup_cl,
+                 speedup_cs);
+    std::fclose(json);
+    std::printf("wrote BENCH_event_engine.json\n");
+  }
+  return 0;
+}

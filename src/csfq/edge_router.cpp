@@ -31,9 +31,9 @@ void CsfqEdgeRouter::schedule_lifecycle(FlowState& fs) {
   auto& sim = net_.simulator();
   for (const auto& iv : fs.spec.active) {
     const sim::SimTime start = std::max(iv.start, sim.now());
-    sim.at(start, [this, &fs] { start_flow(fs); });
+    sim.at_detached(start, [this, &fs] { start_flow(fs); });
     if (iv.stop < sim::SimTime::infinite()) {
-      sim.at(iv.stop, [this, &fs] { stop_flow(fs); });
+      sim.at_detached(iv.stop, [this, &fs] { stop_flow(fs); });
     }
   }
 }
@@ -53,7 +53,7 @@ void CsfqEdgeRouter::start_flow(FlowState& fs) {
 void CsfqEdgeRouter::stop_flow(FlowState& fs) {
   if (!fs.active) return;
   fs.active = false;
-  fs.emit_event.cancel();
+  ++fs.emit_gen;  // orphan any in-flight emission event
   fs.losses_this_epoch = 0;
   if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, net_.simulator().now(), 0.0);
 }
@@ -77,8 +77,10 @@ void CsfqEdgeRouter::emit_packet(FlowState& fs) {
   net_.inject(node_, std::move(p));
 
   const double rate = std::max(fs.ctrl->rate_pps(), 1e-3);
-  fs.emit_event =
-      net_.simulator().after(sim::TimeDelta::seconds(1.0 / rate), [this, &fs] { emit_packet(fs); });
+  net_.simulator().after_detached(sim::TimeDelta::seconds(1.0 / rate),
+                                  [this, &fs, gen = fs.emit_gen] {
+                                    if (gen == fs.emit_gen) emit_packet(fs);
+                                  });
 }
 
 void CsfqEdgeRouter::on_epoch() {

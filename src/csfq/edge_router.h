@@ -50,7 +50,9 @@ class CsfqEdgeRouter {
     ExponentialRateEstimator estimator;
     bool active = false;
     int losses_this_epoch = 0;
-    sim::EventHandle emit_event;
+    /// Emission events are fire-and-forget; stopping the flow bumps the
+    /// generation so the old chain's in-flight event becomes a no-op.
+    std::uint32_t emit_gen = 0;
 
     FlowState(const net::FlowSpec& s, const CsfqConfig& cfg)
         : spec{s},

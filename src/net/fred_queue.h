@@ -50,6 +50,7 @@ class FredQueue final : public PacketQueue {
 
   [[nodiscard]] double average_queue() const { return avg_; }
   [[nodiscard]] std::size_t tracked_flows() const { return flows_.size(); }
+  [[nodiscard]] std::size_t flow_state_entries() const override { return flows_.size(); }
   [[nodiscard]] std::size_t queued_for(FlowId f) const {
     auto it = flows_.find(f);
     return it == flows_.end() ? 0 : it->second.qlen;

@@ -45,45 +45,60 @@ void Link::send(Packet&& p) {
     return;
   }
 
-  // Packet carries no payload (headers only), so keeping a copy for
-  // observer notification is cheap and sidesteps moved-from hazards.
-  const Packet header = p;
-  if (!queue_->enqueue(std::move(p), now)) {
-    ++stats_.dropped;
-    for (auto* obs : observers_) obs->on_drop(header, now);
-    return;
+  if (observers_.empty()) {
+    // Fast path: nobody watches this link, so the defensive header copy
+    // for post-enqueue notification is pure waste.
+    if (!queue_->enqueue(std::move(p), now)) {
+      ++stats_.dropped;
+      return;
+    }
+    ++stats_.enqueued;
+  } else {
+    // Packet carries no payload (headers only), so keeping a copy for
+    // observer notification is cheap and sidesteps moved-from hazards.
+    const Packet header = p;
+    if (!queue_->enqueue(std::move(p), now)) {
+      ++stats_.dropped;
+      for (auto* obs : observers_) obs->on_drop(header, now);
+      return;
+    }
+    ++stats_.enqueued;
+    for (auto* obs : observers_) obs->on_enqueue(header, now);
+    if (header.is_data()) notify_queue_length();
   }
-  ++stats_.enqueued;
-  for (auto* obs : observers_) obs->on_enqueue(header, now);
-  if (header.is_data()) notify_queue_length();
   if (!busy_) start_transmission();
 }
 
 void Link::start_transmission() {
-  auto p = queue_->dequeue(sim_.now());
-  if (!p) {
+  // Dequeue straight into a pooled slot that rides inside the completion
+  // event — one packet move per hop and no allocation in the steady
+  // state.  (On an empty queue the slot bounces straight back to the
+  // free list: two vector ops.)
+  PooledPacket pooled{net_.packet_pool()};
+  if (!queue_->dequeue_into(*pooled, sim_.now())) {
     busy_ = false;
     return;
   }
   busy_ = true;
-  for (auto* obs : observers_) obs->on_dequeue(*p, sim_.now());
-  if (p->is_data()) notify_queue_length();
+  if (!observers_.empty()) {
+    for (auto* obs : observers_) obs->on_dequeue(*pooled, sim_.now());
+    if (pooled->is_data()) notify_queue_length();
+  }
 
-  const sim::TimeDelta ser = rate_.serialization_time(p->size);
-  // Move the packet into the completion event.
-  auto shared = std::make_shared<Packet>(std::move(*p));
-  sim_.after(ser, [this, shared]() mutable { on_serialized(std::move(*shared)); });
+  const sim::TimeDelta ser = rate_.serialization_time(pooled->size);
+  sim_.after_detached(ser,
+                      [this, pooled = std::move(pooled)]() mutable { on_serialized(std::move(pooled)); });
 }
 
-void Link::on_serialized(Packet&& p) {
+void Link::on_serialized(PooledPacket p) {
   ++stats_.delivered;
-  if (p.is_data()) {
+  if (p->is_data()) {
     ++stats_.data_delivered;
-    stats_.data_bytes_delivered += p.size;
+    stats_.data_bytes_delivered += p->size;
   }
-  auto shared = std::make_shared<Packet>(std::move(p));
-  const NodeId to = to_;
-  sim_.after(prop_delay_, [this, shared, to]() mutable { net_.deliver(to, std::move(*shared)); });
+  sim_.after_detached(prop_delay_, [this, p = std::move(p)]() mutable {
+    net_.deliver(to_, std::move(*p));
+  });
   start_transmission();
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "net/queue.h"
 #include "net/types.h"
 #include "sim/simulator.h"
@@ -89,7 +90,7 @@ class Link {
 
  private:
   void start_transmission();
-  void on_serialized(Packet&& p);
+  void on_serialized(PooledPacket p);
   void notify_queue_length();
 
   sim::Simulator& sim_;

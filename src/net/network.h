@@ -14,6 +14,7 @@
 #include "net/link.h"
 #include "net/node.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "net/types.h"
 #include "sim/simulator.h"
 
@@ -21,7 +22,11 @@ namespace corelite::net {
 
 class Network {
  public:
-  explicit Network(sim::Simulator& simulator) : sim_{simulator} {}
+  explicit Network(sim::Simulator& simulator) : sim_{simulator} {
+    // Pending link events hold raw pool pointers; the simulator keeps
+    // the pool alive until those callbacks are gone (see PooledPacket).
+    sim_.retain(packet_pool_);
+  }
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -66,10 +71,16 @@ class Network {
   [[nodiscard]] std::uint64_t unrouteable_count() const { return unrouteable_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
+  /// Shared recycler for packets in flight on links (serialization and
+  /// propagation events).  One pool per network: a slot freed by any
+  /// link is immediately reusable by every other.
+  [[nodiscard]] PacketPool& packet_pool() { return *packet_pool_; }
+
  private:
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
+  std::shared_ptr<PacketPool> packet_pool_ = std::make_shared<PacketPool>();
   std::uint64_t packet_uid_ = 0;
   std::uint64_t unrouteable_ = 0;
 };

@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "net/link.h"
@@ -46,10 +45,12 @@ class Node {
   void add_out_link(Link* link) { out_links_.push_back(link); }
   [[nodiscard]] const std::vector<Link*>& out_links() const { return out_links_; }
 
-  void set_next_hop(NodeId dst, Link* link) { fib_[dst] = link; }
+  void set_next_hop(NodeId dst, Link* link) {
+    if (dst >= fib_.size()) fib_.resize(dst + 1, nullptr);
+    fib_[dst] = link;
+  }
   [[nodiscard]] Link* next_hop(NodeId dst) const {
-    auto it = fib_.find(dst);
-    return it == fib_.end() ? nullptr : it->second;
+    return dst < fib_.size() ? fib_[dst] : nullptr;
   }
 
   /// Arrival processing: deliver locally or forward along the FIB.
@@ -65,7 +66,10 @@ class Node {
   LocalSink local_sink_;
   TransitHook transit_hook_;
   std::vector<Link*> out_links_;
-  std::unordered_map<NodeId, Link*> fib_;
+  // Dense next-hop table indexed by destination id.  Node ids are dense
+  // (assigned sequentially by Network::add_node), so a flat vector turns
+  // the per-hop route lookup into an index instead of a hash probe.
+  std::vector<Link*> fib_;
   std::uint64_t forwarded_ = 0;
   std::uint64_t delivered_locally_ = 0;
 };

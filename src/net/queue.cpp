@@ -15,12 +15,18 @@ bool DropTailQueue::enqueue(Packet&& p, sim::SimTime /*now*/) {
   return true;
 }
 
-std::optional<Packet> DropTailQueue::dequeue(sim::SimTime /*now*/) {
-  if (q_.empty()) return std::nullopt;
-  Packet p = std::move(q_.front());
-  q_.pop_front();
-  if (p.is_data()) --data_count_;
+std::optional<Packet> DropTailQueue::dequeue(sim::SimTime now) {
+  Packet p;
+  if (!dequeue_into(p, now)) return std::nullopt;
   return p;
+}
+
+bool DropTailQueue::dequeue_into(Packet& out, sim::SimTime /*now*/) {
+  if (q_.empty()) return false;
+  out = std::move(q_.front());
+  q_.pop_front();
+  if (out.is_data()) --data_count_;
+  return true;
 }
 
 void RedQueue::age_average(sim::SimTime now) {
@@ -66,17 +72,23 @@ bool RedQueue::enqueue(Packet&& p, sim::SimTime now) {
 }
 
 std::optional<Packet> RedQueue::dequeue(sim::SimTime now) {
-  if (q_.empty()) return std::nullopt;
-  Packet p = std::move(q_.front());
+  Packet p;
+  if (!dequeue_into(p, now)) return std::nullopt;
+  return p;
+}
+
+bool RedQueue::dequeue_into(Packet& out, sim::SimTime now) {
+  if (q_.empty()) return false;
+  out = std::move(q_.front());
   q_.pop_front();
-  if (p.is_data()) {
+  if (out.is_data()) {
     --data_count_;
     if (data_count_ == 0) {
       idle_ = true;
       idle_since_ = now;
     }
   }
-  return p;
+  return true;
 }
 
 }  // namespace corelite::net

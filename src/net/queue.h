@@ -11,11 +11,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 
 #include "net/packet.h"
+#include "net/ring_buffer.h"
 #include "sim/random.h"
 #include "sim/units.h"
 
@@ -39,11 +39,28 @@ class PacketQueue {
   /// Remove and return the head-of-line packet, or nullopt if empty.
   [[nodiscard]] virtual std::optional<Packet> dequeue(sim::SimTime now) = 0;
 
+  /// Move the head-of-line packet directly into `out`; returns false if
+  /// empty.  Semantically identical to dequeue() — the hot FIFO
+  /// disciplines override it so the per-hop path moves each packet once
+  /// (queue slot -> transmission slot) instead of through an optional.
+  [[nodiscard]] virtual bool dequeue_into(Packet& out, sim::SimTime now) {
+    auto p = dequeue(now);
+    if (!p) return false;
+    out = std::move(*p);
+    return true;
+  }
+
   /// Number of data packets currently queued (capacity metric and the
   /// quantity Corelite's congestion estimator averages).
   [[nodiscard]] virtual std::size_t data_packet_count() const = 0;
 
   [[nodiscard]] virtual bool empty() const = 0;
+
+  /// Number of flow-keyed state entries the discipline currently holds —
+  /// the quantity the paper's scalability argument is about.  Stateless
+  /// disciplines (drop-tail, RED, CHOKe) hold none; WFQ and FRED report
+  /// their per-flow tables.
+  [[nodiscard]] virtual std::size_t flow_state_entries() const { return 0; }
 
  protected:
   void notify_internal_drop(const Packet& p) {
@@ -62,6 +79,7 @@ class DropTailQueue final : public PacketQueue {
 
   [[nodiscard]] bool enqueue(Packet&& p, sim::SimTime now) override;
   [[nodiscard]] std::optional<Packet> dequeue(sim::SimTime now) override;
+  [[nodiscard]] bool dequeue_into(Packet& out, sim::SimTime now) override;
   [[nodiscard]] std::size_t data_packet_count() const override { return data_count_; }
   [[nodiscard]] bool empty() const override { return q_.empty(); }
 
@@ -70,7 +88,7 @@ class DropTailQueue final : public PacketQueue {
  private:
   std::size_t capacity_;
   std::size_t data_count_ = 0;
-  std::deque<Packet> q_;
+  RingBuffer<Packet> q_;
 };
 
 /// Classic RED (random early detection) gateway.
@@ -95,6 +113,7 @@ class RedQueue final : public PacketQueue {
 
   [[nodiscard]] bool enqueue(Packet&& p, sim::SimTime now) override;
   [[nodiscard]] std::optional<Packet> dequeue(sim::SimTime now) override;
+  [[nodiscard]] bool dequeue_into(Packet& out, sim::SimTime now) override;
   [[nodiscard]] std::size_t data_packet_count() const override { return data_count_; }
   [[nodiscard]] bool empty() const override { return q_.empty(); }
 
@@ -106,7 +125,7 @@ class RedQueue final : public PacketQueue {
   Config cfg_;
   sim::Rng* rng_;
   std::size_t data_count_ = 0;
-  std::deque<Packet> q_;
+  RingBuffer<Packet> q_;
   double avg_ = 0.0;
   std::int64_t count_since_drop_ = -1;
   sim::SimTime idle_since_ = sim::SimTime::zero();

@@ -1,0 +1,67 @@
+// A growable circular FIFO.
+//
+// std::deque allocates and frees a storage block every few dozen
+// elements as a FIFO cycles through it, which puts allocator traffic on
+// every packet's path through every queue.  This ring buffer reaches a
+// high-water capacity once and then cycles allocation-free; capacity is
+// a power of two so the index wrap is a mask, not a division.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace corelite::net {
+
+template <class T>
+class RingBuffer {
+ public:
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void push_back(T&& v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = std::move(v);
+    ++size_;
+  }
+
+  [[nodiscard]] T& front() {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Element i positions from the front (0 = front).
+  [[nodiscard]] const T& at(std::size_t i) const {
+    assert(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) next[i] = std::move(buf_[(head_ + i) & mask_]);
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace corelite::net

@@ -51,6 +51,7 @@ class WfqQueue final : public PacketQueue {
   [[nodiscard]] std::size_t backlogged_flows() const;
   /// Flows the scheduler holds tag state for (>= backlogged_flows()).
   [[nodiscard]] std::size_t tracked_flows() const { return flows_.size(); }
+  [[nodiscard]] std::size_t flow_state_entries() const override { return flows_.size(); }
 
  private:
   struct Tagged {

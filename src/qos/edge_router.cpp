@@ -103,17 +103,20 @@ void CoreliteEdgeRouter::drain_transit(FlowState& fs) {
     fs.draining = false;
     return;
   }
-  fs.emit_event = net_.simulator().after(fs.bucket.time_until(1.0, now),
-                                         [this, &fs] { drain_transit(fs); });
+  net_.simulator().after_detached(
+      fs.bucket.time_until(1.0, now),
+      [this, &fs, gen = fs.emit_gen] {
+        if (gen == fs.emit_gen) drain_transit(fs);
+      });
 }
 
 void CoreliteEdgeRouter::schedule_lifecycle(FlowState& fs) {
   auto& sim = net_.simulator();
   for (const auto& iv : fs.spec.active) {
     const sim::SimTime start = std::max(iv.start, sim.now());
-    sim.at(start, [this, &fs] { start_flow(fs); });
+    sim.at_detached(start, [this, &fs] { start_flow(fs); });
     if (iv.stop < sim::SimTime::infinite()) {
-      sim.at(iv.stop, [this, &fs] { stop_flow(fs); });
+      sim.at_detached(iv.stop, [this, &fs] { stop_flow(fs); });
     }
   }
 }
@@ -143,7 +146,7 @@ void CoreliteEdgeRouter::start_flow(FlowState& fs) {
 void CoreliteEdgeRouter::stop_flow(FlowState& fs) {
   if (!fs.active) return;
   fs.active = false;
-  fs.emit_event.cancel();
+  ++fs.emit_gen;  // orphan any in-flight emission/drain event
   fs.draining = false;
   fs.shaping_queue.clear();
   fs.feedback_per_core.clear();
@@ -167,8 +170,10 @@ void CoreliteEdgeRouter::emit_packet(FlowState& fs) {
   count_marker_credit_and_maybe_mark(fs);
 
   const double rate = std::max(fs.ctrl->rate_pps(), 1e-3);
-  fs.emit_event = net_.simulator().after(next_emission_gap(fs, rate),
-                                         [this, &fs] { emit_packet(fs); });
+  net_.simulator().after_detached(next_emission_gap(fs, rate),
+                                  [this, &fs, gen = fs.emit_gen] {
+                                    if (gen == fs.emit_gen) emit_packet(fs);
+                                  });
 }
 
 void CoreliteEdgeRouter::count_marker_credit_and_maybe_mark(FlowState& fs) {

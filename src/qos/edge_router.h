@@ -77,7 +77,10 @@ class CoreliteEdgeRouter {
     double marker_credit = 0.0;
     std::uint32_t marker_spacing = 1;  ///< N_w = K1 * w
     std::unordered_map<net::NodeId, int> feedback_per_core;
-    sim::EventHandle emit_event;
+    /// Emission/drain events are fire-and-forget (no per-event control
+    /// block); stopping the flow bumps this generation so in-flight
+    /// events of the old chain turn into no-ops.
+    std::uint32_t emit_gen = 0;
     sim::SimTime pacing_anchor;  ///< OnOff burst-cycle phase reference
 
     /// Transit mode: shaping queue of diverted packets, drained through

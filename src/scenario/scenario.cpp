@@ -1,5 +1,6 @@
 #include "scenario/scenario.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <memory>
@@ -217,6 +218,13 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
   // Global accounting.
   result.events_processed = simulator.events_processed();
   result.unrouteable = network.unrouteable_count();
+  for (net::NodeId c : topo.cores()) {
+    std::size_t state = 0;
+    for (net::Link* l : network.node(c).out_links()) {
+      state += l->queue().flow_state_entries();
+    }
+    result.core_flow_state = std::max(result.core_flow_state, state);
+  }
   for (const auto& link : network.links()) result.total_data_drops += link->stats().dropped;
   for (std::size_t i = 0; i < PaperTopology::kCongestedLinks; ++i) {
     if (auto* l = topo.congested_link(network, i)) {

@@ -72,6 +72,11 @@ struct ScenarioResult {
   std::uint64_t feedback_messages = 0;      ///< markers echoed / loss notices
   std::uint64_t markers_injected = 0;       ///< Corelite only
   std::uint64_t unrouteable = 0;            ///< should always be 0
+  /// Peak per-flow state held by any single core node at the end of the
+  /// run: max over core routers of the sum of flow_state_entries() over
+  /// their outgoing queues.  0 for core-stateless mechanisms (Corelite,
+  /// CSFQ, drop-tail, RED, CHOKe), O(active flows) for WFQ/FRED.
+  std::size_t core_flow_state = 0;
   /// Mean q_avg observed per congested link (Corelite diagnostics).
   std::vector<double> mean_q_avg;
   /// Timestamps (s) of every data-packet drop on the congested links,

@@ -1,46 +1,32 @@
 #include "sim/event_queue.h"
 
-#include <cassert>
 #include <utility>
 
 namespace corelite::sim {
 
 EventHandle EventQueue::schedule(SimTime at, Callback cb) {
-  auto state = std::make_shared<EventHandle::State>();
-  heap_.push(Entry{at, next_seq_++, std::move(cb), state});
-  return EventHandle{std::move(state)};
-}
-
-void EventQueue::drop_dead() const {
-  while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
-}
-
-bool EventQueue::empty() const {
-  drop_dead();
-  return heap_.empty();
-}
-
-SimTime EventQueue::next_time() const {
-  drop_dead();
-  return heap_.empty() ? SimTime::infinite() : heap_.top().at;
-}
-
-SimTime EventQueue::run_next() {
-  drop_dead();
-  assert(!heap_.empty() && "run_next on an empty event queue");
-  // const_cast: priority_queue::top() is const, but we are about to pop the
-  // entry, so moving the callback out is safe and avoids a copy.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  const SimTime at = top.at;
-  Callback cb = std::move(top.cb);
-  top.state->fired = true;
-  heap_.pop();
-  cb();
-  return at;
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.state = std::make_shared<EventHandle::State>();
+  EventHandle handle{s.state};
+  push_entry(at.sec(), slot, /*cancellable=*/true);
+  return handle;
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  for (const Entry& e : heap_) {
+    const auto slot = static_cast<std::uint32_t>(e.key & kSlotMask);
+    Slot& s = slots_[slot];
+    if (s.state != nullptr) {
+      // Outstanding handles must not report pending() forever.
+      s.state->cancelled = true;
+      s.state.reset();
+    }
+    s.cb.reset();
+    free_slots_.push_back(slot);
+  }
+  heap_.clear();
 }
 
 }  // namespace corelite::sim

@@ -30,16 +30,20 @@ PeriodicHandle Simulator::every(TimeDelta period, std::function<void()> cb,
     if (control->cancelled) return;
     (*body)();
     if (control->cancelled) return;
-    if (auto f = wfire.lock()) queue_.schedule(now_ + period, [f] { (*f)(); });
+    if (auto f = wfire.lock()) queue_.schedule_detached(now_ + period, [f] { (*f)(); });
   };
-  queue_.schedule(now_ + first_after, [fire] { (*fire)(); });
+  queue_.schedule_detached(now_ + first_after, [fire] { (*fire)(); });
   return PeriodicHandle{std::move(control)};
 }
 
 void Simulator::run_until(SimTime deadline) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
-    now_ = queue_.next_time();
+  // One heap peek per event: next_time() returns infinite() on an empty
+  // queue, which also terminates the loop for any finite deadline.
+  while (!stopped_) {
+    const SimTime t = queue_.next_time();
+    if (t > deadline || t >= SimTime::infinite()) break;
+    now_ = t;  // advance the clock before the callback observes now()
     queue_.run_next();
     ++processed_;
   }
@@ -48,8 +52,10 @@ void Simulator::run_until(SimTime deadline) {
 
 void Simulator::run() {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    now_ = queue_.next_time();
+  while (!stopped_) {
+    const SimTime t = queue_.next_time();
+    if (t >= SimTime::infinite()) break;
+    now_ = t;
     queue_.run_next();
     ++processed_;
   }

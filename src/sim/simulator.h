@@ -5,9 +5,11 @@
 // advances virtual time by firing events in timestamp order.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/random.h"
@@ -52,6 +54,21 @@ class Simulator {
   /// Schedule `cb` after a relative delay from now.
   EventHandle after(TimeDelta delay, EventQueue::Callback cb);
 
+  /// Fire-and-forget variants: no handle, no cancellation, and no
+  /// per-event control-block allocation.  The forwarding plane uses
+  /// these for its per-hop completion events; templated + inline so the
+  /// closure is constructed directly in its queue slot.
+  template <class F>
+  void at_detached(SimTime at, F&& f) {
+    assert(at >= now_ && "cannot schedule an event in the past");
+    queue_.schedule_detached(at, std::forward<F>(f));
+  }
+  template <class F>
+  void after_detached(TimeDelta delay, F&& f) {
+    assert(delay >= TimeDelta::zero());
+    at_detached(now_ + delay, std::forward<F>(f));
+  }
+
   /// Schedule `cb` every `period`, until the returned handle is
   /// cancelled.  The first firing happens after `first_after` (defaults
   /// to one period); passing a randomized phase here desynchronizes
@@ -73,7 +90,17 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] Rng& rng() { return rng_; }
 
+  /// Keep `resource` alive until after the event queue is destroyed.
+  /// Components whose storage is referenced from pending callbacks
+  /// (e.g. the network's packet pool) register themselves here, which
+  /// lets the callbacks hold raw pointers instead of paying refcount
+  /// traffic on the hot path.
+  void retain(std::shared_ptr<void> resource) { retained_.push_back(std::move(resource)); }
+
  private:
+  // Declared before queue_: members are destroyed in reverse order, so
+  // the retained resources outlive every pending callback.
+  std::vector<std::shared_ptr<void>> retained_;
   EventQueue queue_;
   Rng rng_;
   SimTime now_ = SimTime::zero();

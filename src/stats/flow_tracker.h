@@ -35,25 +35,25 @@ struct FlowSeries {
 
 class FlowTracker {
  public:
-  void declare_flow(net::FlowId id, double weight) { flows_[id].weight = weight; }
+  void declare_flow(net::FlowId id, double weight) { slot(id).weight = weight; }
 
   void record_rate(net::FlowId id, sim::SimTime t, double pps) {
-    flows_[id].allotted_rate.add(t.sec(), pps);
+    slot(id).allotted_rate.add(t.sec(), pps);
   }
   /// Delay sampling stride: one sample per this many deliveries.
   static constexpr std::uint64_t kDelaySampleStride = 8;
 
-  void on_sent(net::FlowId id) { ++flows_[id].sent; }
-  void on_delivered(net::FlowId id) { ++flows_[id].delivered; }
+  void on_sent(net::FlowId id) { ++slot(id).sent; }
+  void on_delivered(net::FlowId id) { ++slot(id).delivered; }
   /// Delivery with a one-way delay measurement (emit -> egress).
   void on_delivered(net::FlowId id, sim::TimeDelta delay) {
-    auto& fs = flows_[id];
+    auto& fs = slot(id);
     ++fs.delivered;
     if (fs.delivered % kDelaySampleStride == 0) fs.delay_samples.push_back(delay.sec());
   }
-  void on_dropped(net::FlowId id) { ++flows_[id].dropped; }
+  void on_dropped(net::FlowId id) { ++slot(id).dropped; }
   void on_feedback(net::FlowId id, std::uint64_t count = 1) {
-    flows_[id].feedback_received += count;
+    slot(id).feedback_received += count;
   }
 
   /// Snapshot every flow's cumulative delivery counter at time t.
@@ -79,7 +79,20 @@ class FlowTracker {
   }
 
  private:
+  /// Flow ids are small and dense, and these counters are bumped for
+  /// every packet of every flow, so lookups go through a flat pointer
+  /// index instead of the tree.  The map stays the owner: its nodes are
+  /// address-stable and `all()` keeps its sorted iteration order.
+  FlowSeries& slot(net::FlowId id) {
+    if (id < index_.size() && index_[id] != nullptr) return *index_[id];
+    FlowSeries* fs = &flows_[id];
+    if (id >= index_.size()) index_.resize(id + 1, nullptr);
+    index_[id] = fs;
+    return *fs;
+  }
+
   std::map<net::FlowId, FlowSeries> flows_;
+  std::vector<FlowSeries*> index_;
 };
 
 }  // namespace corelite::stats

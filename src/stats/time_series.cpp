@@ -24,12 +24,15 @@ double TimeSeries::average_over(double t0, double t1) const {
   double integral = 0.0;
   double cur_t = t0;
   double cur_v = value_at(t0);
-  for (const auto& p : points_) {
-    if (p.t <= t0) continue;
-    if (p.t >= t1) break;
-    integral += cur_v * (p.t - cur_t);
-    cur_t = p.t;
-    cur_v = p.v;
+  // Samples are time-ordered (enforced by add), so jump straight to the
+  // first point inside (t0, t1) instead of scanning from the beginning —
+  // windowed queries over long runs were quadratic otherwise.
+  auto it = std::upper_bound(points_.begin(), points_.end(), t0,
+                             [](double x, const Point& p) { return x < p.t; });
+  for (; it != points_.end() && it->t < t1; ++it) {
+    integral += cur_v * (it->t - cur_t);
+    cur_t = it->t;
+    cur_v = it->v;
   }
   integral += cur_v * (t1 - cur_t);
   return integral / (t1 - t0);
@@ -37,17 +40,17 @@ double TimeSeries::average_over(double t0, double t1) const {
 
 double TimeSeries::min_over(double t0, double t1) const {
   double m = std::numeric_limits<double>::infinity();
-  for (const auto& p : points_) {
-    if (p.t >= t0 && p.t <= t1) m = std::min(m, p.v);
-  }
+  auto it = std::lower_bound(points_.begin(), points_.end(), t0,
+                             [](const Point& p, double x) { return p.t < x; });
+  for (; it != points_.end() && it->t <= t1; ++it) m = std::min(m, it->v);
   return m == std::numeric_limits<double>::infinity() ? 0.0 : m;
 }
 
 double TimeSeries::max_over(double t0, double t1) const {
   double m = -std::numeric_limits<double>::infinity();
-  for (const auto& p : points_) {
-    if (p.t >= t0 && p.t <= t1) m = std::max(m, p.v);
-  }
+  auto it = std::lower_bound(points_.begin(), points_.end(), t0,
+                             [](const Point& p, double x) { return p.t < x; });
+  for (; it != points_.end() && it->t <= t1; ++it) m = std::max(m, it->v);
   return m == -std::numeric_limits<double>::infinity() ? 0.0 : m;
 }
 

@@ -1,0 +1,182 @@
+// Unit tests for the forwarding-plane storage: the packet free-list
+// pool, its RAII loan handle, and the ring buffer behind the FIFO
+// queues.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/packet_pool.h"
+#include "net/ring_buffer.h"
+#include "sim/simulator.h"
+
+namespace corelite::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PacketPool
+
+TEST(PacketPool, AcquireReleaseRecyclesSlots) {
+  PacketPool pool;
+  Packet* a = pool.acquire();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(pool.outstanding(), 1u);
+  pool.release(a);
+  EXPECT_EQ(pool.outstanding(), 0u);
+
+  // The freed slot comes back before the pool grows.
+  Packet* b = pool.acquire();
+  EXPECT_EQ(b, a);
+  pool.release(b);
+}
+
+TEST(PacketPool, CapacityGrowsInChunksAndStopsGrowingOnReuse) {
+  PacketPool pool;
+  std::vector<Packet*> held;
+  for (int i = 0; i < 100; ++i) held.push_back(pool.acquire());
+  EXPECT_EQ(pool.outstanding(), 100u);
+  const std::size_t cap = pool.capacity();
+  EXPECT_GE(cap, 100u);
+  for (Packet* p : held) pool.release(p);
+
+  // Steady-state churn within the high-water mark never grows the pool.
+  for (int round = 0; round < 1000; ++round) {
+    Packet* p = pool.acquire();
+    pool.release(p);
+  }
+  EXPECT_EQ(pool.capacity(), cap);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(PacketPool, SlotKeepsAssignedContents) {
+  PacketPool pool;
+  Packet* p = pool.acquire();
+  p->uid = 77;
+  p->flow = 3;
+  p->size = sim::DataSize::bytes(1000);
+  EXPECT_EQ(p->uid, 77u);
+  EXPECT_EQ(p->flow, 3u);
+  pool.release(p);
+}
+
+// ---------------------------------------------------------------------------
+// PooledPacket
+
+TEST(PooledPacket, ReleasesOnDestruction) {
+  PacketPool pool;
+  {
+    PooledPacket loan{pool};
+    EXPECT_TRUE(static_cast<bool>(loan));
+    EXPECT_EQ(pool.outstanding(), 1u);
+    loan->uid = 9;
+    EXPECT_EQ((*loan).uid, 9u);
+  }
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(PooledPacket, MoveTransfersOwnership) {
+  PacketPool pool;
+  PooledPacket a{pool};
+  Packet* raw = a.get();
+  PooledPacket b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_EQ(pool.outstanding(), 1u);
+
+  PooledPacket c;
+  c = std::move(b);
+  EXPECT_EQ(c.get(), raw);
+  EXPECT_EQ(pool.outstanding(), 1u);
+}
+
+TEST(PooledPacket, MoveAssignReleasesPreviousLoan) {
+  PacketPool pool;
+  PooledPacket a{pool};
+  PooledPacket b{pool};
+  EXPECT_EQ(pool.outstanding(), 2u);
+  a = std::move(b);  // a's original loan goes back to the pool
+  EXPECT_EQ(pool.outstanding(), 1u);
+}
+
+// Loans hold raw pool pointers; the network keeps the pool alive via
+// Simulator::retain(), whose keep-alives outlive the event queue (and
+// with it every pending callback holding a loan).
+TEST(PooledPacket, SimulatorRetainOutlivesPendingLoans) {
+  auto pool = std::make_shared<PacketPool>();
+  std::weak_ptr<PacketPool> watch = pool;
+  {
+    sim::Simulator sim;
+    sim.retain(pool);
+    pool.reset();
+    EXPECT_FALSE(watch.expired());  // the simulator holds the last reference
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+// ---------------------------------------------------------------------------
+// RingBuffer
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> rb;
+  EXPECT_TRUE(rb.empty());
+  for (int i = 0; i < 5; ++i) rb.push_back(int{i});
+  EXPECT_EQ(rb.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(rb.front(), i);
+    rb.pop_front();
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, WrapsAroundWithoutReordering) {
+  RingBuffer<int> rb;
+  int next_in = 0;
+  int next_out = 0;
+  // Push/pop cycles far beyond the initial capacity force wraparound.
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 7; ++i) rb.push_back(int{next_in++});
+    for (int i = 0; i < 7; ++i) {
+      ASSERT_EQ(rb.front(), next_out++);
+      rb.pop_front();
+    }
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, GrowsPreservingOrderAcrossWrapPoint) {
+  RingBuffer<int> rb;
+  // Offset the head so growth has to re-linearize a wrapped buffer.
+  for (int i = 0; i < 10; ++i) rb.push_back(int{i});
+  for (int i = 0; i < 10; ++i) rb.pop_front();
+  for (int i = 0; i < 100; ++i) rb.push_back(int{i});
+  EXPECT_EQ(rb.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(rb.front(), i);
+    rb.pop_front();
+  }
+}
+
+TEST(RingBuffer, IndexingAndClear) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 20; ++i) rb.push_back(int{i * 10});
+  for (std::size_t i = 0; i < rb.size(); ++i) EXPECT_EQ(rb.at(i), static_cast<int>(i) * 10);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+  rb.push_back(7);
+  EXPECT_EQ(rb.front(), 7);
+}
+
+TEST(RingBuffer, MoveOnlyElements) {
+  RingBuffer<std::unique_ptr<int>> rb;
+  for (int i = 0; i < 40; ++i) rb.push_back(std::make_unique<int>(i));
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_NE(rb.front(), nullptr);
+    EXPECT_EQ(*rb.front(), i);
+    rb.pop_front();
+  }
+}
+
+}  // namespace
+}  // namespace corelite::net

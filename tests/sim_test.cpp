@@ -2,9 +2,12 @@
 // simulator clock, periodic timers, RNG determinism.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "sim/simulator.h"
+#include "sim/small_function.h"
 #include "sim/units.h"
 
 namespace corelite::sim {
@@ -106,6 +109,104 @@ TEST(EventQueue, HandleReportsFired) {
   auto h = q.schedule(SimTime::seconds(1), [] {});
   q.run_next();
   EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, ClearCancelsOutstandingHandles) {
+  EventQueue q;
+  bool fired = false;
+  auto h = q.schedule(SimTime::seconds(1), [&] { fired = true; });
+  ASSERT_TRUE(h.pending());
+  q.clear();
+  // A cleared event must not look alive to whoever still holds a handle.
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, DetachedInterleavesWithHandledInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  // All at the same time: firing order must be exactly schedule order,
+  // regardless of which path (handled vs detached) scheduled each one.
+  q.schedule(SimTime::seconds(1), [&] { order.push_back(0); });
+  q.schedule_detached(SimTime::seconds(1), [&] { order.push_back(1); });
+  q.schedule(SimTime::seconds(1), [&] { order.push_back(2); });
+  q.schedule_detached(SimTime::seconds(1), [&] { order.push_back(3); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, DetachedFiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_detached(SimTime::seconds(3), [&] { order.push_back(3); });
+  q.schedule_detached(SimTime::seconds(1), [&] { order.push_back(1); });
+  q.schedule_detached(SimTime::seconds(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SlotsAreRecycled) {
+  EventQueue q;
+  int fired = 0;
+  for (int round = 0; round < 1000; ++round) {
+    q.schedule_detached(SimTime::seconds(round), [&] { ++fired; });
+    q.run_next();
+  }
+  EXPECT_EQ(fired, 1000);
+  // One event pending at a time -> the pool never grows past a handful.
+  EXPECT_LE(q.slot_capacity(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// SmallFunction
+
+TEST(SmallFunction, SmallCaptureStaysInline) {
+  int hits = 0;
+  SmallFunction<void(), 48> f{[&hits] { ++hits; }};
+  EXPECT_TRUE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFunction, OversizedCaptureFallsBackToHeap) {
+  std::array<double, 16> payload{};  // 128 bytes > the 48-byte buffer
+  payload[7] = 42.0;
+  double seen = 0.0;
+  SmallFunction<void(), 48> f{[payload, &seen] { seen = payload[7]; }};
+  EXPECT_FALSE(f.is_inline());
+  f();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+TEST(SmallFunction, MoveTransfersCallable) {
+  auto counter = std::make_shared<int>(0);
+  SmallFunction<void(), 48> a{[counter] { ++*counter; }};
+  SmallFunction<void(), 48> b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(*counter, 1);
+
+  SmallFunction<void(), 48> c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(*counter, 2);
+  c.reset();
+  EXPECT_FALSE(static_cast<bool>(c));
+}
+
+TEST(SmallFunction, DestroysCapturedState) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  {
+    SmallFunction<void(), 48> f{[token] { (void)*token; }};
+    token.reset();
+    EXPECT_FALSE(watch.expired());  // the closure keeps it alive
+  }
+  EXPECT_TRUE(watch.expired());  // destroying the function releases it
 }
 
 // ---------------------------------------------------------------------------
