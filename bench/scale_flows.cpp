@@ -11,56 +11,99 @@
 //   - simulator throughput (events and simulated-vs-wall time).
 // WFQ runs alongside the two core-stateless schemes so the measured
 // state column actually contrasts O(1) with O(flows).
-#include <chrono>
+//
+// The grid executes through the sweep runner, so
+//   --jobs N    runs N universes in parallel (rows stay in grid order
+//               and are bit-identical to --jobs 1), and
+//   --sweep R   repeats every cell R times over derived seeds and adds
+//               a mean±ci95 fairness summary.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "runner/sweep.h"
+#include "stats/aggregate.h"
 
 namespace sc = corelite::scenario;
+namespace rn = corelite::runner;
 
-int main() {
-  std::printf("Scalability: flow population sweep (Figure-2 topology, 60 s runs)\n\n");
-  std::printf("%-8s %-10s %-10s %-10s %-12s %-14s %-12s\n", "flows", "mech", "jain",
-              "drops", "events", "wall[ms]", "core state");
-
-  for (std::size_t n : {10u, 20u, 40u, 80u}) {
-    for (const auto mech :
-         {sc::Mechanism::Corelite, sc::Mechanism::Csfq, sc::Mechanism::Wfq}) {
-      sc::ScenarioSpec spec;
-      spec.mechanism = mech;
-      spec.num_flows = n;
-      spec.duration = corelite::sim::SimTime::seconds(60);
-      spec.weights.resize(n);
-      for (std::size_t i = 0; i < n; ++i) spec.weights[i] = static_cast<double>(i % 3 + 1);
-
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto r = sc::run_paper_scenario(spec);
-      const auto wall =
-          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
-              .count();
-
-      const auto ideal = sc::ideal_rates_at(spec, corelite::sim::SimTime::seconds(30));
-      std::vector<double> rates;
-      std::vector<double> weights;
-      for (std::size_t i = 1; i <= n; ++i) {
-        const auto f = static_cast<corelite::net::FlowId>(i);
-        rates.push_back(r.tracker.series(f).allotted_rate.average_over(30, 60));
-        weights.push_back(spec.weights[i - 1]);
-      }
-      // Per-flow state at a core router, measured from the queues
-      // (max over cores of flow-table entries): Corelite keeps r_av +
-      // w_av per LINK and CSFQ keeps A, F, alpha per link — both report
-      // 0 flow entries at any scale; WFQ reports one entry per flow.
-      char state[32];
-      std::snprintf(state, sizeof state, "%zu flows", r.core_flow_state);
-      std::printf("%-8zu %-10s %-10.4f %-10llu %-12llu %-14.1f %-12s\n", n,
-                  sc::mechanism_name(mech).c_str(),
-                  corelite::stats::jain_index(rates, weights),
-                  static_cast<unsigned long long>(r.total_data_drops),
-                  static_cast<unsigned long long>(r.events_processed), wall, state);
+int main(int argc, char** argv) {
+  std::size_t jobs = 1;
+  std::size_t repeats = 1;
+  std::uint64_t base_seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const bool more = i + 1 < argc;
+    if (std::strcmp(argv[i], "--jobs") == 0 && more) {
+      jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--sweep") == 0 && more) {
+      repeats = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && more) {
+      base_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs N] [--sweep REPEATS] [--seed S]\n", argv[0]);
+      return 2;
     }
   }
+  if (jobs < 1) jobs = 1;
+  if (repeats < 1) repeats = 1;
+
+  std::vector<rn::RunDescriptor> runs;
+  for (std::size_t n : {10u, 20u, 40u, 80u}) {
+    for (const auto mech : {sc::Mechanism::Corelite, sc::Mechanism::Csfq, sc::Mechanism::Wfq}) {
+      for (std::size_t rep = 0; rep < repeats; ++rep) {
+        rn::RunDescriptor d;
+        d.scenario = "fig5";  // Figure-2 topology with the population overridden
+        d.mechanism = mech;
+        d.num_flows = n;
+        d.duration_sec = 60.0;
+        d.weights.resize(n);
+        for (std::size_t i = 0; i < n; ++i) d.weights[i] = static_cast<double>(i % 3 + 1);
+        d.repeat = rep;
+        d.seed = rn::derive_seed(base_seed, rep);
+        runs.push_back(std::move(d));
+      }
+    }
+  }
+
+  std::printf("Scalability: flow population sweep (Figure-2 topology, 60 s runs)\n");
+  std::printf("%zu runs, %zu job(s), %zu repeat(s) per cell\n\n", runs.size(), jobs, repeats);
+  std::printf("%-8s %-10s %-8s %-10s %-10s %-12s %-14s %-12s\n", "flows", "mech", "rep", "jain",
+              "drops", "events", "wall[ms]", "core state");
+
+  rn::SweepRunner runner{jobs};
+  const auto results = runner.run(runs);
+
+  corelite::stats::SweepAggregator agg;
+  for (const auto& r : results) {
+    if (!r.ok) {
+      std::printf("%-8zu %-10s run failed\n", r.desc.num_flows,
+                  sc::mechanism_name(r.desc.mechanism).c_str());
+      continue;
+    }
+    rn::record_metrics(agg, r);
+    char state[32];
+    std::snprintf(state, sizeof state, "%zu flows", r.core_flow_state);
+    std::printf("%-8zu %-10s %-8zu %-10.4f %-10llu %-12llu %-14.1f %-12s\n", r.desc.num_flows,
+                sc::mechanism_name(r.desc.mechanism).c_str(), r.desc.repeat, r.jain,
+                static_cast<unsigned long long>(r.total_drops),
+                static_cast<unsigned long long>(r.events), r.wall_ms, state);
+  }
+
+  if (repeats > 1) {
+    std::printf("\nPer-cell fairness over %zu seeds\n%-28s %-4s %-22s\n", repeats, "cell", "n",
+                "jain (mean +- ci95)");
+    for (const auto& cell : agg.snapshot()) {
+      for (const auto& m : cell.metrics) {
+        if (m.name != "jain") continue;
+        std::printf("%-28s %-4zu %.4f +- %.4f\n", cell.name.c_str(), m.acc.count(),
+                    m.acc.mean(), m.acc.ci95_half_width());
+      }
+    }
+  }
+
   std::printf(
       "\nExpected shape: weighted fairness holds as the population grows (the\n"
       "per-unit-weight share shrinks toward the LIMD oscillation amplitude, so\n"

@@ -1,0 +1,137 @@
+// Sweep-harness benchmark: serial vs parallel execution of one grid.
+//
+// Runs the same 32-run grid (2 scenarios × 4 mechanisms × 4 seeds)
+// twice through the sweep runner — once with --jobs 1 and once with
+// the requested parallelism — and verifies the determinism contract
+// the runner promises: every RunResult digest must match bit-for-bit
+// between the two executions.  Timing for both passes, the measured
+// speedup and the verdict land in BENCH_sweep.json in the working
+// directory, alongside the hardware thread count so results from
+// single-core containers are honestly labelled as such.
+//
+//   sweep_harness [--jobs N]      (default: hardware threads, min 2)
+//
+// Exit status is non-zero if any digest differs, so CI can gate on it.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "runner/sweep.h"
+#include "stats/aggregate.h"
+
+namespace sc = corelite::scenario;
+namespace rn = corelite::runner;
+
+namespace {
+
+double run_pass(const std::vector<rn::RunDescriptor>& runs, std::size_t jobs,
+                std::vector<rn::RunResult>& out) {
+  rn::SweepRunner runner{jobs};
+  const auto t0 = std::chrono::steady_clock::now();
+  out = runner.run(runs);
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t jobs = std::max(2u, std::thread::hardware_concurrency());
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (jobs < 1) jobs = 1;
+
+  rn::SweepGrid grid;
+  grid.scenarios = {"fig5", "fig7"};
+  grid.mechanisms = {sc::Mechanism::Corelite, sc::Mechanism::Csfq, sc::Mechanism::Wfq,
+                     sc::Mechanism::DropTail};
+  grid.repeats = 4;
+  grid.base_seed = 1;
+  grid.duration_sec = 40.0;
+  const auto runs = rn::expand_grid(grid);
+
+  std::printf("Sweep harness: %zu runs (%zu scenario(s) x %zu mechanism(s) x %zu seed(s))\n",
+              runs.size(), grid.scenarios.size(), grid.mechanisms.size(), grid.repeats);
+  std::printf("hardware threads: %u\n\n", std::thread::hardware_concurrency());
+
+  std::vector<rn::RunResult> serial;
+  std::vector<rn::RunResult> parallel;
+  const double wall_serial = run_pass(runs, 1, serial);
+  std::printf("serial   (--jobs 1):  %.1f ms\n", wall_serial);
+  const double wall_parallel = run_pass(runs, jobs, parallel);
+  std::printf("parallel (--jobs %zu): %.1f ms\n", jobs, wall_parallel);
+  const double speedup = wall_parallel > 0.0 ? wall_serial / wall_parallel : 0.0;
+  std::printf("speedup: %.2fx\n\n", speedup);
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (!serial[i].ok || !parallel[i].ok || serial[i].digest != parallel[i].digest ||
+        serial[i].events != parallel[i].events) {
+      ++mismatches;
+      std::printf("MISMATCH run %zu (%s): serial digest %016llx, parallel %016llx\n", i,
+                  rn::cell_key(runs[i]).c_str(),
+                  static_cast<unsigned long long>(serial[i].digest),
+                  static_cast<unsigned long long>(parallel[i].digest));
+    }
+  }
+  std::printf("bit-identity: %zu/%zu runs match%s\n", runs.size() - mismatches, runs.size(),
+              mismatches == 0 ? " — parallel output is bit-identical to serial" : "");
+
+  corelite::stats::SweepAggregator agg;
+  for (const auto& r : parallel) {
+    if (r.ok) rn::record_metrics(agg, r);
+  }
+  std::printf("\n%-28s %-4s %-20s %-12s\n", "cell", "n", "jain (mean +- ci95)", "drops(mean)");
+  for (const auto& cell : agg.snapshot()) {
+    double jain_mean = 0.0;
+    double jain_ci = 0.0;
+    double drops_mean = 0.0;
+    std::size_t n = 0;
+    for (const auto& m : cell.metrics) {
+      if (m.name == "jain") {
+        jain_mean = m.acc.mean();
+        jain_ci = m.acc.ci95_half_width();
+        n = m.acc.count();
+      } else if (m.name == "total_drops") {
+        drops_mean = m.acc.mean();
+      }
+    }
+    std::printf("%-28s %-4zu %.4f +- %.4f     %.1f\n", cell.name.c_str(), n, jain_mean, jain_ci,
+                drops_mean);
+  }
+
+  std::FILE* json = std::fopen("BENCH_sweep.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"sweep_harness\",\n"
+                 "  \"runs\": %zu,\n"
+                 "  \"scenarios\": %zu,\n"
+                 "  \"mechanisms\": %zu,\n"
+                 "  \"repeats\": %zu,\n"
+                 "  \"hw_threads\": %u,\n"
+                 "  \"jobs_parallel\": %zu,\n"
+                 "  \"wall_serial_ms\": %.1f,\n"
+                 "  \"wall_parallel_ms\": %.1f,\n"
+                 "  \"speedup\": %.3f,\n"
+                 "  \"bit_identical\": %s,\n"
+                 "  \"digest_mismatches\": %zu\n"
+                 "}\n",
+                 runs.size(), grid.scenarios.size(), grid.mechanisms.size(), grid.repeats,
+                 std::thread::hardware_concurrency(), jobs, wall_serial, wall_parallel, speedup,
+                 mismatches == 0 ? "true" : "false", mismatches);
+    std::fclose(json);
+    std::printf("\nwrote BENCH_sweep.json\n");
+  }
+  return mismatches == 0 ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <utility>
 
 namespace corelite::cli {
 
@@ -44,47 +45,20 @@ std::optional<std::vector<double>> parse_weight_list(const std::string& text) {
 
 std::optional<scenario::ScenarioSpec> spec_from_args(const ArgParser& parser,
                                                      std::ostream& err) {
-  using scenario::Mechanism;
-
-  Mechanism mech;
   const std::string& mech_name = parser.get_string("mechanism");
-  if (mech_name == "corelite") {
-    mech = Mechanism::Corelite;
-  } else if (mech_name == "csfq") {
-    mech = Mechanism::Csfq;
-  } else if (mech_name == "droptail") {
-    mech = Mechanism::DropTail;
-  } else if (mech_name == "red") {
-    mech = Mechanism::Red;
-  } else if (mech_name == "fred") {
-    mech = Mechanism::Fred;
-  } else if (mech_name == "wfq") {
-    mech = Mechanism::Wfq;
-  } else if (mech_name == "ecnbit") {
-    mech = Mechanism::EcnBit;
-  } else if (mech_name == "choke") {
-    mech = Mechanism::Choke;
-  } else if (mech_name == "sfq") {
-    mech = Mechanism::Sfq;
-  } else {
+  const auto mech = scenario::mechanism_from_name(mech_name);
+  if (!mech.has_value()) {
     err << "unknown mechanism '" << mech_name << "'\n";
     return std::nullopt;
   }
 
-  scenario::ScenarioSpec spec;
   const std::string& scen = parser.get_string("scenario");
-  if (scen == "fig3") {
-    spec = scenario::fig3_network_dynamics(mech);
-  } else if (scen == "fig5") {
-    spec = scenario::fig5_simultaneous_start(mech);
-  } else if (scen == "fig7") {
-    spec = scenario::fig7_staggered_start(mech);
-  } else if (scen == "fig9") {
-    spec = scenario::fig9_churn(mech);
-  } else {
+  auto maybe_spec = scenario::scenario_by_name(scen, *mech);
+  if (!maybe_spec.has_value()) {
     err << "unknown scenario '" << scen << "'\n";
     return std::nullopt;
   }
+  scenario::ScenarioSpec spec = std::move(*maybe_spec);
 
   const std::string& sel = parser.get_string("selector");
   if (sel == "stateless") {

@@ -101,7 +101,12 @@ CsfqCoreRouter::CsfqCoreRouter(net::Network& network, net::NodeId node, const Cs
 }
 
 CsfqCoreRouter::~CsfqCoreRouter() {
-  for (auto& ls : links_) ls->link->set_admission(nullptr);
+  // Unhook both registrations: the links may outlive this router (the
+  // network owns them), so a leftover observer pointer would dangle.
+  for (auto& ls : links_) {
+    ls->link->set_admission(nullptr);
+    ls->link->remove_observer(ls.get());
+  }
 }
 
 const CsfqLinkPolicy* CsfqCoreRouter::policy_for(net::NodeId link_to) const {
@@ -145,7 +150,9 @@ LossNotifyingCoreRouter::LossNotifyingCoreRouter(net::Network& network, net::Nod
   }
 }
 
-LossNotifyingCoreRouter::~LossNotifyingCoreRouter() = default;
+LossNotifyingCoreRouter::~LossNotifyingCoreRouter() {
+  for (auto& w : watches_) w->link->remove_observer(w.get());
+}
 
 void LossNotifyingCoreRouter::send_loss_notice(const net::Packet& dropped) {
   net::Packet notice;

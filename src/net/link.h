@@ -85,8 +85,12 @@ class Link {
   void set_control_loss_rate(double p) { control_loss_rate_ = p; }
   [[nodiscard]] double control_loss_rate() const { return control_loss_rate_; }
 
-  /// Attach a passive observer.  Observers must outlive the link.
+  /// Attach a passive observer.  Observers must either outlive the link
+  /// or detach themselves with remove_observer() before destruction.
   void add_observer(LinkObserver* obs) { observers_.push_back(obs); }
+
+  /// Detach a previously attached observer.  No-op if absent.
+  void remove_observer(LinkObserver* obs) { std::erase(observers_, obs); }
 
  private:
   void start_transmission();

@@ -38,6 +38,11 @@ class RingBuffer {
   }
 
   void clear() {
+    // Reset the live range, not just the indices: moved-in elements
+    // would otherwise stay alive in their slots, so a cleared queue
+    // silently retains stale state — and a resource-owning T would hold
+    // its resource until the slot happens to be overwritten.
+    for (std::size_t i = 0; i < size_; ++i) buf_[(head_ + i) & mask_] = T{};
     head_ = 0;
     size_ = 0;
   }

@@ -50,8 +50,16 @@ class PacketTracer {
   /// In-memory tracer; optionally also stream each record to `out`.
   explicit PacketTracer(std::ostream* out = nullptr) : out_{out} {}
 
-  /// Start observing a link.  The tracer must outlive the link's
-  /// activity (observers are not detachable).
+  PacketTracer(const PacketTracer&) = delete;
+  PacketTracer& operator=(const PacketTracer&) = delete;
+
+  /// Detaches from every link still alive; a tracer may be destroyed
+  /// before or after the network.
+  ~PacketTracer() {
+    for (auto& s : shims_) s->link->remove_observer(s.get());
+  }
+
+  /// Start observing a link.
   void attach(Link& link);
 
   /// Restrict recording to one flow (kInvalidFlow = all flows).

@@ -51,7 +51,10 @@ CoreliteCoreRouter::CoreliteCoreRouter(net::Network& network, net::NodeId node,
   epoch_timer_ = net_.simulator().every(cfg_.core_epoch, [this] { on_epoch(); }, phase);
 }
 
-CoreliteCoreRouter::~CoreliteCoreRouter() { epoch_timer_.cancel(); }
+CoreliteCoreRouter::~CoreliteCoreRouter() {
+  epoch_timer_.cancel();
+  for (auto& ls : links_) ls->link->remove_observer(ls.get());
+}
 
 void CoreliteCoreRouter::send_feedback(const net::MarkerInfo& m) {
   net::Packet fb;

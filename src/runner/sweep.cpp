@@ -1,0 +1,186 @@
+#include "runner/sweep.h"
+
+#include <bit>
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+#include "runner/thread_pool.h"
+#include "stats/fairness.h"
+
+namespace corelite::runner {
+
+std::string cell_key(const RunDescriptor& d) {
+  std::string key = d.scenario + "/" + scenario::mechanism_name(d.mechanism);
+  if (d.num_flows > 0) key += "/n" + std::to_string(d.num_flows);
+  return key;
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t repeat) {
+  // splitmix64: statistically independent streams even for adjacent
+  // (base, repeat) pairs, unlike base + repeat.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (repeat + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<RunDescriptor> expand_grid(const SweepGrid& grid) {
+  std::vector<RunDescriptor> runs;
+  runs.reserve(grid.scenarios.size() * grid.mechanisms.size() * grid.repeats);
+  for (const std::string& scen : grid.scenarios) {
+    for (const scenario::Mechanism mech : grid.mechanisms) {
+      for (std::size_t rep = 0; rep < grid.repeats; ++rep) {
+        RunDescriptor d;
+        d.scenario = scen;
+        d.mechanism = mech;
+        d.repeat = rep;
+        d.seed = derive_seed(grid.base_seed, rep);
+        d.duration_sec = grid.duration_sec;
+        d.num_flows = grid.num_flows;
+        d.weights = grid.weights;
+        d.control_loss_rate = grid.control_loss_rate;
+        runs.push_back(std::move(d));
+      }
+    }
+  }
+  return runs;
+}
+
+std::optional<scenario::ScenarioSpec> build_spec(const RunDescriptor& d) {
+  auto spec = scenario::scenario_by_name(d.scenario, d.mechanism);
+  if (!spec.has_value()) return std::nullopt;
+  if (d.num_flows > 0 && d.num_flows != spec->num_flows) {
+    spec->num_flows = d.num_flows;
+    spec->weights.assign(d.num_flows, 1.0);
+    // The scenario's activity windows and contracts are per-flow lists
+    // sized for its default population; an overridden population runs
+    // always-on.
+    spec->activity.clear();
+    spec->min_rates.clear();
+  }
+  if (!d.weights.empty()) {
+    if (d.weights.size() != spec->num_flows) return std::nullopt;
+    spec->weights = d.weights;
+  }
+  if (d.duration_sec > 0.0) spec->duration = sim::SimTime::seconds(d.duration_sec);
+  if (d.control_loss_rate > 0.0) spec->control_loss_rate = d.control_loss_rate;
+  spec->seed = d.seed;
+  return spec;
+}
+
+namespace {
+
+// FNV-1a, fed 64 bits at a time; doubles enter by bit pattern so the
+// digest witnesses exact equality, not approximate.
+struct Digest {
+  std::uint64_t h = 1469598103934665603ULL;
+  void mix(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+};
+
+std::uint64_t digest_of(const scenario::ScenarioResult& r) {
+  Digest d;
+  d.mix(r.events_processed);
+  d.mix(r.total_data_drops);
+  d.mix(r.congested_link_drops);
+  d.mix(r.feedback_messages);
+  d.mix(r.markers_injected);
+  d.mix(static_cast<std::uint64_t>(r.core_flow_state));
+  for (const auto& [id, fs] : r.tracker.all()) {
+    d.mix(static_cast<std::uint64_t>(id));
+    d.mix(fs.sent);
+    d.mix(fs.delivered);
+    d.mix(fs.dropped);
+    d.mix(fs.feedback_received);
+    for (const auto& p : fs.allotted_rate.points()) {
+      d.mix(p.t);
+      d.mix(p.v);
+    }
+    for (const auto& p : fs.cumulative_delivered.points()) {
+      d.mix(p.t);
+      d.mix(p.v);
+    }
+  }
+  return d.h;
+}
+
+}  // namespace
+
+RunResult execute_run(const RunDescriptor& desc) {
+  RunResult res;
+  res.desc = desc;
+  const auto spec = build_spec(desc);
+  if (!spec.has_value()) return res;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const scenario::ScenarioResult r = scenario::run_paper_scenario(*spec);
+  res.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+
+  const double t_end = spec->duration.sec();
+  const double w0 = t_end / 2.0;
+  const auto ideal = scenario::ideal_rates_at(*spec, sim::SimTime::seconds(w0));
+  std::vector<double> rates;
+  std::vector<double> weights;
+  res.avg_rate_pps.resize(spec->num_flows, 0.0);
+  for (std::size_t i = 0; i < spec->num_flows; ++i) {
+    const auto f = static_cast<net::FlowId>(i + 1);
+    const double avg = r.tracker.series(f).allotted_rate.average_over(w0, t_end);
+    res.avg_rate_pps[i] = avg;
+    if (ideal.count(f) != 0 && ideal.at(f) > 0.0) {
+      rates.push_back(avg);
+      weights.push_back(spec->weights[i]);
+    }
+  }
+  res.jain = stats::jain_index(rates, weights);
+  res.events = r.events_processed;
+  res.total_drops = r.total_data_drops;
+  res.delivered = r.tracker.total_delivered();
+  res.feedback = r.feedback_messages;
+  res.core_flow_state = r.core_flow_state;
+  res.digest = digest_of(r);
+  res.ok = true;
+  return res;
+}
+
+void record_metrics(stats::SweepAggregator& agg, const RunResult& r) {
+  const std::string cell = cell_key(r.desc);
+  const auto idx = static_cast<std::uint64_t>(r.index);
+  agg.add(cell, idx, "jain", r.jain);
+  agg.add(cell, idx, "events", static_cast<double>(r.events));
+  agg.add(cell, idx, "total_drops", static_cast<double>(r.total_drops));
+  agg.add(cell, idx, "delivered", static_cast<double>(r.delivered));
+  agg.add(cell, idx, "feedback", static_cast<double>(r.feedback));
+  agg.add(cell, idx, "core_flow_state", static_cast<double>(r.core_flow_state));
+}
+
+std::vector<RunResult> SweepRunner::run(const std::vector<RunDescriptor>& runs) {
+  std::vector<RunResult> results(runs.size());
+  if (runs.empty()) return results;
+
+  std::mutex done_mu;
+  std::size_t done = 0;
+  {
+    ThreadPool pool{std::min(std::max<std::size_t>(1, jobs_), runs.size())};
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      pool.submit([this, &runs, &results, &done_mu, &done, i, total = runs.size()] {
+        RunResult r = execute_run(runs[i]);
+        r.index = i;
+        const std::lock_guard<std::mutex> lock{done_mu};
+        ++done;
+        results[i] = std::move(r);
+        if (progress_) progress_(results[i], done, total);
+      });
+    }
+    pool.wait_idle();
+  }
+  return results;
+}
+
+}  // namespace corelite::runner

@@ -1,0 +1,123 @@
+// Multi-threaded scenario-sweep harness.
+//
+// The paper's evaluation — and every bench row — is a *sweep*: many
+// independent runs over seeds, weights, mechanisms and topologies.
+// Each run is a self-contained single-threaded universe (Simulator +
+// Network + PacketPool built from scratch inside the worker), so runs
+// parallelize with no shared mutable state: a RunDescriptor is plain
+// data, a worker turns it into a ScenarioSpec via the scenario
+// factories and executes it, and results come back in descriptor
+// order.
+//
+// Determinism contract: a run's outcome is a pure function of its
+// descriptor.  Seeds derive from (base_seed, repeat) via splitmix64 —
+// never from execution order — so `--jobs N` output is bit-identical
+// to serial execution (every RunResult, digests included; only wall_ms
+// varies).  Repeat k of every cell shares one seed, which pairs runs
+// across mechanisms for variance-reduced comparisons.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "stats/aggregate.h"
+
+namespace corelite::runner {
+
+/// Plain description of one run — cheap to copy across threads.  The
+/// override fields refine the named paper scenario; zero/empty means
+/// "keep the scenario's default".
+struct RunDescriptor {
+  std::string scenario = "fig5";
+  scenario::Mechanism mechanism = scenario::Mechanism::Corelite;
+  std::uint64_t seed = 1;
+  std::size_t repeat = 0;  ///< repeat index within its cell
+
+  double duration_sec = 0.0;
+  std::size_t num_flows = 0;  ///< overriding resets activity windows to always-on
+  std::vector<double> weights;
+  double control_loss_rate = 0.0;
+};
+
+/// Aggregation key: runs differing only in seed/repeat share a cell.
+[[nodiscard]] std::string cell_key(const RunDescriptor& d);
+
+/// Deterministic per-run seed: splitmix64 over (base_seed, repeat).
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t repeat);
+
+/// A rectangular grid of runs: scenarios × mechanisms × repeats, with
+/// shared overrides.  Expansion order (and thus run indices) is
+/// scenario-major, then mechanism, then repeat.
+struct SweepGrid {
+  std::vector<std::string> scenarios{"fig5"};
+  std::vector<scenario::Mechanism> mechanisms{scenario::Mechanism::Corelite};
+  std::size_t repeats = 1;
+  std::uint64_t base_seed = 1;
+
+  double duration_sec = 0.0;
+  std::size_t num_flows = 0;
+  std::vector<double> weights;
+  double control_loss_rate = 0.0;
+};
+
+[[nodiscard]] std::vector<RunDescriptor> expand_grid(const SweepGrid& grid);
+
+/// Materialize the full spec for a descriptor.  Pure function — safe
+/// from any thread.  nullopt if the scenario name is unknown or the
+/// weights override does not match the flow count.
+[[nodiscard]] std::optional<scenario::ScenarioSpec> build_spec(const RunDescriptor& d);
+
+/// One run's outcome, reduced to what sweeps aggregate.
+struct RunResult {
+  RunDescriptor desc;
+  std::size_t index = 0;  ///< position in the descriptor list
+  bool ok = false;
+
+  double jain = 0.0;                 ///< weighted Jain over [T/2, T]
+  std::vector<double> avg_rate_pps;  ///< per flow, averaged over [T/2, T]
+  std::uint64_t events = 0;
+  std::uint64_t total_drops = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t feedback = 0;
+  std::size_t core_flow_state = 0;
+  double wall_ms = 0.0;  ///< worker wall-clock; excluded from the digest
+
+  /// FNV-1a over every per-flow counter and rate/cumulative sample of
+  /// the run — the bit-identity witness for determinism checks.
+  std::uint64_t digest = 0;
+};
+
+/// Build and execute one universe on the calling thread.
+[[nodiscard]] RunResult execute_run(const RunDescriptor& d);
+
+/// Record a result's deterministic metrics (jain, events, drops,
+/// delivered, feedback, core_flow_state) into `agg` under the run's
+/// cell key.  wall_ms is deliberately not recorded (see aggregate.h).
+void record_metrics(stats::SweepAggregator& agg, const RunResult& r);
+
+class SweepRunner {
+ public:
+  /// `jobs` worker threads (floor 1; capped at the run count).
+  explicit SweepRunner(std::size_t jobs) : jobs_{jobs} {}
+
+  /// Called after each run completes, under an internal lock, with the
+  /// finished count.  Completion order is scheduling-dependent; the
+  /// returned vector's order is not.
+  using Progress = std::function<void(const RunResult&, std::size_t done, std::size_t total)>;
+  void set_progress(Progress cb) { progress_ = std::move(cb); }
+
+  /// Execute every descriptor, `jobs` at a time.  results[i] always
+  /// corresponds to runs[i].
+  [[nodiscard]] std::vector<RunResult> run(const std::vector<RunDescriptor>& runs);
+
+ private:
+  std::size_t jobs_;
+  Progress progress_;
+};
+
+}  // namespace corelite::runner

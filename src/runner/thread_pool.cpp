@@ -1,0 +1,52 @@
+#include "runner/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace corelite::runner {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    queue_.push_back(std::move(job));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock{mu_};
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock{mu_};
+  for (;;) {
+    work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and drained
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    job();
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+  }
+}
+
+}  // namespace corelite::runner

@@ -1,0 +1,52 @@
+// A fixed-size worker pool for CPU-bound jobs.
+//
+// The sweep harness runs many independent simulation universes; each is
+// single-threaded and allocation-heavy, so the right parallel shape is
+// N long-lived workers pulling whole runs off a queue — not per-run
+// thread spawn (costly) and not a work-stealing scheduler (pointless
+// for jobs measured in seconds).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace corelite::runner {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (floor 1).
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Waits for queued jobs to finish, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueue a job.  Jobs must not throw (the simulation API is
+  /// noexcept in practice); an escaping exception terminates.
+  void submit(std::function<void()> job);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace corelite::runner

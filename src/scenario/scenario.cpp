@@ -32,6 +32,23 @@ std::string mechanism_name(Mechanism m) {
   return "unknown";
 }
 
+std::optional<Mechanism> mechanism_from_name(const std::string& name) {
+  for (Mechanism m : {Mechanism::Corelite, Mechanism::Csfq, Mechanism::DropTail, Mechanism::Red,
+                      Mechanism::Fred, Mechanism::Wfq, Mechanism::EcnBit, Mechanism::Choke,
+                      Mechanism::Sfq}) {
+    if (mechanism_name(m) == name) return m;
+  }
+  return std::nullopt;
+}
+
+std::optional<ScenarioSpec> scenario_by_name(const std::string& name, Mechanism m) {
+  if (name == "fig3") return fig3_network_dynamics(m);
+  if (name == "fig5") return fig5_simultaneous_start(m);
+  if (name == "fig7") return fig7_staggered_start(m);
+  if (name == "fig9") return fig9_churn(m);
+  return std::nullopt;
+}
+
 namespace {
 
 // Records the virtual time of every data drop on a link.

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +39,9 @@ enum class Mechanism {
 };
 
 [[nodiscard]] std::string mechanism_name(Mechanism m);
+
+/// Inverse of mechanism_name: nullopt for an unknown name.
+[[nodiscard]] std::optional<Mechanism> mechanism_from_name(const std::string& name);
 
 struct ScenarioSpec {
   Mechanism mechanism = Mechanism::Corelite;
@@ -115,6 +119,11 @@ struct ScenarioResult {
 /// §4.3, Figures 9-10: same population as fig7; each flow lives 60 s,
 /// stops, and restarts 5 s later; 160 s.
 [[nodiscard]] ScenarioSpec fig9_churn(Mechanism m);
+
+/// Paper scenario by its CLI name — "fig3", "fig5", "fig7" or "fig9";
+/// nullopt for an unknown name.  Pure function of its arguments (no
+/// shared state), so sweep workers can build specs concurrently.
+[[nodiscard]] std::optional<ScenarioSpec> scenario_by_name(const std::string& name, Mechanism m);
 
 /// Randomized generalization of the churn experiment: each flow cycles
 /// through exponentially distributed on/off periods for the whole run.

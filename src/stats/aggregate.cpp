@@ -1,0 +1,111 @@
+#include "stats/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/json_writer.h"
+
+namespace corelite::stats {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double Accumulator::ci95_half_width() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void SweepAggregator::add(std::string_view cell, std::uint64_t run_index,
+                          std::string_view metric, double value) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  cells_[std::string{cell}][std::string{metric}].push_back({run_index, value});
+}
+
+std::vector<SweepAggregator::Cell> SweepAggregator::snapshot() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  std::vector<Cell> out;
+  out.reserve(cells_.size());
+  for (const auto& [cell_name, metrics] : cells_) {
+    Cell cell;
+    cell.name = cell_name;
+    for (const auto& [metric_name, samples] : metrics) {
+      // Replay in run order: Welford folds are order-sensitive in the
+      // low bits, and workers record in completion order.
+      std::vector<Sample> ordered = samples;
+      std::stable_sort(ordered.begin(), ordered.end(),
+                       [](const Sample& a, const Sample& b) { return a.run_index < b.run_index; });
+      Metric m;
+      m.name = metric_name;
+      for (const Sample& s : ordered) m.acc.add(s.value);
+      cell.metrics.push_back(std::move(m));
+    }
+    out.push_back(std::move(cell));
+  }
+  return out;
+}
+
+namespace {
+
+void write_metric_json(std::ostream& os, const SweepAggregator::Metric& m) {
+  os << "{\"name\": \"" << json_escape(m.name) << "\", \"n\": " << m.acc.count()
+     << ", \"mean\": " << json_number(m.acc.mean()) << ", \"stddev\": "
+     << json_number(m.acc.stddev()) << ", \"ci95\": " << json_number(m.acc.ci95_half_width())
+     << ", \"min\": " << json_number(m.acc.min()) << ", \"max\": " << json_number(m.acc.max())
+     << "}";
+}
+
+}  // namespace
+
+void write_sweep_json(std::ostream& os, const SweepMetaJson& meta,
+                      const std::vector<SweepAggregator::Cell>& cells) {
+  os << "{\n"
+     << "  \"title\": \"" << json_escape(meta.title) << "\",\n"
+     << "  \"runs\": " << meta.runs << ",\n"
+     << "  \"repeats\": " << meta.repeats << ",\n"
+     << "  \"base_seed\": " << meta.base_seed << ",\n"
+     << "  \"cells\": [\n";
+  bool first_cell = true;
+  for (const auto& cell : cells) {
+    if (!first_cell) os << ",\n";
+    first_cell = false;
+    os << "    {\"name\": \"" << json_escape(cell.name) << "\", \"metrics\": [\n";
+    bool first_metric = true;
+    for (const auto& m : cell.metrics) {
+      if (!first_metric) os << ",\n";
+      first_metric = false;
+      os << "      ";
+      write_metric_json(os, m);
+    }
+    os << "\n    ]}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+void write_sweep_csv(std::ostream& os, const std::vector<SweepAggregator::Cell>& cells) {
+  os << "cell,metric,n,mean,stddev,ci95,min,max\n";
+  for (const auto& cell : cells) {
+    for (const auto& m : cell.metrics) {
+      os << cell.name << ',' << m.name << ',' << m.acc.count() << ',' << json_number(m.acc.mean())
+         << ',' << json_number(m.acc.stddev()) << ',' << json_number(m.acc.ci95_half_width())
+         << ',' << json_number(m.acc.min()) << ',' << json_number(m.acc.max()) << '\n';
+    }
+  }
+}
+
+}  // namespace corelite::stats

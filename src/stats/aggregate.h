@@ -1,0 +1,100 @@
+// Cross-run aggregation for scenario sweeps.
+//
+// A sweep executes many independent runs (seed × parameter grid) on
+// worker threads and needs their metrics folded into per-cell summary
+// statistics — mean, stddev and a confidence interval across repeats —
+// without the aggregate depending on which worker finished first.
+//
+// SweepAggregator is the thread-safe collection point: workers add
+// (cell, run_index, metric, value) samples under a mutex; snapshot()
+// replays the samples in run_index order before folding them, so the
+// emitted statistics are bit-identical no matter how the threads
+// interleaved.  write_sweep_json/write_sweep_csv feed the snapshot into
+// the same JSON/CSV conventions the single-run writers use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace corelite::stats {
+
+/// Streaming mean/variance (Welford's algorithm) plus extrema.
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double stddev() const;
+  /// Half-width of the 95% confidence interval on the mean (normal
+  /// approximation, 1.96 * stddev / sqrt(n)); 0 for n < 2.
+  [[nodiscard]] double ci95_half_width() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Thread-safe sweep-metric collector (see file comment).
+class SweepAggregator {
+ public:
+  struct Metric {
+    std::string name;
+    Accumulator acc;
+  };
+  struct Cell {
+    std::string name;
+    std::vector<Metric> metrics;  ///< sorted by metric name
+  };
+
+  /// Record one metric value of run `run_index` into cell `cell`.
+  /// Callable from any thread.
+  void add(std::string_view cell, std::uint64_t run_index, std::string_view metric,
+           double value);
+
+  /// Fold every recorded sample, in (run_index, insertion) order, into
+  /// per-cell accumulators.  Cells and metrics come back sorted by
+  /// name, so the result is independent of thread scheduling.
+  [[nodiscard]] std::vector<Cell> snapshot() const;
+
+ private:
+  struct Sample {
+    std::uint64_t run_index;
+    double value;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<std::string, std::vector<Sample>>> cells_;
+};
+
+/// Sweep-level metadata for the JSON summary.  Deliberately excludes
+/// wall-clock timing and worker count: the document must be
+/// byte-identical between serial and parallel executions of the same
+/// grid (the determinism contract tests assert on).
+struct SweepMetaJson {
+  std::string title;
+  std::size_t runs = 0;
+  std::size_t repeats = 0;
+  std::uint64_t base_seed = 0;
+};
+
+/// Emit `{meta..., "cells": [{name, metrics: [{name, n, mean, stddev,
+/// ci95, min, max}]}]}`.
+void write_sweep_json(std::ostream& os, const SweepMetaJson& meta,
+                      const std::vector<SweepAggregator::Cell>& cells);
+
+/// Long-format CSV: cell,metric,n,mean,stddev,ci95,min,max.
+void write_sweep_csv(std::ostream& os, const std::vector<SweepAggregator::Cell>& cells);
+
+}  // namespace corelite::stats

@@ -39,19 +39,24 @@ double TimeSeries::average_over(double t0, double t1) const {
 }
 
 double TimeSeries::min_over(double t0, double t1) const {
-  double m = std::numeric_limits<double>::infinity();
-  auto it = std::lower_bound(points_.begin(), points_.end(), t0,
-                             [](const Point& p, double x) { return p.t < x; });
+  if (t1 < t0 || points_.empty()) return 0.0;
+  // Seed with the value carried into the window (the step function's
+  // value at t0, like average_over): a window containing no sample
+  // points still has a value across it, not 0.
+  double m = value_at(t0);
+  auto it = std::upper_bound(points_.begin(), points_.end(), t0,
+                             [](double x, const Point& p) { return x < p.t; });
   for (; it != points_.end() && it->t <= t1; ++it) m = std::min(m, it->v);
-  return m == std::numeric_limits<double>::infinity() ? 0.0 : m;
+  return m;
 }
 
 double TimeSeries::max_over(double t0, double t1) const {
-  double m = -std::numeric_limits<double>::infinity();
-  auto it = std::lower_bound(points_.begin(), points_.end(), t0,
-                             [](const Point& p, double x) { return p.t < x; });
+  if (t1 < t0 || points_.empty()) return 0.0;
+  double m = value_at(t0);
+  auto it = std::upper_bound(points_.begin(), points_.end(), t0,
+                             [](double x, const Point& p) { return x < p.t; });
   for (; it != points_.end() && it->t <= t1; ++it) m = std::max(m, it->v);
-  return m == -std::numeric_limits<double>::infinity() ? 0.0 : m;
+  return m;
 }
 
 }  // namespace corelite::stats

@@ -34,7 +34,8 @@ class TimeSeries {
   /// Time-weighted mean of the step function over [t0, t1].
   [[nodiscard]] double average_over(double t0, double t1) const;
 
-  /// Min / max of samples whose time falls in [t0, t1].
+  /// Min / max of the step function over [t0, t1]: the value carried
+  /// into the window at t0 plus every sample inside it.
   [[nodiscard]] double min_over(double t0, double t1) const;
   [[nodiscard]] double max_over(double t0, double t1) const;
 

@@ -231,5 +231,39 @@ TEST(CsfqNetwork, DropTailBaselineIsLessFairAtEqualWeights) {
   EXPECT_LT(rb / ra, 2.0);
 }
 
+TEST(CsfqNetwork, RouterDestructionDetachesObserversFromLinks) {
+  // Regression: destroying a core router before the network used to
+  // leave its LinkObserver pointers registered on the links, so any
+  // later drop dereferenced freed memory (caught under ASan).
+  sim::Simulator simulator{1};
+  net::Network network{simulator};
+  const net::NodeId a = network.add_node("a");
+  const net::NodeId b = network.add_node("b");
+  net::Link& link = network.connect(a, b, sim::Rate::mbps(4), sim::TimeDelta::millis(1), 2);
+  network.build_routes();
+
+  {
+    CsfqCoreRouter csfq_router{network, a, CsfqConfig{}};
+    LossNotifyingCoreRouter notifier{network, a};
+    // Both routers die here, before the network and its links.
+  }
+
+  // Overflow the 2-packet queue so the link fires on_drop on whatever
+  // observers remain registered.
+  for (int i = 0; i < 8; ++i) {
+    net::Packet p;
+    p.uid = static_cast<std::uint64_t>(i + 1);
+    p.kind = net::PacketKind::Data;
+    p.flow = 1;
+    p.src = a;
+    p.dst = b;
+    p.size = sim::DataSize::kilobytes(1);
+    p.created = simulator.now();
+    link.send(std::move(p));
+  }
+  simulator.run();
+  EXPECT_GT(link.stats().dropped, 0u);
+}
+
 }  // namespace
 }  // namespace corelite::csfq

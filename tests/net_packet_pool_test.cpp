@@ -178,5 +178,40 @@ TEST(RingBuffer, MoveOnlyElements) {
   }
 }
 
+TEST(RingBuffer, ClearReleasesLiveElements) {
+  // Regression: clear() used to reset only head_/size_, leaving the
+  // moved-in elements alive in their slots — a resource-owning element
+  // kept its resource until the slot happened to be overwritten.
+  RingBuffer<std::shared_ptr<int>> rb;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  rb.push_back(std::move(token));
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(RingBuffer, ClearThenReuseAcrossWrapPoint) {
+  RingBuffer<std::shared_ptr<int>> rb;
+  // Advance the head so the live range straddles the wrap point.
+  for (int i = 0; i < 12; ++i) rb.push_back(std::make_shared<int>(i));
+  for (int i = 0; i < 12; ++i) rb.pop_front();
+  std::vector<std::weak_ptr<int>> watches;
+  for (int i = 0; i < 10; ++i) {
+    auto sp = std::make_shared<int>(100 + i);
+    watches.push_back(sp);
+    rb.push_back(std::move(sp));
+  }
+  rb.clear();
+  for (const auto& w : watches) EXPECT_TRUE(w.expired());
+  // The buffer stays fully usable after clear.
+  for (int i = 0; i < 5; ++i) rb.push_back(std::make_shared<int>(i));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_NE(rb.front(), nullptr);
+    EXPECT_EQ(*rb.front(), i);
+    rb.pop_front();
+  }
+}
+
 }  // namespace
 }  // namespace corelite::net

@@ -55,7 +55,30 @@ TEST(TimeSeries, MinMaxOverWindow) {
   ts.add(3.0, 4.0);
   EXPECT_DOUBLE_EQ(ts.min_over(0.5, 2.5), 1.0);
   EXPECT_DOUBLE_EQ(ts.max_over(0.5, 2.5), 9.0);
-  EXPECT_DOUBLE_EQ(ts.min_over(10.0, 20.0), 0.0);  // no samples -> 0
+  // Sample-free window: the step function still carries the last value
+  // (4.0 from t=3) across it, consistent with value_at/average_over.
+  EXPECT_DOUBLE_EQ(ts.min_over(10.0, 20.0), 4.0);
+  EXPECT_DOUBLE_EQ(ts.max_over(10.0, 20.0), 4.0);
+}
+
+TEST(TimeSeries, MinMaxIncludeValueCarriedIntoWindow) {
+  TimeSeries ts;
+  ts.add(0.0, 7.0);
+  ts.add(5.0, 2.0);
+  // (1, 4] has no samples, but the series is 7.0 throughout.
+  EXPECT_DOUBLE_EQ(ts.min_over(1.0, 4.0), 7.0);
+  EXPECT_DOUBLE_EQ(ts.max_over(1.0, 4.0), 7.0);
+  // A window straddling a sample sees both the carried-in and the new value.
+  EXPECT_DOUBLE_EQ(ts.min_over(1.0, 6.0), 2.0);
+  EXPECT_DOUBLE_EQ(ts.max_over(1.0, 6.0), 7.0);
+  // Before the first sample the series is 0 (value_at semantics).
+  TimeSeries late;
+  late.add(10.0, 5.0);
+  EXPECT_DOUBLE_EQ(late.min_over(0.0, 20.0), 0.0);
+  EXPECT_DOUBLE_EQ(late.max_over(0.0, 20.0), 5.0);
+  // Empty series and inverted windows stay 0.
+  EXPECT_DOUBLE_EQ(TimeSeries{}.min_over(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.max_over(4.0, 1.0), 0.0);
 }
 
 // ---------------------------------------------------------------------------

@@ -6,22 +6,152 @@
 //   corelite_sim --weights 1,1,1,1,1,5,5,5,5,5 --summary
 //   corelite_sim --csv-rates rates.csv --csv-cum cum.csv
 //   corelite_sim --detector ewma --adaptation aimd --pacing poisson
+//   corelite_sim --sweep 8 --jobs 4 --sweep-mechanisms corelite,csfq --json sweep.json
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "cli/args.h"
 #include "cli/scenario_args.h"
+#include "runner/sweep.h"
 #include "scenario/config_script.h"
+#include "stats/aggregate.h"
 #include "stats/csv_writer.h"
 #include "stats/json_writer.h"
 #include "stats/fairness.h"
 
 namespace sc = corelite::scenario;
+namespace rn = corelite::runner;
 
 namespace {
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss{text};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+// Sweep mode: seed × scenario × mechanism grid on a worker pool.
+int run_sweep(const corelite::cli::ArgParser& parser) {
+  rn::SweepGrid grid;
+  grid.repeats = static_cast<std::size_t>(parser.get_int("sweep"));
+  grid.base_seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  grid.duration_sec = parser.get_double("duration");
+
+  grid.scenarios = parser.was_set("sweep-scenarios")
+                       ? split_list(parser.get_string("sweep-scenarios"))
+                       : std::vector<std::string>{parser.get_string("scenario")};
+  const std::vector<std::string> mech_names =
+      parser.was_set("sweep-mechanisms") ? split_list(parser.get_string("sweep-mechanisms"))
+                                         : std::vector<std::string>{parser.get_string("mechanism")};
+  grid.mechanisms.clear();
+  for (const std::string& name : mech_names) {
+    const auto m = sc::mechanism_from_name(name);
+    if (!m.has_value()) {
+      std::fprintf(stderr, "unknown mechanism '%s'\n", name.c_str());
+      return 2;
+    }
+    grid.mechanisms.push_back(*m);
+  }
+  if (grid.scenarios.empty() || grid.mechanisms.empty() || grid.repeats == 0) {
+    std::fprintf(stderr, "empty sweep grid\n");
+    return 2;
+  }
+  if (parser.was_set("weights")) {
+    auto weights = corelite::cli::parse_weight_list(parser.get_string("weights"));
+    if (!weights.has_value()) {
+      std::fprintf(stderr, "malformed --weights list\n");
+      return 2;
+    }
+    grid.weights = std::move(*weights);
+    grid.num_flows = grid.weights.size();
+  }
+
+  const auto jobs = static_cast<std::size_t>(parser.get_int("jobs"));
+  const std::vector<rn::RunDescriptor> runs = rn::expand_grid(grid);
+  std::fprintf(stderr, "sweep: %zu runs (%zu scenario(s) x %zu mechanism(s) x %zu repeat(s)), %zu job(s)\n",
+               runs.size(), grid.scenarios.size(), grid.mechanisms.size(), grid.repeats, jobs);
+
+  rn::SweepRunner sweep_runner{jobs};
+  if (!parser.get_flag("quiet")) {
+    sweep_runner.set_progress([](const rn::RunResult& r, std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "  [%zu/%zu] %s repeat=%zu seed=%llu jain=%.4f (%.0f ms)\n", done,
+                   total, rn::cell_key(r.desc).c_str(), r.desc.repeat,
+                   static_cast<unsigned long long>(r.desc.seed), r.jain, r.wall_ms);
+    });
+  }
+  const std::vector<rn::RunResult> results = sweep_runner.run(runs);
+
+  corelite::stats::SweepAggregator agg;
+  for (const auto& r : results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "run %zu (%s) failed to build — unknown scenario or bad weights\n",
+                   r.index, rn::cell_key(r.desc).c_str());
+      return 2;
+    }
+    rn::record_metrics(agg, r);
+  }
+  const auto cells = agg.snapshot();
+
+  const auto metric = [](const corelite::stats::SweepAggregator::Cell& cell,
+                         const char* name) -> const corelite::stats::Accumulator* {
+    for (const auto& m : cell.metrics) {
+      if (m.name == name) return &m.acc;
+    }
+    return nullptr;
+  };
+  std::printf("%-28s %-4s %-20s %-14s %-14s\n", "cell", "n", "jain (mean+-ci95)", "drops",
+              "events");
+  for (const auto& cell : cells) {
+    const auto* jain = metric(cell, "jain");
+    const auto* drops = metric(cell, "total_drops");
+    const auto* events = metric(cell, "events");
+    if (jain == nullptr || drops == nullptr || events == nullptr) continue;
+    std::printf("%-28s %-4zu %.4f +- %-8.4f %-14.0f %-14.0f\n", cell.name.c_str(), jain->count(),
+                jain->mean(), jain->ci95_half_width(), drops->mean(), events->mean());
+  }
+  if (parser.get_flag("table")) {
+    std::printf("\n%-6s %-28s %-20s %-10s %s\n", "run", "cell", "seed", "jain", "digest");
+    for (const auto& r : results) {
+      std::printf("%-6zu %-28s %-20llu %-10.4f %016llx\n", r.index, rn::cell_key(r.desc).c_str(),
+                  static_cast<unsigned long long>(r.desc.seed), r.jain,
+                  static_cast<unsigned long long>(r.digest));
+    }
+  }
+
+  if (parser.was_set("json")) {
+    std::ofstream os{parser.get_string("json")};
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", parser.get_string("json").c_str());
+      return 1;
+    }
+    corelite::stats::SweepMetaJson meta;
+    meta.title = "corelite_sim sweep";
+    meta.runs = results.size();
+    meta.repeats = grid.repeats;
+    meta.base_seed = grid.base_seed;
+    corelite::stats::write_sweep_json(os, meta, cells);
+    std::fprintf(stderr, "wrote %s\n", parser.get_string("json").c_str());
+  }
+  if (parser.was_set("sweep-csv")) {
+    std::ofstream os{parser.get_string("sweep-csv")};
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", parser.get_string("sweep-csv").c_str());
+      return 1;
+    }
+    corelite::stats::write_sweep_csv(os, cells);
+    std::fprintf(stderr, "wrote %s\n", parser.get_string("sweep-csv").c_str());
+  }
+  return 0;
+}
 
 // Scripted mode: build/run a custom scenario from a config file.
 int run_config_file(const std::string& path) {
@@ -67,10 +197,19 @@ int main(int argc, char** argv) {
   parser.add_string("json", "", "write a machine-readable run summary to this path");
   parser.add_flag("table", "print the rate table on a 5 s grid");
   parser.add_flag("quiet", "suppress the per-flow summary");
+  parser.add_int("sweep", 0,
+                 "sweep mode: repeats per grid cell, seeded deterministically from --seed");
+  parser.add_int("jobs", 1, "sweep worker threads (one simulation universe each)");
+  parser.add_string("sweep-scenarios", "",
+                    "comma-separated scenario list for the sweep grid (default: --scenario)");
+  parser.add_string("sweep-mechanisms", "",
+                    "comma-separated mechanism list for the sweep grid (default: --mechanism)");
+  parser.add_string("sweep-csv", "", "write per-cell sweep statistics CSV to this path");
 
   if (!parser.parse(argc, argv, std::cerr)) return 2;
 
   if (parser.was_set("config")) return run_config_file(parser.get_string("config"));
+  if (parser.get_int("sweep") > 0) return run_sweep(parser);
 
   auto spec = corelite::cli::spec_from_args(parser, std::cerr);
   if (!spec.has_value()) return 2;
