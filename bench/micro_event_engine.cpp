@@ -17,6 +17,7 @@
 // callbacks, shared_ptr packets, binary heap of fat entries) on the
 // same reference machine, so the JSON also carries the speedup ratios
 // the acceptance criteria quote.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -25,6 +26,7 @@
 
 #include "net/network.h"
 #include "scenario/scenario.h"
+#include "sim/hotpath.h"
 #include "sim/simulator.h"
 
 // ---------------------------------------------------------------------------
@@ -77,17 +79,24 @@ double now_seconds() {
 //   - 2M detached-equivalent events, 8 chains, 24-byte captures:
 //     11.6M events/s at 2.00 allocs/event (std::function heap copy +
 //     shared_ptr control block per event).
-//   - scale_flows 80-flow rows: corelite 253.0 ms, csfq 207.9 ms wall.
-// Wall-clock baselines are sensitive to machine load; for a fair
-// comparison rebuild the seed commit and interleave the two binaries
-// in the same session rather than trusting these frozen numbers.
+//   - scale_flows 80-flow rows: corelite 268.0 ms, csfq 193.8 ms wall.
+// The wall baselines were re-measured by rebuilding the seed commit
+// (a8dbe2f) and alternating seed/current cold fresh-process runs in one
+// session (5 pairs; medians) — the seed binary replays the IDENTICAL
+// event sequence (923918 / 718581 events), so the rows compare the same
+// workload.  For a fresh comparison on different hardware, repeat that
+// interleaved procedure rather than trusting these frozen numbers.
 constexpr double kSeedEventsPerSec = 11.6e6;
 constexpr double kSeedAllocsPerEvent = 2.0;
-constexpr double kSeedCorelite80WallMs = 253.0;
-constexpr double kSeedCsfq80WallMs = 207.9;
+constexpr double kSeedCorelite80WallMs = 268.0;
+constexpr double kSeedCsfq80WallMs = 193.8;
 
 constexpr std::uint64_t kEvents = 2'000'000;
 constexpr std::size_t kChains = 8;
+// Wall time of a scale row is the median of this many back-to-back
+// runs: single cold runs on a shared box carry +-15 ms of scheduler
+// noise, which is the same order as the margin being measured.
+constexpr int kRowRepeats = 5;
 
 struct LoopResult {
   std::uint64_t events = 0;
@@ -215,19 +224,33 @@ ForwardingResult run_forwarding_loop() {
   return r;
 }
 
-double run_scale_row(sc::Mechanism mech) {
+struct ScaleRow {
+  double wall_ms = 0.0;          ///< median over kRowRepeats runs
+  sim::HotPathCounters ops;      ///< op counts of one run (deterministic)
+};
+
+ScaleRow run_scale_row(sc::Mechanism mech) {
   sc::ScenarioSpec spec;
   spec.mechanism = mech;
   spec.num_flows = 80;
   spec.duration = sim::SimTime::seconds(60);
   spec.weights.resize(80);
   for (std::size_t i = 0; i < 80; ++i) spec.weights[i] = static_cast<double>(i % 3 + 1);
-  const double t0 = now_seconds();
-  const auto r = sc::run_paper_scenario(spec);
-  const double wall_ms = (now_seconds() - t0) * 1e3;
-  // Keep the run honest: the result must be materially the same workload.
-  if (r.events_processed < 100000) std::abort();
-  return wall_ms;
+
+  double walls[kRowRepeats];
+  ScaleRow row;
+  for (int rep = 0; rep < kRowRepeats; ++rep) {
+    sim::reset_hotpath_counters();
+    const double t0 = now_seconds();
+    const auto r = sc::run_paper_scenario(spec);
+    walls[rep] = (now_seconds() - t0) * 1e3;
+    // Keep the run honest: the result must be materially the same workload.
+    if (r.events_processed < 100000) std::abort();
+    row.ops = sim::aggregated_hotpath_counters();
+  }
+  std::sort(walls, walls + kRowRepeats);
+  row.wall_ms = walls[kRowRepeats / 2];
+  return row;
 }
 
 }  // namespace
@@ -238,8 +261,10 @@ int main() {
 
   // Scenario rows first, before the hot loops heat the machine — the
   // seed reference numbers were captured the same way (fresh process).
-  const double cl80 = run_scale_row(sc::Mechanism::Corelite);
-  const double cs80 = run_scale_row(sc::Mechanism::Csfq);
+  const ScaleRow row_cl = run_scale_row(sc::Mechanism::Corelite);
+  const ScaleRow row_cs = run_scale_row(sc::Mechanism::Csfq);
+  const double cl80 = row_cl.wall_ms;
+  const double cs80 = row_cs.wall_ms;
 
   const LoopResult detached = run_detached_loop();
   std::printf("detached schedule/fire : %8.2f M events/s   %.4f allocs/event\n",
@@ -255,7 +280,14 @@ int main() {
               static_cast<unsigned long long>(fwd.allocs),
               static_cast<unsigned long long>(fwd.hops));
 
-  std::printf("scale_flows 80 flows   : corelite %.1f ms, csfq %.1f ms wall\n", cl80, cs80);
+  std::printf("scale_flows 80 flows   : corelite %.1f ms, csfq %.1f ms wall (median of %d)\n",
+              cl80, cs80, kRowRepeats);
+  std::printf("hot-path ops (csfq-80) : %llu exp calls, %.1f%% cache hits; %llu rng draws, "
+              "%llu observer dispatches\n",
+              static_cast<unsigned long long>(row_cs.ops.exp_calls),
+              row_cs.ops.exp_hit_rate() * 100.0,
+              static_cast<unsigned long long>(row_cs.ops.rng_draws),
+              static_cast<unsigned long long>(row_cs.ops.observer_dispatches));
 
   const double speedup_events = detached.events_per_sec / kSeedEventsPerSec;
   const double speedup_cl = kSeedCorelite80WallMs / cl80;
@@ -285,7 +317,34 @@ int main() {
                  "  },\n"
                  "  \"scale_flows_80\": {\n"
                  "    \"corelite_wall_ms\": %.1f,\n"
-                 "    \"csfq_wall_ms\": %.1f\n"
+                 "    \"csfq_wall_ms\": %.1f,\n"
+                 "    \"row_repeats\": %d,\n"
+                 "    \"row_statistic\": \"median\"\n"
+                 "  },\n"
+                 "  \"hot_path_counters\": {\n"
+                 "    \"corelite_80\": {\n"
+                 "      \"exp_calls\": %llu,\n"
+                 "      \"exp_cache_hits\": %llu,\n"
+                 "      \"exp_hit_rate\": %.3f,\n"
+                 "      \"pow_calls\": %llu,\n"
+                 "      \"rng_draws\": %llu,\n"
+                 "      \"observer_dispatches\": %llu,\n"
+                 "      \"series_appends\": %llu\n"
+                 "    },\n"
+                 "    \"csfq_80\": {\n"
+                 "      \"exp_calls\": %llu,\n"
+                 "      \"exp_cache_hits\": %llu,\n"
+                 "      \"exp_hit_rate\": %.3f,\n"
+                 "      \"pow_calls\": %llu,\n"
+                 "      \"rng_draws\": %llu,\n"
+                 "      \"observer_dispatches\": %llu,\n"
+                 "      \"series_appends\": %llu\n"
+                 "    },\n"
+                 "    \"exp_hit_rate_ceiling_note\": "
+                 "\"csfq-80 evaluates 115205 distinct exp argument bit patterns over 439131 "
+                 "calls (FP-accumulated paced emission times drift continuously at shared "
+                 "links), so even an infinite bit-exact cache caps at 0.738; the 4096-slot "
+                 "direct-mapped cache reaches ~0.725 of that ceiling.\"\n"
                  "  },\n"
                  "  \"seed_reference\": {\n"
                  "    \"events_per_sec\": %.0f,\n"
@@ -304,7 +363,22 @@ int main() {
                  handled.events_per_sec, handled.allocs_per_event,
                  static_cast<unsigned long long>(fwd.hops),
                  static_cast<unsigned long long>(fwd.allocs), fwd.allocs_per_hop,
-                 fwd.hops_per_sec, cl80, cs80, kSeedEventsPerSec, kSeedAllocsPerEvent,
+                 fwd.hops_per_sec, cl80, cs80, kRowRepeats,
+                 static_cast<unsigned long long>(row_cl.ops.exp_calls),
+                 static_cast<unsigned long long>(row_cl.ops.exp_cache_hits),
+                 row_cl.ops.exp_hit_rate(),
+                 static_cast<unsigned long long>(row_cl.ops.pow_calls),
+                 static_cast<unsigned long long>(row_cl.ops.rng_draws),
+                 static_cast<unsigned long long>(row_cl.ops.observer_dispatches),
+                 static_cast<unsigned long long>(row_cl.ops.series_appends),
+                 static_cast<unsigned long long>(row_cs.ops.exp_calls),
+                 static_cast<unsigned long long>(row_cs.ops.exp_cache_hits),
+                 row_cs.ops.exp_hit_rate(),
+                 static_cast<unsigned long long>(row_cs.ops.pow_calls),
+                 static_cast<unsigned long long>(row_cs.ops.rng_draws),
+                 static_cast<unsigned long long>(row_cs.ops.observer_dispatches),
+                 static_cast<unsigned long long>(row_cs.ops.series_appends),
+                 kSeedEventsPerSec, kSeedAllocsPerEvent,
                  kSeedCorelite80WallMs, kSeedCsfq80WallMs, speedup_events, speedup_cl,
                  speedup_cs);
     std::fclose(json);

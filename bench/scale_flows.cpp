@@ -25,6 +25,7 @@
 
 #include "bench_util.h"
 #include "runner/sweep.h"
+#include "sim/hotpath.h"
 #include "stats/aggregate.h"
 
 namespace sc = corelite::scenario;
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
   std::size_t jobs = 1;
   std::size_t repeats = 1;
   std::uint64_t base_seed = 1;
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
     const bool more = i + 1 < argc;
     if (std::strcmp(argv[i], "--jobs") == 0 && more) {
@@ -42,8 +44,11 @@ int main(int argc, char** argv) {
       repeats = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--seed") == 0 && more) {
       base_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--jobs N] [--sweep REPEATS] [--seed S]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--jobs N] [--sweep REPEATS] [--seed S] [--profile]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -102,6 +107,22 @@ int main(int argc, char** argv) {
                     m.acc.mean(), m.acc.ci95_half_width());
       }
     }
+  }
+
+  if (profile) {
+    const corelite::sim::HotPathCounters c = corelite::sim::aggregated_hotpath_counters();
+    std::printf("\nhot-path profile (totals across all %zu runs)\n", runs.size());
+    std::printf("  exp calls            %12llu  (cache hits %llu, %.1f%%)\n",
+                static_cast<unsigned long long>(c.exp_calls),
+                static_cast<unsigned long long>(c.exp_cache_hits), c.exp_hit_rate() * 100.0);
+    std::printf("  pow calls            %12llu  (cache hits %llu, %.1f%%)\n",
+                static_cast<unsigned long long>(c.pow_calls),
+                static_cast<unsigned long long>(c.pow_cache_hits), c.pow_hit_rate() * 100.0);
+    std::printf("  rng draws            %12llu\n", static_cast<unsigned long long>(c.rng_draws));
+    std::printf("  observer dispatches  %12llu\n",
+                static_cast<unsigned long long>(c.observer_dispatches));
+    std::printf("  series appends       %12llu\n",
+                static_cast<unsigned long long>(c.series_appends));
   }
 
   std::printf(

@@ -9,7 +9,11 @@
 // directory, alongside the hardware thread count so results from
 // single-core containers are honestly labelled as such.
 //
-//   sweep_harness [--jobs N]      (default: hardware threads, min 2)
+//   sweep_harness [--jobs N] [--tiny] [--profile]
+//
+// --jobs N     parallel pass width (default: hardware threads, min 2)
+// --tiny       shrink the grid to 16 x 10 s runs — the CI smoke grid
+// --profile    print the hot-path op counters and add them to the JSON
 //
 // Exit status is non-zero if any digest differs, so CI can gate on it.
 #include <algorithm>
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "runner/sweep.h"
+#include "sim/hotpath.h"
 #include "stats/aggregate.h"
 
 namespace sc = corelite::scenario;
@@ -41,11 +46,17 @@ double run_pass(const std::vector<rn::RunDescriptor>& runs, std::size_t jobs,
 
 int main(int argc, char** argv) {
   std::size_t jobs = std::max(2u, std::thread::hardware_concurrency());
+  bool tiny = false;
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--tiny") == 0) {
+      tiny = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--jobs N] [--tiny] [--profile]\n", argv[0]);
       return 2;
     }
   }
@@ -55,9 +66,9 @@ int main(int argc, char** argv) {
   grid.scenarios = {"fig5", "fig7"};
   grid.mechanisms = {sc::Mechanism::Corelite, sc::Mechanism::Csfq, sc::Mechanism::Wfq,
                      sc::Mechanism::DropTail};
-  grid.repeats = 4;
+  grid.repeats = tiny ? 2 : 4;
   grid.base_seed = 1;
-  grid.duration_sec = 40.0;
+  grid.duration_sec = tiny ? 10.0 : 40.0;
   const auto runs = rn::expand_grid(grid);
 
   std::printf("Sweep harness: %zu runs (%zu scenario(s) x %zu mechanism(s) x %zu seed(s))\n",
@@ -110,6 +121,25 @@ int main(int argc, char** argv) {
                 drops_mean);
   }
 
+  // Both passes' workers have flushed into the process aggregate, so
+  // these totals cover the serial and the parallel execution together.
+  const corelite::sim::HotPathCounters ops = corelite::sim::aggregated_hotpath_counters();
+  if (profile) {
+    std::printf("\nhot-path op counters (both passes)\n");
+    std::printf("%-22s %14s\n", "op", "count");
+    std::printf("%-22s %14llu  (hits %llu, %.1f%%)\n", "exp calls",
+                static_cast<unsigned long long>(ops.exp_calls),
+                static_cast<unsigned long long>(ops.exp_cache_hits), ops.exp_hit_rate() * 100.0);
+    std::printf("%-22s %14llu  (hits %llu, %.1f%%)\n", "pow calls",
+                static_cast<unsigned long long>(ops.pow_calls),
+                static_cast<unsigned long long>(ops.pow_cache_hits), ops.pow_hit_rate() * 100.0);
+    std::printf("%-22s %14llu\n", "rng draws", static_cast<unsigned long long>(ops.rng_draws));
+    std::printf("%-22s %14llu\n", "observer dispatches",
+                static_cast<unsigned long long>(ops.observer_dispatches));
+    std::printf("%-22s %14llu\n", "series appends",
+                static_cast<unsigned long long>(ops.series_appends));
+  }
+
   std::FILE* json = std::fopen("BENCH_sweep.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
@@ -119,17 +149,39 @@ int main(int argc, char** argv) {
                  "  \"scenarios\": %zu,\n"
                  "  \"mechanisms\": %zu,\n"
                  "  \"repeats\": %zu,\n"
+                 "  \"duration_sec\": %.0f,\n"
                  "  \"hw_threads\": %u,\n"
                  "  \"jobs_parallel\": %zu,\n"
                  "  \"wall_serial_ms\": %.1f,\n"
                  "  \"wall_parallel_ms\": %.1f,\n"
                  "  \"speedup\": %.3f,\n"
                  "  \"bit_identical\": %s,\n"
-                 "  \"digest_mismatches\": %zu\n"
-                 "}\n",
+                 "  \"digest_mismatches\": %zu",
                  runs.size(), grid.scenarios.size(), grid.mechanisms.size(), grid.repeats,
-                 std::thread::hardware_concurrency(), jobs, wall_serial, wall_parallel, speedup,
-                 mismatches == 0 ? "true" : "false", mismatches);
+                 grid.duration_sec, std::thread::hardware_concurrency(), jobs, wall_serial,
+                 wall_parallel, speedup, mismatches == 0 ? "true" : "false", mismatches);
+    if (profile) {
+      std::fprintf(json,
+                   ",\n"
+                   "  \"hot_path_counters\": {\n"
+                   "    \"exp_calls\": %llu,\n"
+                   "    \"exp_cache_hits\": %llu,\n"
+                   "    \"exp_hit_rate\": %.3f,\n"
+                   "    \"pow_calls\": %llu,\n"
+                   "    \"pow_cache_hits\": %llu,\n"
+                   "    \"rng_draws\": %llu,\n"
+                   "    \"observer_dispatches\": %llu,\n"
+                   "    \"series_appends\": %llu\n"
+                   "  }",
+                   static_cast<unsigned long long>(ops.exp_calls),
+                   static_cast<unsigned long long>(ops.exp_cache_hits), ops.exp_hit_rate(),
+                   static_cast<unsigned long long>(ops.pow_calls),
+                   static_cast<unsigned long long>(ops.pow_cache_hits),
+                   static_cast<unsigned long long>(ops.rng_draws),
+                   static_cast<unsigned long long>(ops.observer_dispatches),
+                   static_cast<unsigned long long>(ops.series_appends));
+    }
+    std::fprintf(json, "\n}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_sweep.json\n");
   }

@@ -96,7 +96,7 @@ CsfqCoreRouter::CsfqCoreRouter(net::Network& network, net::NodeId node, const Cs
   for (net::Link* link : net_.node(node_).out_links()) {
     links_.push_back(std::make_unique<LinkState>(this, link, cfg_, net_.simulator().rng()));
     link->set_admission(&links_.back()->policy);
-    link->add_observer(links_.back().get());
+    link->add_observer(links_.back().get(), net::Link::kObserveDrop);
   }
 }
 
@@ -146,7 +146,7 @@ LossNotifyingCoreRouter::LossNotifyingCoreRouter(net::Network& network, net::Nod
     : net_{network}, node_{node} {
   for (net::Link* link : net_.node(node_).out_links()) {
     watches_.push_back(std::make_unique<DropWatch>(this, link));
-    link->add_observer(watches_.back().get());
+    link->add_observer(watches_.back().get(), net::Link::kObserveDrop);
   }
 }
 

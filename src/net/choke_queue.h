@@ -39,7 +39,6 @@ class ChokeQueue final : public PacketQueue {
 
   [[nodiscard]] bool enqueue(Packet&& p, sim::SimTime now) override;
   [[nodiscard]] std::optional<Packet> dequeue(sim::SimTime now) override;
-  [[nodiscard]] std::size_t data_packet_count() const override { return data_count_; }
   [[nodiscard]] bool empty() const override { return q_.empty(); }
 
   [[nodiscard]] double average_queue() const { return avg_; }
@@ -54,7 +53,6 @@ class ChokeQueue final : public PacketQueue {
   Config cfg_;
   sim::Rng* rng_;
   std::deque<Packet> q_;
-  std::size_t data_count_ = 0;
   double avg_ = 0.0;
   std::int64_t count_since_drop_ = -1;
   sim::SimTime idle_since_ = sim::SimTime::zero();

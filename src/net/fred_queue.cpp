@@ -1,16 +1,15 @@
 #include "net/fred_queue.h"
 
 #include <algorithm>
-#include <cmath>
 #include <utility>
+
+#include "net/ewma_aging.h"
 
 namespace corelite::net {
 
 void FredQueue::age_average(sim::SimTime now) {
   if (!idle_) return;
-  const double idle_time = (now - idle_since_).sec();
-  const double m = std::max(0.0, idle_time / cfg_.typical_service_time.sec());
-  avg_ *= std::pow(1.0 - cfg_.ewma_weight, m);
+  avg_ = ewma_idle_aged(avg_, cfg_.ewma_weight, now - idle_since_, cfg_.typical_service_time);
   idle_ = false;
 }
 

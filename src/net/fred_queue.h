@@ -45,7 +45,6 @@ class FredQueue final : public PacketQueue {
 
   [[nodiscard]] bool enqueue(Packet&& p, sim::SimTime now) override;
   [[nodiscard]] std::optional<Packet> dequeue(sim::SimTime now) override;
-  [[nodiscard]] std::size_t data_packet_count() const override { return data_count_; }
   [[nodiscard]] bool empty() const override { return q_.empty(); }
 
   [[nodiscard]] double average_queue() const { return avg_; }
@@ -67,7 +66,6 @@ class FredQueue final : public PacketQueue {
   Config cfg_;
   sim::Rng* rng_;
   std::deque<Packet> q_;
-  std::size_t data_count_ = 0;
   std::unordered_map<FlowId, FlowEntry> flows_;
   double avg_ = 0.0;
   std::int64_t count_since_drop_ = -1;

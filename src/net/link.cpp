@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/network.h"
+#include "sim/hotpath.h"
 
 namespace corelite::net {
 
@@ -21,13 +22,20 @@ Link::Link(sim::Simulator& simulator, Network& network, NodeId from, NodeId to, 
   // like rejected arrivals.
   queue_->set_internal_drop_callback([this](const Packet& p) {
     ++stats_.dropped;
-    for (auto* obs : observers_) obs->on_drop(p, sim_.now());
+    notify_drop(p, sim_.now());
   });
 }
 
 void Link::notify_queue_length() {
+  if (qlen_obs_.empty()) return;
   const std::size_t len = queue_->data_packet_count();
-  for (auto* obs : observers_) obs->on_queue_length(len, sim_.now());
+  sim::hotpath_counters().observer_dispatches += qlen_obs_.size();
+  for (auto* obs : qlen_obs_) obs->on_queue_length(len, sim_.now());
+}
+
+void Link::notify_drop(const Packet& p, sim::SimTime now) {
+  sim::hotpath_counters().observer_dispatches += drop_obs_.size();
+  for (auto* obs : drop_obs_) obs->on_drop(p, now);
 }
 
 void Link::send(Packet&& p) {
@@ -35,36 +43,42 @@ void Link::send(Packet&& p) {
 
   if (p.is_data() && admission_ != nullptr && !admission_->admit(p, now)) {
     ++stats_.dropped;
-    for (auto* obs : observers_) obs->on_drop(p, now);
+    notify_drop(p, now);
     return;
   }
   if (p.is_control() && control_loss_rate_ > 0.0 &&
       sim_.rng().bernoulli(control_loss_rate_)) {
     ++stats_.dropped_control;
-    for (auto* obs : observers_) obs->on_drop(p, now);
+    notify_drop(p, now);
     return;
   }
 
-  if (observers_.empty()) {
-    // Fast path: nobody watches this link, so the defensive header copy
-    // for post-enqueue notification is pure waste.
+  const bool data = p.is_data();
+  if (enqueue_obs_.empty()) {
+    // Fast path: nobody watches enqueues, so the defensive header copy
+    // for post-enqueue notification is pure waste.  Queues leave the
+    // packet intact on rejection (contract in queue.h), so the drop
+    // notification can use `p` directly.
     if (!queue_->enqueue(std::move(p), now)) {
       ++stats_.dropped;
+      notify_drop(p, now);
       return;
     }
     ++stats_.enqueued;
+    if (data) notify_queue_length();
   } else {
     // Packet carries no payload (headers only), so keeping a copy for
     // observer notification is cheap and sidesteps moved-from hazards.
     const Packet header = p;
     if (!queue_->enqueue(std::move(p), now)) {
       ++stats_.dropped;
-      for (auto* obs : observers_) obs->on_drop(header, now);
+      notify_drop(header, now);
       return;
     }
     ++stats_.enqueued;
-    for (auto* obs : observers_) obs->on_enqueue(header, now);
-    if (header.is_data()) notify_queue_length();
+    sim::hotpath_counters().observer_dispatches += enqueue_obs_.size();
+    for (auto* obs : enqueue_obs_) obs->on_enqueue(header, now);
+    if (data) notify_queue_length();
   }
   if (!busy_) start_transmission();
 }
@@ -80,10 +94,11 @@ void Link::start_transmission() {
     return;
   }
   busy_ = true;
-  if (!observers_.empty()) {
-    for (auto* obs : observers_) obs->on_dequeue(*pooled, sim_.now());
-    if (pooled->is_data()) notify_queue_length();
+  if (!dequeue_obs_.empty()) {
+    sim::hotpath_counters().observer_dispatches += dequeue_obs_.size();
+    for (auto* obs : dequeue_obs_) obs->on_dequeue(*pooled, sim_.now());
   }
+  if (pooled->is_data()) notify_queue_length();
 
   const sim::TimeDelta ser = rate_.serialization_time(pooled->size);
   sim_.after_detached(ser,

@@ -1,8 +1,8 @@
 #include "net/queue.h"
 
-#include <algorithm>
-#include <cmath>
 #include <utility>
+
+#include "net/ewma_aging.h"
 
 namespace corelite::net {
 
@@ -31,10 +31,7 @@ bool DropTailQueue::dequeue_into(Packet& out, sim::SimTime /*now*/) {
 
 void RedQueue::age_average(sim::SimTime now) {
   if (!idle_) return;
-  // While the queue was idle, pretend `m` small packets were serviced.
-  const double idle_time = (now - idle_since_).sec();
-  const double m = std::max(0.0, idle_time / cfg_.typical_service_time.sec());
-  avg_ *= std::pow(1.0 - cfg_.ewma_weight, m);
+  avg_ = ewma_idle_aged(avg_, cfg_.ewma_weight, now - idle_since_, cfg_.typical_service_time);
   idle_ = false;
 }
 

@@ -25,8 +25,10 @@ class PacketQueue {
  public:
   virtual ~PacketQueue() = default;
 
-  /// Attempt to enqueue.  Returns false if the packet was dropped; in that
-  /// case the packet is consumed (the caller keeps drop statistics).
+  /// Attempt to enqueue.  Returns false if the packet was dropped.
+  /// Contract: on rejection the packet is left INTACT (implementations
+  /// decide before moving from `p`), so the caller can notify drop
+  /// observers from `p` without keeping a defensive copy.
   [[nodiscard]] virtual bool enqueue(Packet&& p, sim::SimTime now) = 0;
 
   /// Invoked for packets the queue drops *after* having accepted them
@@ -51,8 +53,12 @@ class PacketQueue {
   }
 
   /// Number of data packets currently queued (capacity metric and the
-  /// quantity Corelite's congestion estimator averages).
-  [[nodiscard]] virtual std::size_t data_packet_count() const = 0;
+  /// quantity Corelite's congestion estimator averages).  Non-virtual:
+  /// every discipline maintains the shared counter below, and the link
+  /// reads it after every data enqueue/dequeue — a virtual call here
+  /// costs an indirect branch on the per-packet path for a value that
+  /// is a plain load in all implementations.
+  [[nodiscard]] std::size_t data_packet_count() const { return data_count_; }
 
   [[nodiscard]] virtual bool empty() const = 0;
 
@@ -67,6 +73,10 @@ class PacketQueue {
     if (internal_drop_) internal_drop_(p);
   }
 
+  /// Data packets currently queued; disciplines keep it current on
+  /// every data enqueue/dequeue/internal drop.
+  std::size_t data_count_ = 0;
+
  private:
   InternalDropFn internal_drop_;
 };
@@ -80,14 +90,12 @@ class DropTailQueue final : public PacketQueue {
   [[nodiscard]] bool enqueue(Packet&& p, sim::SimTime now) override;
   [[nodiscard]] std::optional<Packet> dequeue(sim::SimTime now) override;
   [[nodiscard]] bool dequeue_into(Packet& out, sim::SimTime now) override;
-  [[nodiscard]] std::size_t data_packet_count() const override { return data_count_; }
   [[nodiscard]] bool empty() const override { return q_.empty(); }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
   std::size_t capacity_;
-  std::size_t data_count_ = 0;
   RingBuffer<Packet> q_;
 };
 
@@ -114,7 +122,6 @@ class RedQueue final : public PacketQueue {
   [[nodiscard]] bool enqueue(Packet&& p, sim::SimTime now) override;
   [[nodiscard]] std::optional<Packet> dequeue(sim::SimTime now) override;
   [[nodiscard]] bool dequeue_into(Packet& out, sim::SimTime now) override;
-  [[nodiscard]] std::size_t data_packet_count() const override { return data_count_; }
   [[nodiscard]] bool empty() const override { return q_.empty(); }
 
   [[nodiscard]] double average_queue() const { return avg_; }
@@ -124,7 +131,6 @@ class RedQueue final : public PacketQueue {
 
   Config cfg_;
   sim::Rng* rng_;
-  std::size_t data_count_ = 0;
   RingBuffer<Packet> q_;
   double avg_ = 0.0;
   std::int64_t count_since_drop_ = -1;

@@ -29,7 +29,6 @@ class SfqQueue final : public PacketQueue {
 
   [[nodiscard]] bool enqueue(Packet&& p, sim::SimTime now) override;
   [[nodiscard]] std::optional<Packet> dequeue(sim::SimTime now) override;
-  [[nodiscard]] std::size_t data_packet_count() const override { return data_count_; }
   [[nodiscard]] bool empty() const override;
 
   [[nodiscard]] std::size_t band_of(FlowId flow) const {
@@ -49,7 +48,6 @@ class SfqQueue final : public PacketQueue {
   std::vector<std::deque<Packet>> queues_;
   std::deque<Packet> control_;  // strict priority, zero-size headers
   std::size_t next_band_ = 0;   // round-robin pointer
-  std::size_t data_count_ = 0;
 };
 
 }  // namespace corelite::net

@@ -38,7 +38,8 @@ void PacketTracer::attach(Link& link) {
   auto shim = std::make_unique<LinkShim>();
   shim->owner = this;
   shim->link = &link;
-  link.add_observer(shim.get());
+  link.add_observer(shim.get(),
+                    Link::kObserveEnqueue | Link::kObserveDequeue | Link::kObserveDrop);
   shims_.push_back(std::move(shim));
 }
 

@@ -42,7 +42,6 @@ class WfqQueue final : public PacketQueue {
 
   [[nodiscard]] bool enqueue(Packet&& p, sim::SimTime now) override;
   [[nodiscard]] std::optional<Packet> dequeue(sim::SimTime now) override;
-  [[nodiscard]] std::size_t data_packet_count() const override { return data_count_; }
   [[nodiscard]] bool empty() const override { return data_count_ == 0 && control_.empty(); }
 
   [[nodiscard]] double virtual_time() const { return vtime_; }
@@ -66,7 +65,6 @@ class WfqQueue final : public PacketQueue {
 
   std::size_t capacity_;
   WeightFn weight_of_;
-  std::size_t data_count_ = 0;
   double vtime_ = 0.0;
   std::map<FlowId, FlowQueue> flows_;
   std::deque<Packet> control_;

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
+
+#include "sim/fastmath.h"
 
 namespace corelite::qos {
 
@@ -56,7 +57,10 @@ void AimdRateController::adapt(double& rate, int feedback_count, double floor) {
   if (feedback_count == 0) {
     rate += cfg_.alpha_pps;
   } else {
-    rate = std::max(floor, rate * std::pow(1.0 - cfg_.md_factor, feedback_count));
+    // Small integer exponents recur every epoch; the decay cache makes
+    // the multiplicative decrease a table hit (bit-identical results).
+    rate = std::max(floor, rate * sim::fastmath::cached_pow(1.0 - cfg_.md_factor,
+                                                            feedback_count));
   }
 }
 
@@ -64,7 +68,8 @@ void MimdRateController::adapt(double& rate, int feedback_count, double floor) {
   if (feedback_count == 0) {
     rate *= cfg_.mi_factor;
   } else {
-    rate = std::max(floor, rate * std::pow(1.0 - cfg_.md_factor, feedback_count));
+    rate = std::max(floor, rate * sim::fastmath::cached_pow(1.0 - cfg_.md_factor,
+                                                            feedback_count));
   }
 }
 

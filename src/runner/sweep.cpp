@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "runner/thread_pool.h"
+#include "sim/hotpath.h"
 #include "stats/fairness.h"
 
 namespace corelite::runner {
@@ -122,6 +123,9 @@ RunResult execute_run(const RunDescriptor& desc) {
   const scenario::ScenarioResult r = scenario::run_paper_scenario(*spec);
   res.wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  // Publish this worker's hot-path op counts so --profile output is
+  // complete regardless of which pool thread ran which universe.
+  sim::flush_hotpath_counters();
 
   const double t_end = spec->duration.sec();
   const double w0 = t_end / 2.0;

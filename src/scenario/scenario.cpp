@@ -12,6 +12,7 @@
 #include "qos/core_router.h"
 #include "qos/ecn.h"
 #include "qos/edge_router.h"
+#include "sim/hotpath.h"
 #include "sim/simulator.h"
 #include "stats/fairness.h"
 
@@ -120,7 +121,7 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
     if (auto* l = topo.congested_link(network, i)) {
       auto rec = std::make_unique<DropRecorder>();
       rec->sink = &result.drop_times;
-      l->add_observer(rec.get());
+      l->add_observer(rec.get(), net::Link::kObserveDrop);
       drop_recorders.push_back(std::move(rec));
     }
   }
@@ -267,6 +268,7 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
       }
     }
   }
+  sim::flush_hotpath_counters();
   return result;
 }
 

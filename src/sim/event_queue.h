@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -102,20 +103,22 @@ class EventQueue {
   SimTime run_next() {
     drop_dead();
     assert(!heap_.empty() && "run_next on an empty event queue");
-    const Entry top = heap_[0];
-    const auto slot = static_cast<std::uint32_t>(top.key & kSlotMask);
-    Slot& s = slots_[slot];
-    // Move the callback out before invoking: the callback may schedule
-    // new events, which can grow the slot vector and invalidate `s`.
-    Callback cb = std::move(s.cb);
-    if ((top.key & kCancellableBit) != 0) {
-      s.state->fired = true;
-      s.state.reset();
-    }
-    remove_root();
-    free_slots_.push_back(slot);
-    cb();
-    return SimTime::seconds(top.at);
+    return pop_and_fire([](SimTime) {});
+  }
+
+  /// Single-peek run step: if the earliest live event fires at a finite
+  /// time <= `deadline`, invoke `set_clock` with that time, pop and run
+  /// the event, and return its fire time; otherwise leave the queue
+  /// untouched and return SimTime::infinite().  Replaces the
+  /// next_time()/run_next() pair in Simulator's run loops — one
+  /// drop_dead() and one root load per event instead of two.
+  template <class SetClock>
+  SimTime run_next_until(SimTime deadline, SetClock&& set_clock) {
+    drop_dead();
+    if (heap_.empty()) return SimTime::infinite();
+    const double at = heap_[0].at;
+    if (at > deadline.sec() || !std::isfinite(at)) return SimTime::infinite();
+    return pop_and_fire(std::forward<SetClock>(set_clock));
   }
 
   /// Number of events ever scheduled (including cancelled ones).
@@ -130,6 +133,31 @@ class EventQueue {
   [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
 
  private:
+  /// Pop the root (must be live) and fire its callback.  `set_clock`
+  /// runs after the heap is consistent but before the callback, so the
+  /// owner can advance its clock to the fire time the callback observes.
+  template <class SetClock>
+  SimTime pop_and_fire(SetClock&& set_clock) {
+    const Entry top = heap_[0];
+    const auto slot = static_cast<std::uint32_t>(top.key & kSlotMask);
+    Slot& s = slots_[slot];
+    // Move the callback out before invoking: the callback may schedule
+    // new events, which can grow the slot vector and invalidate `s`.
+    Callback cb = std::move(s.cb);
+    if ((top.key & kCancellableBit) != 0) {
+      s.state->fired = true;
+      s.state.reset();
+    }
+    remove_root();
+    free_slots_.push_back(slot);
+    const SimTime t = SimTime::seconds(top.at);
+    set_clock(t);
+    // consume() fuses invoke + destroy into one dispatch — one indirect
+    // call per event instead of two for non-trivial closures.
+    cb.consume();
+    return t;
+  }
+
   // Heap entries are two words: the fire time and a packed
   // (sequence << kSeqShift) | cancellable | slot key.  The sequence
   // occupies the high bits, so comparing keys compares sequences — the

@@ -1,0 +1,70 @@
+// Hot-path operation counters.
+//
+// The simulator's wall clock is dominated by a handful of per-packet
+// operations: transcendental math (exp/pow), RNG draws, link observer
+// dispatches and time-series appends.  Wall-clock numbers alone cannot
+// tell a regression in one of these from machine noise, so the hot
+// paths bump these counters unconditionally — the increments are plain
+// thread-local adds, cheap enough to keep compiled into release builds
+// — and `corelite_sim --profile` / bench/scale_flows surface them.
+//
+// Threading: each thread accumulates into its own thread-local block
+// (no synchronization on the hot path).  A thread that finishes a unit
+// of work publishes its block into a process-wide aggregate with
+// flush_hotpath_counters() — a handful of relaxed atomic adds — which
+// is what the sweep runner does after every run, so --profile output is
+// complete at any --jobs level.  aggregated_hotpath_counters() returns
+// the aggregate plus the calling thread's unflushed local block.
+#pragma once
+
+#include <cstdint>
+
+namespace corelite::sim {
+
+struct HotPathCounters {
+  std::uint64_t exp_calls = 0;        ///< decay-cache exp() lookups
+  std::uint64_t exp_cache_hits = 0;   ///< ... served from the cache
+  std::uint64_t pow_calls = 0;        ///< decay-cache pow() lookups
+  std::uint64_t pow_cache_hits = 0;   ///< ... served from the cache
+  std::uint64_t rng_draws = 0;        ///< PRNG engine advances
+  std::uint64_t observer_dispatches = 0;  ///< link observer callbacks invoked
+  std::uint64_t series_appends = 0;   ///< stats::TimeSeries::add() samples
+
+  [[nodiscard]] double exp_hit_rate() const {
+    return exp_calls == 0 ? 0.0
+                          : static_cast<double>(exp_cache_hits) / static_cast<double>(exp_calls);
+  }
+  [[nodiscard]] double pow_hit_rate() const {
+    return pow_calls == 0 ? 0.0
+                          : static_cast<double>(pow_cache_hits) / static_cast<double>(pow_calls);
+  }
+};
+
+namespace detail {
+/// Zero-initialized POD in the TLS image: access compiles to a couple
+/// of fs-relative instructions, with no guard variable and no call —
+/// the increments sit on the per-packet path.
+inline constinit thread_local HotPathCounters t_hotpath_counters{};
+}  // namespace detail
+
+/// The calling thread's counter block.  Hot paths increment through
+/// this; never cache the reference across threads.
+[[nodiscard]] inline HotPathCounters& hotpath_counters() {
+  return detail::t_hotpath_counters;
+}
+
+/// Add the calling thread's block into the process-wide aggregate and
+/// zero the local block.  Called by the sweep runner after each run and
+/// by run_paper_scenario() on completion; cheap (seven relaxed adds).
+void flush_hotpath_counters();
+
+/// Process-wide aggregate (all flushed blocks) plus the calling
+/// thread's local block.  Worker threads must have flushed (the sweep
+/// runner does) for their contribution to be visible.
+[[nodiscard]] HotPathCounters aggregated_hotpath_counters();
+
+/// Zero both the aggregate and the calling thread's local block.
+/// Benchmarks call this between measured sections.
+void reset_hotpath_counters();
+
+}  // namespace corelite::sim

@@ -2,12 +2,23 @@
 //
 // All randomness in a run flows through one Rng seeded explicitly, so
 // every experiment is exactly reproducible from (code, seed).
+//
+// The distribution objects are members, constructed once: libstdc++'s
+// uniform/exponential distributions are stateless, so constructing one
+// per draw (the previous code) produced the identical stream while
+// paying construction on every packet — random_test.cpp pins the
+// stream against per-call construction so this stays true across
+// refactors.  Parameterized draws pass a param_type to the stored
+// object, which the standard defines to behave exactly like a fresh
+// distribution with those parameters.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
 #include <random>
 #include <vector>
+
+#include "sim/hotpath.h"
 
 namespace corelite::sim {
 
@@ -17,17 +28,20 @@ class Rng {
 
   /// Uniform double in [0, 1).
   [[nodiscard]] double uniform01() {
-    return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+    ++hotpath_counters().rng_draws;
+    return unit_(engine_);
   }
 
   /// Uniform double in [lo, hi).
   [[nodiscard]] double uniform(double lo, double hi) {
-    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+    ++hotpath_counters().rng_draws;
+    return real_(engine_, std::uniform_real_distribution<double>::param_type{lo, hi});
   }
 
   /// Uniform integer in [lo, hi] inclusive.
   [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
-    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+    ++hotpath_counters().rng_draws;
+    return int_(engine_, std::uniform_int_distribution<std::int64_t>::param_type{lo, hi});
   }
 
   /// Bernoulli trial with success probability p (clamped to [0,1]).
@@ -40,7 +54,8 @@ class Rng {
   /// Exponentially distributed value with the given mean.
   [[nodiscard]] double exponential(double mean) {
     assert(mean > 0.0);
-    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+    ++hotpath_counters().rng_draws;
+    return exp_(engine_, std::exponential_distribution<double>::param_type{1.0 / mean});
   }
 
   /// Pick k distinct indices uniformly from [0, n).  If k >= n returns all.
@@ -50,6 +65,10 @@ class Rng {
 
  private:
   std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::uniform_real_distribution<double> real_;
+  std::uniform_int_distribution<std::int64_t> int_;
+  std::exponential_distribution<double> exp_;
 };
 
 }  // namespace corelite::sim

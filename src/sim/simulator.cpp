@@ -15,36 +15,13 @@ EventHandle Simulator::after(TimeDelta delay, EventQueue::Callback cb) {
   return at(now_ + delay, std::move(cb));
 }
 
-PeriodicHandle Simulator::every(TimeDelta period, std::function<void()> cb,
-                                TimeDelta first_after) {
-  assert(period > TimeDelta::zero());
-  if (!first_after.is_finite()) first_after = period;
-  auto control = std::make_shared<PeriodicHandle::Control>();
-  auto body = std::make_shared<std::function<void()>>(std::move(cb));
-
-  // Self-rescheduling chain.  The closure captures itself only weakly; the
-  // pending queue entry is what keeps `fire` alive, so when the chain ends
-  // (cancellation) the whole structure is reclaimed — no reference cycle.
-  auto fire = std::make_shared<std::function<void()>>();
-  *fire = [this, period, control, body, wfire = std::weak_ptr(fire)]() {
-    if (control->cancelled) return;
-    (*body)();
-    if (control->cancelled) return;
-    if (auto f = wfire.lock()) queue_.schedule_detached(now_ + period, [f] { (*f)(); });
-  };
-  queue_.schedule_detached(now_ + first_after, [fire] { (*fire)(); });
-  return PeriodicHandle{std::move(control)};
-}
-
 void Simulator::run_until(SimTime deadline) {
   stopped_ = false;
-  // One heap peek per event: next_time() returns infinite() on an empty
-  // queue, which also terminates the loop for any finite deadline.
+  // run_next_until peeks the heap once per event and advances the clock
+  // to the fire time just before the callback observes now().
+  const auto set_clock = [this](SimTime t) { now_ = t; };
   while (!stopped_) {
-    const SimTime t = queue_.next_time();
-    if (t > deadline || t >= SimTime::infinite()) break;
-    now_ = t;  // advance the clock before the callback observes now()
-    queue_.run_next();
+    if (!queue_.run_next_until(deadline, set_clock).is_finite()) break;
     ++processed_;
   }
   if (!stopped_ && now_ < deadline && deadline < SimTime::infinite()) now_ = deadline;
@@ -52,11 +29,9 @@ void Simulator::run_until(SimTime deadline) {
 
 void Simulator::run() {
   stopped_ = false;
+  const auto set_clock = [this](SimTime t) { now_ = t; };
   while (!stopped_) {
-    const SimTime t = queue_.next_time();
-    if (t >= SimTime::infinite()) break;
-    now_ = t;
-    queue_.run_next();
+    if (!queue_.run_next_until(SimTime::infinite(), set_clock).is_finite()) break;
     ++processed_;
   }
 }

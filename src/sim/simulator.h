@@ -73,8 +73,19 @@ class Simulator {
   /// cancelled.  The first firing happens after `first_after` (defaults
   /// to one period); passing a randomized phase here desynchronizes
   /// periodic components, as real distributed timers are.
-  PeriodicHandle every(TimeDelta period, std::function<void()> cb,
-                       TimeDelta first_after = TimeDelta::infinite());
+  ///
+  /// Templated on the callable: each tick invokes the body directly
+  /// through one shared state block — no std::function dispatch and no
+  /// weak_ptr lock on the (per-epoch, per-edge-router) tick path.
+  template <class F>
+  PeriodicHandle every(TimeDelta period, F cb, TimeDelta first_after = TimeDelta::infinite()) {
+    assert(period > TimeDelta::zero());
+    if (!first_after.is_finite()) first_after = period;
+    auto state = std::make_shared<PeriodicState<F>>(std::move(cb));
+    PeriodicHandle handle{std::shared_ptr<PeriodicHandle::Control>{state, state.get()}};
+    arm_periodic(std::move(state), period, now_ + first_after);
+    return handle;
+  }
 
   /// Run events until the queue drains or virtual time would pass `deadline`.
   /// The clock is left at min(deadline, time of last event) — i.e. it
@@ -98,6 +109,29 @@ class Simulator {
   void retain(std::shared_ptr<void> resource) { retained_.push_back(std::move(resource)); }
 
  private:
+  /// Cancellation flag + user body for one every() chain.  The pending
+  /// tick's closure is the only owner; cancelling orphans the chain at
+  /// its next firing and the whole block is reclaimed.
+  template <class F>
+  struct PeriodicState : PeriodicHandle::Control {
+    explicit PeriodicState(F b) : body(std::move(b)) {}
+    F body;
+  };
+
+  /// Each tick MOVES the state's shared_ptr from the dying closure into
+  /// the next one (the closure outlives its own invocation, so moving a
+  /// capture out mid-call is safe) — zero refcount traffic on the
+  /// epoch-tick path instead of an atomic pair per tick.
+  template <class F>
+  void arm_periodic(std::shared_ptr<PeriodicState<F>> state, TimeDelta period, SimTime at) {
+    queue_.schedule_detached(at, [this, state = std::move(state), period]() mutable {
+      if (state->cancelled) return;
+      state->body();
+      if (state->cancelled) return;
+      arm_periodic(std::move(state), period, now_ + period);
+    });
+  }
+
   // Declared before queue_: members are destroyed in reverse order, so
   // the retained resources outlive every pending callback.
   std::vector<std::shared_ptr<void>> retained_;

@@ -58,6 +58,7 @@ class SimTime {
   }
 
   [[nodiscard]] constexpr double sec() const { return secs_; }
+  [[nodiscard]] constexpr bool is_finite() const { return std::isfinite(secs_); }
 
   constexpr auto operator<=>(const SimTime&) const = default;
   constexpr SimTime operator+(TimeDelta d) const { return SimTime{secs_ + d.sec()}; }

@@ -49,7 +49,13 @@ class FlowTracker {
   void on_delivered(net::FlowId id, sim::TimeDelta delay) {
     auto& fs = slot(id);
     ++fs.delivered;
-    if (fs.delivered % kDelaySampleStride == 0) fs.delay_samples.push_back(delay.sec());
+    if (fs.delivered % kDelaySampleStride == 0) {
+      if (fs.delay_samples.size() == fs.delay_samples.capacity()) {
+        fs.delay_samples.reserve(fs.delay_samples.empty() ? 64
+                                                          : fs.delay_samples.capacity() * 2);
+      }
+      fs.delay_samples.push_back(delay.sec());
+    }
   }
   void on_dropped(net::FlowId id) { ++slot(id).dropped; }
   void on_feedback(net::FlowId id, std::uint64_t count = 1) {

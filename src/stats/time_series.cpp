@@ -6,11 +6,6 @@
 
 namespace corelite::stats {
 
-void TimeSeries::add(double t, double v) {
-  assert((points_.empty() || t >= points_.back().t) && "samples must be time-ordered");
-  points_.push_back({t, v});
-}
-
 double TimeSeries::value_at(double t) const {
   if (points_.empty() || t < points_.front().t) return 0.0;
   // Last point with time <= t.

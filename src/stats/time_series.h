@@ -6,8 +6,11 @@
 // boundaries; cumulative counters jump at packet arrivals).
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <vector>
+
+#include "sim/hotpath.h"
 
 namespace corelite::stats {
 
@@ -18,8 +21,18 @@ class TimeSeries {
     double v;
   };
 
-  /// Append a sample.  Times must be non-decreasing.
-  void add(double t, double v);
+  /// Append a sample.  Times must be non-decreasing.  Inline and
+  /// pre-reserved: samples arrive once per adaptation epoch per flow —
+  /// a per-packet-scale rate in big scenarios — so the append must not
+  /// pay a call or repeated small regrowths.
+  void add(double t, double v) {
+    assert((points_.empty() || t >= points_.back().t) && "samples must be time-ordered");
+    ++sim::hotpath_counters().series_appends;
+    if (points_.size() == points_.capacity()) {
+      points_.reserve(points_.empty() ? kFirstReserve : points_.capacity() * 2);
+    }
+    points_.push_back({t, v});
+  }
 
   [[nodiscard]] const std::vector<Point>& points() const { return points_; }
   [[nodiscard]] std::size_t size() const { return points_.size(); }
@@ -40,6 +53,10 @@ class TimeSeries {
   [[nodiscard]] double max_over(double t0, double t1) const;
 
  private:
+  /// First allocation sized for a 60 s run's epoch samples (one slab
+  /// instead of the vector's 1-2-4-... crawl).
+  static constexpr std::size_t kFirstReserve = 64;
+
   std::vector<Point> points_;
 };
 

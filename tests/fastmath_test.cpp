@@ -1,0 +1,203 @@
+// DecayCache (sim/fastmath.h) correctness.
+//
+// The whole point of the cache is that it is NOT an approximation: a
+// hit returns a value libm itself produced for the same argument bit
+// pattern, so every test here asserts bit equality (via bit_cast), not
+// tolerance.  Covers randomized domains, adversarial inputs (denormals,
+// zeros, infinities, repeats), eviction under collision pressure, the
+// CORELITE_NO_FASTMATH escape hatch, and — the acceptance criterion —
+// that a full scenario run produces the identical packet-level digest
+// with the cache on and off.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "sim/fastmath.h"
+#include "sim/hotpath.h"
+
+namespace corelite {
+namespace {
+
+using sim::fastmath::DecayCache;
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+TEST(DecayCache, RandomizedExpBitEquality) {
+  DecayCache cache;
+  std::mt19937_64 eng{12345};
+  // The estimator decay domain: exp(-T/K) with T/K spanning tiny gaps
+  // to many averaging windows.
+  std::uniform_real_distribution<double> arg{-50.0, 0.0};
+  for (int i = 0; i < 20000; ++i) {
+    const double x = arg(eng);
+    const double miss = cache.exp(x);  // first sighting fills from libm
+    const double hit = cache.exp(x);   // second is served from the slot
+    EXPECT_EQ(bits(miss), bits(std::exp(x)));
+    EXPECT_EQ(bits(hit), bits(miss));
+  }
+}
+
+TEST(DecayCache, RandomizedPowBitEquality) {
+  DecayCache cache;
+  std::mt19937_64 eng{54321};
+  // The RED-family idle decay domain: (1-w)^m, w small, m an idle-slot
+  // count (integral-valued but carried as double).
+  std::uniform_real_distribution<double> base{0.9, 1.0};
+  std::uniform_int_distribution<int> m{0, 100000};
+  for (int i = 0; i < 20000; ++i) {
+    const double b = base(eng);
+    const double e = static_cast<double>(m(eng));
+    const double miss = cache.pow(b, e);
+    const double hit = cache.pow(b, e);
+    EXPECT_EQ(bits(miss), bits(std::pow(b, e)));
+    EXPECT_EQ(bits(hit), bits(miss));
+  }
+}
+
+TEST(DecayCache, AdversarialExpArguments) {
+  DecayCache cache;
+  const double cases[] = {
+      0.0,
+      -0.0,  // distinct bit pattern from +0.0: must not hit the prefilled slot
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      -std::numeric_limits<double>::min(),
+      -745.5,  // underflows exp to exactly +0.0
+      -std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::infinity(),  // exp == +0.0
+      std::numeric_limits<double>::infinity(),   // exp == +inf
+      1.0e-300,
+  };
+  for (const double x : cases) {
+    EXPECT_EQ(bits(cache.exp(x)), bits(std::exp(x))) << "x=" << x;
+    // Immediately repeated: served from the slot, same bits.
+    EXPECT_EQ(bits(cache.exp(x)), bits(std::exp(x))) << "x=" << x;
+  }
+}
+
+TEST(DecayCache, PrefilledZeroSlotIsExact) {
+  // Slots are initialized to (key +0.0 -> 1.0); exp(0) and pow(0,0)
+  // are exactly 1.0 in IEEE754, so even the very first +0.0 lookup
+  // (a "hit" on the prefill) is bit-correct.
+  DecayCache cache;
+  EXPECT_EQ(bits(cache.exp(0.0)), bits(1.0));
+  EXPECT_EQ(bits(cache.pow(0.0, 0.0)), bits(1.0));
+}
+
+TEST(DecayCache, EvictionUnderCollisionPressureStaysBitExact) {
+  // 4x more distinct keys than slots: by pigeonhole every slot sees
+  // collisions and overwrites.  Two full passes so pass 2 re-misses
+  // evicted keys and refills — correctness must survive any mix of
+  // hit/miss/evict.
+  DecayCache cache;
+  const std::size_t n = DecayCache::slots() * 4;
+  std::mt19937_64 eng{99};
+  std::uniform_real_distribution<double> arg{-30.0, 0.0};
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = arg(eng);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const double x : xs) {
+      ASSERT_EQ(bits(cache.exp(x)), bits(std::exp(x)));
+    }
+  }
+}
+
+TEST(DecayCache, RepeatedArgumentHitsCountInHotPathCounters) {
+  // Fresh thread = fresh thread-local cache and counter block.
+  std::uint64_t calls = 0;
+  std::uint64_t hits = 0;
+  std::thread t{[&] {
+    sim::reset_hotpath_counters();
+    for (int i = 0; i < 5; ++i) (void)sim::fastmath::cached_exp(-1.25);
+    calls = sim::hotpath_counters().exp_calls;
+    hits = sim::hotpath_counters().exp_cache_hits;
+  }};
+  t.join();
+  EXPECT_EQ(calls, 5u);
+  EXPECT_EQ(hits, 4u);  // first call fills, the other four hit
+}
+
+TEST(DecayCache, EscapeHatchDisablesCachingButNotCorrectness) {
+  // The env var is read when a thread's cache is constructed, so run
+  // in a fresh thread to get a cache that saw the variable.
+  ::setenv("CORELITE_NO_FASTMATH", "1", 1);
+  bool enabled = true;
+  std::uint64_t hits = 999;
+  std::uint64_t value_bits = 0;
+  std::thread t{[&] {
+    sim::reset_hotpath_counters();
+    enabled = sim::fastmath::decay_cache().enabled();
+    double v = 0.0;
+    for (int i = 0; i < 5; ++i) v = sim::fastmath::cached_exp(-1.25);
+    value_bits = bits(v);
+    hits = sim::hotpath_counters().exp_cache_hits;
+  }};
+  t.join();
+  ::unsetenv("CORELITE_NO_FASTMATH");
+  EXPECT_FALSE(enabled);
+  EXPECT_EQ(hits, 0u);  // every call routed to libm
+  EXPECT_EQ(value_bits, bits(std::exp(-1.25)));
+}
+
+// ---------------------------------------------------------------------------
+// Whole-scenario equivalence: the digest of a full CSFQ run (the heavy
+// exp consumer) must be identical with the cache enabled and disabled.
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct Fingerprint {
+  std::uint64_t events = 0;
+  std::uint64_t checksum = 1469598103934665603ULL;
+};
+
+Fingerprint run_csfq_fig5() {
+  auto spec = scenario::fig5_simultaneous_start(scenario::Mechanism::Csfq);
+  spec.seed = 42;
+  const auto r = scenario::run_paper_scenario(spec);
+  Fingerprint fp;
+  fp.events = r.events_processed;
+  for (std::size_t i = 1; i <= spec.num_flows; ++i) {
+    const auto& fs = r.tracker.series(static_cast<net::FlowId>(i));
+    fp.checksum = fnv1a(fp.checksum, i);
+    fp.checksum = fnv1a(fp.checksum, fs.delivered);
+    fp.checksum = fnv1a(fp.checksum, fs.dropped);
+  }
+  return fp;
+}
+
+TEST(DecayCacheGolden, ScenarioDigestIdenticalCacheOnAndOff) {
+  Fingerprint with_cache;
+  Fingerprint without_cache;
+  {
+    // Fresh thread so the cache is constructed with the default
+    // (enabled) environment regardless of test ordering.
+    std::thread t{[&] { with_cache = run_csfq_fig5(); }};
+    t.join();
+  }
+  ::setenv("CORELITE_NO_FASTMATH", "1", 1);
+  {
+    std::thread t{[&] { without_cache = run_csfq_fig5(); }};
+    t.join();
+  }
+  ::unsetenv("CORELITE_NO_FASTMATH");
+  EXPECT_EQ(with_cache.events, without_cache.events);
+  EXPECT_EQ(with_cache.checksum, without_cache.checksum);
+}
+
+}  // namespace
+}  // namespace corelite

@@ -1,0 +1,111 @@
+// Pins the Rng draw streams against per-call distribution
+// construction.
+//
+// sim/random.h hoists the distribution objects into members and routes
+// parameterized draws through param_type.  libstdc++'s uniform and
+// exponential distributions are stateless, so this must produce the
+// exact stream the old construct-a-distribution-per-draw code produced
+// — every golden digest in the repo depends on that.  These tests
+// replay each draw against a freshly constructed distribution on a
+// same-seeded engine and assert exact equality, so any future change
+// that makes a member distribution carry state across draws fails
+// loudly instead of silently shifting digests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+
+#include "sim/random.h"
+
+namespace corelite::sim {
+namespace {
+
+TEST(RngStream, Uniform01MatchesPerCallConstruction) {
+  Rng rng{777};
+  std::mt19937_64 ref{777};
+  for (int i = 0; i < 10000; ++i) {
+    std::uniform_real_distribution<double> fresh{0.0, 1.0};
+    const double expect = fresh(ref);
+    EXPECT_EQ(rng.uniform01(), expect) << "draw " << i;
+  }
+}
+
+TEST(RngStream, ParameterizedDrawsMatchPerCallConstruction) {
+  // Interleave the three parameterized draw kinds with parameters that
+  // change every iteration — the case where a distribution that kept
+  // state across param changes would diverge from a fresh one.
+  Rng rng{0xabcdef};
+  std::mt19937_64 ref{0xabcdef};
+  for (int i = 1; i <= 3000; ++i) {
+    const double lo = -1.0 * i;
+    const double hi = 2.0 * i;
+    {
+      std::uniform_real_distribution<double> fresh{lo, hi};
+      EXPECT_EQ(rng.uniform(lo, hi), fresh(ref)) << "uniform draw " << i;
+    }
+    {
+      std::uniform_int_distribution<std::int64_t> fresh{-i, 7 * i};
+      EXPECT_EQ(rng.uniform_int(-i, 7 * i), fresh(ref)) << "int draw " << i;
+    }
+    {
+      std::exponential_distribution<double> fresh{1.0 / (0.5 * i)};
+      EXPECT_EQ(rng.exponential(0.5 * i), fresh(ref)) << "exponential draw " << i;
+    }
+  }
+}
+
+TEST(RngStream, DegenerateBernoulliDoesNotAdvanceEngine) {
+  // p <= 0 and p >= 1 short-circuit without touching the engine; the
+  // packet-drop path relies on this to keep uncongested runs aligned.
+  Rng rng{31337};
+  std::mt19937_64 ref{31337};
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_FALSE(rng.bernoulli(-2.5));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_TRUE(rng.bernoulli(17.0));
+  std::uniform_real_distribution<double> fresh{0.0, 1.0};
+  EXPECT_EQ(rng.uniform01(), fresh(ref));  // streams still aligned
+}
+
+TEST(RngStream, BernoulliConsumesExactlyOneUniform) {
+  Rng rng{2024};
+  std::mt19937_64 ref{2024};
+  for (int i = 0; i < 1000; ++i) {
+    std::uniform_real_distribution<double> fresh{0.0, 1.0};
+    const double u = fresh(ref);
+    EXPECT_EQ(rng.bernoulli(0.5), u < 0.5) << "trial " << i;
+  }
+}
+
+TEST(RngStream, SampleIndicesIsDeterministicAndValid) {
+  Rng a{5};
+  Rng b{5};
+  const auto sa = a.sample_indices(100, 10);
+  const auto sb = b.sample_indices(100, 10);
+  EXPECT_EQ(sa, sb);
+  ASSERT_EQ(sa.size(), 10u);
+  auto sorted = sa;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end()) << "indices not distinct";
+  EXPECT_LT(sorted.back(), 100u);
+
+  // k >= n returns the whole population.
+  EXPECT_EQ(a.sample_indices(4, 9).size(), 4u);
+}
+
+TEST(RngStream, SameSeedSameStreamDifferentSeedDifferentStream) {
+  Rng a{42};
+  Rng b{42};
+  Rng c{43};
+  bool all_equal_c = true;
+  for (int i = 0; i < 100; ++i) {
+    const double va = a.uniform01();
+    EXPECT_EQ(va, b.uniform01());
+    if (va != c.uniform01()) all_equal_c = false;
+  }
+  EXPECT_FALSE(all_equal_c);
+}
+
+}  // namespace
+}  // namespace corelite::sim

@@ -19,6 +19,7 @@
 #include "cli/scenario_args.h"
 #include "runner/sweep.h"
 #include "scenario/config_script.h"
+#include "sim/hotpath.h"
 #include "stats/aggregate.h"
 #include "stats/csv_writer.h"
 #include "stats/json_writer.h"
@@ -28,6 +29,24 @@ namespace sc = corelite::scenario;
 namespace rn = corelite::runner;
 
 namespace {
+
+// --profile: the always-on hot-path op counters, aggregated across every
+// run (and every sweep worker thread) this process executed.
+void print_hotpath_profile() {
+  const corelite::sim::HotPathCounters c = corelite::sim::aggregated_hotpath_counters();
+  std::printf("\nhot-path profile (process totals)\n");
+  std::printf("  exp calls            %12llu  (cache hits %llu, %.1f%%)\n",
+              static_cast<unsigned long long>(c.exp_calls),
+              static_cast<unsigned long long>(c.exp_cache_hits), c.exp_hit_rate() * 100.0);
+  std::printf("  pow calls            %12llu  (cache hits %llu, %.1f%%)\n",
+              static_cast<unsigned long long>(c.pow_calls),
+              static_cast<unsigned long long>(c.pow_cache_hits), c.pow_hit_rate() * 100.0);
+  std::printf("  rng draws            %12llu\n", static_cast<unsigned long long>(c.rng_draws));
+  std::printf("  observer dispatches  %12llu\n",
+              static_cast<unsigned long long>(c.observer_dispatches));
+  std::printf("  series appends       %12llu\n",
+              static_cast<unsigned long long>(c.series_appends));
+}
 
 std::vector<std::string> split_list(const std::string& text) {
   std::vector<std::string> out;
@@ -150,6 +169,7 @@ int run_sweep(const corelite::cli::ArgParser& parser) {
     corelite::stats::write_sweep_csv(os, cells);
     std::fprintf(stderr, "wrote %s\n", parser.get_string("sweep-csv").c_str());
   }
+  if (parser.get_flag("profile")) print_hotpath_profile();
   return 0;
 }
 
@@ -205,6 +225,7 @@ int main(int argc, char** argv) {
   parser.add_string("sweep-mechanisms", "",
                     "comma-separated mechanism list for the sweep grid (default: --mechanism)");
   parser.add_string("sweep-csv", "", "write per-cell sweep statistics CSV to this path");
+  parser.add_flag("profile", "print the always-on hot-path op counters after the run");
 
   if (!parser.parse(argc, argv, std::cerr)) return 2;
 
@@ -299,5 +320,6 @@ int main(int argc, char** argv) {
     corelite::stats::write_run_json(os, meta, result.tracker);
     std::fprintf(stderr, "wrote %s\n", parser.get_string("json").c_str());
   }
+  if (parser.get_flag("profile")) print_hotpath_profile();
   return 0;
 }
