@@ -20,6 +20,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,15 +29,22 @@
 #include "runner/sweep.h"
 #include "sim/hotpath.h"
 #include "stats/aggregate.h"
+#include "telemetry/harness.h"
+#include "telemetry/metrics.h"
 
 namespace sc = corelite::scenario;
 namespace rn = corelite::runner;
+namespace tel = corelite::telemetry;
 
 int main(int argc, char** argv) {
   std::size_t jobs = 1;
   std::size_t repeats = 1;
   std::uint64_t base_seed = 1;
   bool profile = false;
+  bool telemetry = false;
+  std::string trace_path;
+  std::string manifest_path = "run_manifest.json";
+  double heartbeat_sec = 0.0;
   for (int i = 1; i < argc; ++i) {
     const bool more = i + 1 < argc;
     if (std::strcmp(argv[i], "--jobs") == 0 && more) {
@@ -46,14 +55,26 @@ int main(int argc, char** argv) {
       base_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      telemetry = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && more) {
+      trace_path = argv[++i];
+      telemetry = true;
+    } else if (std::strcmp(argv[i], "--manifest") == 0 && more) {
+      manifest_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--heartbeat") == 0 && more) {
+      heartbeat_sec = std::strtod(argv[++i], nullptr);
     } else {
-      std::fprintf(stderr, "usage: %s [--jobs N] [--sweep REPEATS] [--seed S] [--profile]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N] [--sweep REPEATS] [--seed S] [--profile] [--telemetry] "
+                   "[--trace-out PATH] [--manifest PATH] [--heartbeat SEC]\n",
                    argv[0]);
       return 2;
     }
   }
   if (jobs < 1) jobs = 1;
   if (repeats < 1) repeats = 1;
+  tel::set_enabled(telemetry);
 
   std::vector<rn::RunDescriptor> runs;
   for (std::size_t n : {10u, 20u, 40u, 80u}) {
@@ -78,8 +99,17 @@ int main(int argc, char** argv) {
   std::printf("%-8s %-10s %-8s %-10s %-10s %-12s %-14s %-12s\n", "flows", "mech", "rep", "jain",
               "drops", "events", "wall[ms]", "core state");
 
+  tel::PhaseTimer phases;
+  phases.start("run");
+  tel::TraceWriter trace;
+  std::unique_ptr<tel::LinkTraceCollector> collector;
   rn::SweepRunner runner{jobs};
+  if (!trace_path.empty()) {
+    runner.set_run_instrument(0, tel::congested_link_instrument(trace, collector));
+  }
+  if (heartbeat_sec > 0.0) runner.set_heartbeat(&std::cerr, heartbeat_sec);
   const auto results = runner.run(runs);
+  phases.start("report");
 
   corelite::stats::SweepAggregator agg;
   for (const auto& r : results) {
@@ -131,5 +161,28 @@ int main(int argc, char** argv) {
       "jain decays gently); measured core flow state stays 0 for the core-\n"
       "stateless schemes at every scale while WFQ's grows with the population\n"
       "— the paper's scalability argument.\n");
+
+  if (telemetry) {
+    const std::uint64_t digest = rn::combined_digest(results);
+    std::printf("result digest: %s\n", tel::digest_hex(digest).c_str());
+    if (!trace_path.empty()) {
+      tel::add_wall_spans(trace, results);
+      if (!tel::write_trace_file(trace, trace_path, std::cerr)) return 1;
+    }
+    phases.stop();
+    tel::RunManifest manifest;
+    manifest.tool = "scale_flows";
+    manifest.scenario = "fig5";
+    manifest.mechanism = "corelite,csfq,wfq";
+    manifest.base_seed = base_seed;
+    manifest.runs = results.size();
+    manifest.jobs = jobs;
+    for (const auto& r : results) manifest.events += r.events;
+    manifest.result_digest = digest;
+    manifest.hotpath = corelite::sim::aggregated_hotpath_counters();
+    manifest.wall_phases_ms = phases.phases();
+    if (!trace_path.empty()) manifest.extra.emplace_back("trace", trace_path);
+    if (!tel::write_manifest_file(manifest, manifest_path, std::cerr)) return 1;
+  }
   return 0;
 }

@@ -10,10 +10,18 @@
 // single-core containers are honestly labelled as such.
 //
 //   sweep_harness [--jobs N] [--tiny] [--profile]
+//                 [--telemetry] [--trace-out PATH] [--manifest PATH]
+//                 [--heartbeat SEC]
 //
-// --jobs N     parallel pass width (default: hardware threads, min 2)
-// --tiny       shrink the grid to 16 x 10 s runs — the CI smoke grid
-// --profile    print the hot-path op counters and add them to the JSON
+// --jobs N        parallel pass width (default: hardware threads, min 2)
+// --tiny          shrink the grid to 16 x 10 s runs — the CI smoke grid
+// --profile       print the hot-path op counters and add them to the JSON
+// --telemetry     enable the metrics registry + write a run manifest
+// --trace-out P   write a Chrome trace (virtual tracks from run 0 of the
+//                 parallel pass, wall spans for every parallel run);
+//                 implies --telemetry
+// --manifest P    manifest path (default run_manifest.json)
+// --heartbeat S   live sweep progress to stderr every S seconds
 //
 // Exit status is non-zero if any digest differs, so CI can gate on it.
 #include <algorithm>
@@ -21,21 +29,26 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "runner/sweep.h"
 #include "sim/hotpath.h"
 #include "stats/aggregate.h"
+#include "telemetry/harness.h"
+#include "telemetry/metrics.h"
 
 namespace sc = corelite::scenario;
 namespace rn = corelite::runner;
+namespace tel = corelite::telemetry;
 
 namespace {
 
-double run_pass(const std::vector<rn::RunDescriptor>& runs, std::size_t jobs,
+double run_pass(rn::SweepRunner& runner, const std::vector<rn::RunDescriptor>& runs,
                 std::vector<rn::RunResult>& out) {
-  rn::SweepRunner runner{jobs};
   const auto t0 = std::chrono::steady_clock::now();
   out = runner.run(runs);
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
@@ -48,6 +61,10 @@ int main(int argc, char** argv) {
   std::size_t jobs = std::max(2u, std::thread::hardware_concurrency());
   bool tiny = false;
   bool profile = false;
+  bool telemetry = false;
+  std::string trace_path;
+  std::string manifest_path = "run_manifest.json";
+  double heartbeat_sec = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
@@ -55,12 +72,25 @@ int main(int argc, char** argv) {
       tiny = true;
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      telemetry = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+      telemetry = true;
+    } else if (std::strcmp(argv[i], "--manifest") == 0 && i + 1 < argc) {
+      manifest_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--heartbeat") == 0 && i + 1 < argc) {
+      heartbeat_sec = std::strtod(argv[++i], nullptr);
     } else {
-      std::fprintf(stderr, "usage: %s [--jobs N] [--tiny] [--profile]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N] [--tiny] [--profile] [--telemetry] [--trace-out PATH] "
+                   "[--manifest PATH] [--heartbeat SEC]\n",
+                   argv[0]);
       return 2;
     }
   }
   if (jobs < 1) jobs = 1;
+  tel::set_enabled(telemetry);
 
   rn::SweepGrid grid;
   grid.scenarios = {"fig5", "fig7"};
@@ -75,11 +105,25 @@ int main(int argc, char** argv) {
               runs.size(), grid.scenarios.size(), grid.mechanisms.size(), grid.repeats);
   std::printf("hardware threads: %u\n\n", std::thread::hardware_concurrency());
 
+  tel::PhaseTimer phases;
+  tel::TraceWriter trace;
+  std::unique_ptr<tel::LinkTraceCollector> collector;
+
   std::vector<rn::RunResult> serial;
   std::vector<rn::RunResult> parallel;
-  const double wall_serial = run_pass(runs, 1, serial);
+  phases.start("serial_pass");
+  rn::SweepRunner serial_runner{1};
+  if (heartbeat_sec > 0.0) serial_runner.set_heartbeat(&std::cerr, heartbeat_sec);
+  const double wall_serial = run_pass(serial_runner, runs, serial);
   std::printf("serial   (--jobs 1):  %.1f ms\n", wall_serial);
-  const double wall_parallel = run_pass(runs, jobs, parallel);
+  phases.start("parallel_pass");
+  rn::SweepRunner parallel_runner{jobs};
+  if (heartbeat_sec > 0.0) parallel_runner.set_heartbeat(&std::cerr, heartbeat_sec);
+  if (!trace_path.empty()) {
+    parallel_runner.set_run_instrument(0, tel::congested_link_instrument(trace, collector));
+  }
+  const double wall_parallel = run_pass(parallel_runner, runs, parallel);
+  phases.start("report");
   std::printf("parallel (--jobs %zu): %.1f ms\n", jobs, wall_parallel);
   const double speedup = wall_parallel > 0.0 ? wall_serial / wall_parallel : 0.0;
   std::printf("speedup: %.2fx\n\n", speedup);
@@ -184,6 +228,30 @@ int main(int argc, char** argv) {
     std::fprintf(json, "\n}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_sweep.json\n");
+  }
+
+  if (telemetry) {
+    const std::uint64_t digest = rn::combined_digest(parallel);
+    std::printf("result digest: %s\n", tel::digest_hex(digest).c_str());
+    if (!trace_path.empty()) {
+      tel::add_wall_spans(trace, parallel);
+      if (!tel::write_trace_file(trace, trace_path, std::cerr)) return 1;
+    }
+    phases.stop();
+    tel::RunManifest manifest;
+    manifest.tool = "sweep_harness";
+    manifest.scenario = "fig5,fig7";
+    manifest.mechanism = "corelite,csfq,wfq,droptail";
+    manifest.base_seed = grid.base_seed;
+    manifest.runs = parallel.size();
+    manifest.jobs = jobs;
+    for (const auto& r : parallel) manifest.events += r.events;
+    manifest.result_digest = digest;
+    manifest.hotpath = ops;
+    manifest.wall_phases_ms = phases.phases();
+    manifest.extra.emplace_back("bit_identical", mismatches == 0 ? "true" : "false");
+    if (!trace_path.empty()) manifest.extra.emplace_back("trace", trace_path);
+    if (!tel::write_manifest_file(manifest, manifest_path, std::cerr)) return 1;
   }
   return mismatches == 0 ? 0 : 1;
 }

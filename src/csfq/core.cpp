@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <utility>
 
+#include "telemetry/metrics.h"
+
 namespace corelite::csfq {
+
+namespace {
+
+const telemetry::Counter& relabel_counter() {
+  static const telemetry::Counter c{"csfq.relabels"};
+  return c;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // CsfqLinkPolicy
@@ -64,7 +75,10 @@ bool CsfqLinkPolicy::admit(net::Packet& p, sim::SimTime now) {
   if (!drop) {
     accepted_.on_arrival(1.0, now);
     // Relabel: downstream links must see the flow's *accepted* rate.
-    if (alpha_ > 0.0) p.label = std::min(label, alpha_);
+    if (alpha_ > 0.0) {
+      if (alpha_ < label) relabel_counter().add();
+      p.label = std::min(label, alpha_);
+    }
   }
   update_alpha(label, drop, now);
 
@@ -89,6 +103,8 @@ struct CsfqCoreRouter::LinkState final : net::LinkObserver {
   void on_drop(const net::Packet& p, sim::SimTime /*now*/) override {
     if (p.is_data()) owner->send_loss_notice(p);
   }
+
+  void on_link_destroyed(net::Link& /*l*/) override { link = nullptr; }
 };
 
 CsfqCoreRouter::CsfqCoreRouter(net::Network& network, net::NodeId node, const CsfqConfig& config)
@@ -104,6 +120,7 @@ CsfqCoreRouter::~CsfqCoreRouter() {
   // Unhook both registrations: the links may outlive this router (the
   // network owns them), so a leftover observer pointer would dangle.
   for (auto& ls : links_) {
+    if (ls->link == nullptr) continue;
     ls->link->set_admission(nullptr);
     ls->link->remove_observer(ls.get());
   }
@@ -140,6 +157,7 @@ struct LossNotifyingCoreRouter::DropWatch final : net::LinkObserver {
   void on_drop(const net::Packet& p, sim::SimTime /*now*/) override {
     if (p.is_data()) owner->send_loss_notice(p);
   }
+  void on_link_destroyed(net::Link& /*l*/) override { link = nullptr; }
 };
 
 LossNotifyingCoreRouter::LossNotifyingCoreRouter(net::Network& network, net::NodeId node)
@@ -151,7 +169,9 @@ LossNotifyingCoreRouter::LossNotifyingCoreRouter(net::Network& network, net::Nod
 }
 
 LossNotifyingCoreRouter::~LossNotifyingCoreRouter() {
-  for (auto& w : watches_) w->link->remove_observer(w.get());
+  for (auto& w : watches_) {
+    if (w->link != nullptr) w->link->remove_observer(w.get());
+  }
 }
 
 void LossNotifyingCoreRouter::send_loss_notice(const net::Packet& dropped) {

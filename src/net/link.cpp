@@ -1,12 +1,38 @@
 #include "net/link.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 #include "net/network.h"
 #include "sim/hotpath.h"
+#include "telemetry/metrics.h"
 
 namespace corelite::net {
+
+namespace {
+
+// Drop-cause counters, registered once on first use (magic statics) so
+// disabled telemetry costs one relaxed load per drop — drops are off the
+// per-packet fast path, so this is invisible in the wall-time budget.
+const telemetry::Counter& drops_admission() {
+  static const telemetry::Counter c{"net.drops.admission"};
+  return c;
+}
+const telemetry::Counter& drops_control_loss() {
+  static const telemetry::Counter c{"net.drops.control_loss"};
+  return c;
+}
+const telemetry::Counter& drops_queue_full() {
+  static const telemetry::Counter c{"net.drops.queue_full"};
+  return c;
+}
+const telemetry::Counter& drops_queue_internal() {
+  static const telemetry::Counter c{"net.drops.queue_internal"};
+  return c;
+}
+
+}  // namespace
 
 Link::Link(sim::Simulator& simulator, Network& network, NodeId from, NodeId to, sim::Rate rate,
            sim::TimeDelta propagation_delay, std::unique_ptr<PacketQueue> queue)
@@ -22,8 +48,20 @@ Link::Link(sim::Simulator& simulator, Network& network, NodeId from, NodeId to, 
   // like rejected arrivals.
   queue_->set_internal_drop_callback([this](const Packet& p) {
     ++stats_.dropped;
+    drops_queue_internal().add();
     notify_drop(p, sim_.now());
   });
+}
+
+Link::~Link() {
+  // Observers may sit on several event lists; notify each exactly once.
+  std::vector<LinkObserver*> unique;
+  for (const auto* list : {&enqueue_obs_, &drop_obs_, &dequeue_obs_, &qlen_obs_}) {
+    for (auto* obs : *list) {
+      if (std::find(unique.begin(), unique.end(), obs) == unique.end()) unique.push_back(obs);
+    }
+  }
+  for (auto* obs : unique) obs->on_link_destroyed(*this);
 }
 
 void Link::notify_queue_length() {
@@ -43,12 +81,14 @@ void Link::send(Packet&& p) {
 
   if (p.is_data() && admission_ != nullptr && !admission_->admit(p, now)) {
     ++stats_.dropped;
+    drops_admission().add();
     notify_drop(p, now);
     return;
   }
   if (p.is_control() && control_loss_rate_ > 0.0 &&
       sim_.rng().bernoulli(control_loss_rate_)) {
     ++stats_.dropped_control;
+    drops_control_loss().add();
     notify_drop(p, now);
     return;
   }
@@ -61,6 +101,7 @@ void Link::send(Packet&& p) {
     // notification can use `p` directly.
     if (!queue_->enqueue(std::move(p), now)) {
       ++stats_.dropped;
+      drops_queue_full().add();
       notify_drop(p, now);
       return;
     }
@@ -72,6 +113,7 @@ void Link::send(Packet&& p) {
     const Packet header = p;
     if (!queue_->enqueue(std::move(p), now)) {
       ++stats_.dropped;
+      drops_queue_full().add();
       notify_drop(header, now);
       return;
     }

@@ -25,6 +25,7 @@
 namespace corelite::net {
 
 class Network;
+class Link;
 
 /// Decides, per packet, whether a link accepts it (and may rewrite its
 /// label).  Used by CSFQ core routers.  Data packets only; control
@@ -45,6 +46,11 @@ class LinkObserver {
   virtual void on_dequeue(const Packet&, sim::SimTime) {}
   /// Fired whenever the number of queued data packets changes.
   virtual void on_queue_length(std::size_t /*data_packets*/, sim::SimTime) {}
+  /// Fired from the link's destructor while the observer is still
+  /// attached.  Observers that can outlive the network (tracers,
+  /// telemetry collectors) null their Link* here instead of detaching
+  /// from a dead link later.
+  virtual void on_link_destroyed(Link& /*link*/) {}
 };
 
 class Link {
@@ -75,6 +81,9 @@ class Link {
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
+
+  /// Notifies every still-attached observer via on_link_destroyed().
+  ~Link();
 
   /// Entry point for the upstream node.  Runs admission, queues, and
   /// (if the transmitter is idle) starts serialization.

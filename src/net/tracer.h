@@ -54,9 +54,12 @@ class PacketTracer {
   PacketTracer& operator=(const PacketTracer&) = delete;
 
   /// Detaches from every link still alive; a tracer may be destroyed
-  /// before or after the network.
+  /// before or after the network (dying links null the shim's pointer
+  /// via on_link_destroyed).
   ~PacketTracer() {
-    for (auto& s : shims_) s->link->remove_observer(s.get());
+    for (auto& s : shims_) {
+      if (s->link != nullptr) s->link->remove_observer(s.get());
+    }
   }
 
   /// Start observing a link.
@@ -71,8 +74,20 @@ class PacketTracer {
   void set_memory_limit(std::size_t records) { limit_ = records; }
 
   [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  /// Events recorded since construction or reset() — NOT affected by
+  /// clear(), so it keeps counting filtered events streamed past the
+  /// memory cap.
   [[nodiscard]] std::uint64_t total_events() const { return total_; }
+  /// Drop the retained records but keep counting: total_events() is
+  /// preserved.  Use between phases of a run to bound memory while
+  /// still accounting for everything seen.
   void clear() { records_.clear(); }
+  /// Full reset: drops the records AND zeroes total_events(), as if
+  /// freshly constructed (filters, cap and attachments are kept).
+  void reset() {
+    records_.clear();
+    total_ = 0;
+  }
 
  private:
   void record(TraceEvent e, const Packet& p, sim::SimTime now, const Link& link);
@@ -90,6 +105,7 @@ class PacketTracer {
     void on_drop(const Packet& p, sim::SimTime now) override {
       owner->record(TraceEvent::Drop, p, now, *link);
     }
+    void on_link_destroyed(Link& /*l*/) override { link = nullptr; }
   };
 
   std::ostream* out_;

@@ -2,7 +2,22 @@
 
 #include <utility>
 
+#include "telemetry/metrics.h"
+
 namespace corelite::qos {
+
+namespace {
+
+const telemetry::Counter& markers_seen() {
+  static const telemetry::Counter c{"qos.markers_seen"};
+  return c;
+}
+const telemetry::Counter& feedback_counter() {
+  static const telemetry::Counter c{"qos.feedback_sent"};
+  return c;
+}
+
+}  // namespace
 
 struct CoreliteCoreRouter::LinkState final : net::LinkObserver {
   CoreliteCoreRouter* owner = nullptr;
@@ -33,6 +48,7 @@ struct CoreliteCoreRouter::LinkState final : net::LinkObserver {
 
   void on_enqueue(const net::Packet& p, sim::SimTime /*now*/) override {
     if (p.kind != net::PacketKind::Marker) return;
+    markers_seen().add();
     // The router copies the marker without any per-flow processing; the
     // selector decides (statistically) whether it becomes feedback.
     selector->on_marker(p.marker, feedback_fn);
@@ -41,6 +57,8 @@ struct CoreliteCoreRouter::LinkState final : net::LinkObserver {
   void on_queue_length(std::size_t data_packets, sim::SimTime now) override {
     detector->on_queue_length(data_packets, now);
   }
+
+  void on_link_destroyed(net::Link& /*l*/) override { link = nullptr; }
 };
 
 CoreliteCoreRouter::CoreliteCoreRouter(net::Network& network, net::NodeId node,
@@ -58,7 +76,9 @@ CoreliteCoreRouter::CoreliteCoreRouter(net::Network& network, net::NodeId node,
 
 CoreliteCoreRouter::~CoreliteCoreRouter() {
   epoch_timer_.cancel();
-  for (auto& ls : links_) ls->link->remove_observer(ls.get());
+  for (auto& ls : links_) {
+    if (ls->link != nullptr) ls->link->remove_observer(ls.get());
+  }
 }
 
 void CoreliteCoreRouter::send_feedback(const net::MarkerInfo& m) {
@@ -73,6 +93,7 @@ void CoreliteCoreRouter::send_feedback(const net::MarkerInfo& m) {
   fb.feedback_origin = node_;
   fb.created = net_.simulator().now();
   ++feedback_sent_;
+  feedback_counter().add();
   net_.inject(node_, std::move(fb));
 }
 

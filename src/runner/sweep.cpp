@@ -1,8 +1,12 @@
 #include "runner/sweep.h"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #include "runner/thread_pool.h"
@@ -85,7 +89,9 @@ struct Digest {
   void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
 };
 
-std::uint64_t digest_of(const scenario::ScenarioResult& r) {
+}  // namespace
+
+std::uint64_t result_digest(const scenario::ScenarioResult& r) {
   Digest d;
   d.mix(r.events_processed);
   d.mix(r.total_data_drops);
@@ -111,13 +117,19 @@ std::uint64_t digest_of(const scenario::ScenarioResult& r) {
   return d.h;
 }
 
-}  // namespace
+std::uint64_t combined_digest(const std::vector<RunResult>& results) {
+  Digest d;
+  for (const auto& r : results) d.mix(r.digest);
+  return d.h;
+}
 
-RunResult execute_run(const RunDescriptor& desc) {
+RunResult execute_run(const RunDescriptor& desc,
+                      const scenario::ScenarioSpec::InstrumentFn& instrument) {
   RunResult res;
   res.desc = desc;
-  const auto spec = build_spec(desc);
+  auto spec = build_spec(desc);
   if (!spec.has_value()) return res;
+  if (instrument) spec->instrument = instrument;
 
   const auto t0 = std::chrono::steady_clock::now();
   const scenario::ScenarioResult r = scenario::run_paper_scenario(*spec);
@@ -148,7 +160,7 @@ RunResult execute_run(const RunDescriptor& desc) {
   res.delivered = r.tracker.total_delivered();
   res.feedback = r.feedback_messages;
   res.core_flow_state = r.core_flow_state;
-  res.digest = digest_of(r);
+  res.digest = result_digest(r);
   res.ok = true;
   return res;
 }
@@ -164,18 +176,114 @@ void record_metrics(stats::SweepAggregator& agg, const RunResult& r) {
   agg.add(cell, idx, "core_flow_state", static_cast<double>(r.core_flow_state));
 }
 
+namespace {
+
+/// Shared sweep-progress board: workers post what they are doing,
+/// the heartbeat thread renders it.  Pure observation — it never feeds
+/// back into scheduling or results, so digests stay --jobs-invariant.
+struct ProgressBoard {
+  struct Worker {
+    bool busy = false;
+    std::string label;
+    std::chrono::steady_clock::time_point start{};
+  };
+  std::mutex mu;
+  std::vector<Worker> workers;
+  std::size_t done = 0;
+  double done_wall_ms_sum = 0.0;
+};
+
+void print_heartbeat(std::ostream& os, ProgressBoard& board, std::size_t total,
+                     std::chrono::steady_clock::time_point now) {
+  const std::lock_guard<std::mutex> lock{board.mu};
+  const double avg_ms = board.done > 0 ? board.done_wall_ms_sum / static_cast<double>(board.done)
+                                       : 0.0;
+  std::size_t busy = 0;
+  for (const auto& w : board.workers) busy += w.busy ? 1 : 0;
+  os << "[sweep] " << board.done << "/" << total << " done";
+  if (board.done > 0 && board.done < total) {
+    const double eta_s = avg_ms * static_cast<double>(total - board.done) /
+                         (1000.0 * static_cast<double>(std::max<std::size_t>(1, board.workers.size())));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", eta_s);
+    os << ", avg " << static_cast<std::uint64_t>(avg_ms) << " ms/run, eta ~" << buf << " s";
+  }
+  if (busy > 0) {
+    os << " |";
+    for (std::size_t i = 0; i < board.workers.size(); ++i) {
+      const auto& w = board.workers[i];
+      if (!w.busy) continue;
+      const double el_ms = std::chrono::duration<double, std::milli>(now - w.start).count();
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", el_ms / 1000.0);
+      os << " w" << i << ": " << w.label << " (" << buf << " s";
+      // A run that has been busy for >3x the mean completed-run time is
+      // the sweep's likely critical path — flag it for the operator.
+      if (avg_ms > 0.0 && el_ms > 3.0 * avg_ms) os << ", straggler";
+      os << ")";
+    }
+  }
+  os << "\n" << std::flush;
+}
+
+}  // namespace
+
 std::vector<RunResult> SweepRunner::run(const std::vector<RunDescriptor>& runs) {
   std::vector<RunResult> results(runs.size());
   if (runs.empty()) return results;
 
+  const auto epoch = std::chrono::steady_clock::now();
+  const std::size_t pool_size = std::min(std::max<std::size_t>(1, jobs_), runs.size());
+
+  ProgressBoard board;
+  board.workers.resize(pool_size);
+
   std::mutex done_mu;
   std::size_t done = 0;
   {
-    ThreadPool pool{std::min(std::max<std::size_t>(1, jobs_), runs.size())};
+    ThreadPool pool{pool_size};
+
+    // Heartbeat thread: wakes every interval, renders the board, exits
+    // promptly when poked at teardown.
+    std::thread heartbeat;
+    std::mutex hb_mu;
+    std::condition_variable hb_cv;
+    bool hb_stop = false;
+    if (heartbeat_os_ != nullptr && heartbeat_interval_sec_ > 0.0) {
+      heartbeat = std::thread([this, &board, &hb_mu, &hb_cv, &hb_stop, total = runs.size()] {
+        const auto interval = std::chrono::duration<double>(heartbeat_interval_sec_);
+        std::unique_lock<std::mutex> lock{hb_mu};
+        while (!hb_cv.wait_for(lock, interval, [&hb_stop] { return hb_stop; })) {
+          print_heartbeat(*heartbeat_os_, board, total, std::chrono::steady_clock::now());
+        }
+      });
+    }
+
     for (std::size_t i = 0; i < runs.size(); ++i) {
-      pool.submit([this, &runs, &results, &done_mu, &done, i, total = runs.size()] {
-        RunResult r = execute_run(runs[i]);
+      pool.submit([this, &runs, &results, &done_mu, &done, &board, epoch, i,
+                   total = runs.size()] {
+        const std::size_t worker = ThreadPool::current_worker_index();
+        const auto start = std::chrono::steady_clock::now();
+        if (worker < board.workers.size()) {
+          const std::lock_guard<std::mutex> lock{board.mu};
+          auto& w = board.workers[worker];
+          w.busy = true;
+          w.label = cell_key(runs[i]) + " r" + std::to_string(runs[i].repeat);
+          w.start = start;
+        }
+
+        RunResult r = instrument_ && i == instrument_index_ ? execute_run(runs[i], instrument_)
+                                                            : execute_run(runs[i]);
         r.index = i;
+        r.worker = worker == ThreadPool::kNotAWorker ? 0 : worker;
+        r.wall_start_ms = std::chrono::duration<double, std::milli>(start - epoch).count();
+
+        if (worker < board.workers.size()) {
+          const std::lock_guard<std::mutex> lock{board.mu};
+          board.workers[worker].busy = false;
+          ++board.done;
+          board.done_wall_ms_sum += r.wall_ms;
+        }
         const std::lock_guard<std::mutex> lock{done_mu};
         ++done;
         results[i] = std::move(r);
@@ -183,6 +291,17 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunDescriptor>& runs) 
       });
     }
     pool.wait_idle();
+
+    if (heartbeat.joinable()) {
+      {
+        const std::lock_guard<std::mutex> lock{hb_mu};
+        hb_stop = true;
+      }
+      hb_cv.notify_all();
+      heartbeat.join();
+      // One final line so short sweeps always show a terminal state.
+      print_heartbeat(*heartbeat_os_, board, runs.size(), std::chrono::steady_clock::now());
+    }
   }
   return results;
 }

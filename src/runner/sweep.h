@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -86,14 +87,32 @@ struct RunResult {
   std::uint64_t feedback = 0;
   std::size_t core_flow_state = 0;
   double wall_ms = 0.0;  ///< worker wall-clock; excluded from the digest
+  /// Wall-clock offset of this run's start from SweepRunner::run()'s
+  /// epoch, and the pool worker that ran it.  Telemetry only (Chrome
+  /// trace wall spans, heartbeat) — excluded from the digest, and 0 /
+  /// worker 0 for runs executed outside a sweep.
+  double wall_start_ms = 0.0;
+  std::size_t worker = 0;
 
   /// FNV-1a over every per-flow counter and rate/cumulative sample of
   /// the run — the bit-identity witness for determinism checks.
   std::uint64_t digest = 0;
 };
 
-/// Build and execute one universe on the calling thread.
-[[nodiscard]] RunResult execute_run(const RunDescriptor& d);
+/// The digest stored in RunResult::digest, exposed so single-run tools
+/// can print/manifest the same bit-identity witness sweeps use.
+[[nodiscard]] std::uint64_t result_digest(const scenario::ScenarioResult& r);
+
+/// Order-insensitive-input, order-sensitive-output reduction: FNV-1a
+/// over the per-run digests in descriptor (index) order.  This is the
+/// digest a whole sweep prints and manifests; identical for any --jobs.
+[[nodiscard]] std::uint64_t combined_digest(const std::vector<RunResult>& results);
+
+/// Build and execute one universe on the calling thread.  `instrument`,
+/// if set, is forwarded to the spec (see ScenarioSpec::instrument) —
+/// passive observation only, so the digest is unaffected.
+[[nodiscard]] RunResult execute_run(
+    const RunDescriptor& d, const scenario::ScenarioSpec::InstrumentFn& instrument = nullptr);
 
 /// Record a result's deterministic metrics (jain, events, drops,
 /// delivered, feedback, core_flow_state) into `agg` under the run's
@@ -111,6 +130,24 @@ class SweepRunner {
   using Progress = std::function<void(const RunResult&, std::size_t done, std::size_t total)>;
   void set_progress(Progress cb) { progress_ = std::move(cb); }
 
+  /// Instrument exactly one run (by descriptor index) with a telemetry
+  /// hook — typically run 0, to render its virtual-time packet
+  /// lifecycles into a trace without paying observer cost on the rest.
+  void set_run_instrument(std::size_t index, scenario::ScenarioSpec::InstrumentFn fn) {
+    instrument_index_ = index;
+    instrument_ = std::move(fn);
+  }
+
+  /// Live progress heartbeat: every `interval_sec`, print one line to
+  /// `os` with completed/total runs, per-worker current run + elapsed,
+  /// and an ETA from the mean completed-run time.  Runs busy for more
+  /// than 3x that mean are flagged as stragglers.  nullptr or a
+  /// non-positive interval disables (the default).
+  void set_heartbeat(std::ostream* os, double interval_sec) {
+    heartbeat_os_ = os;
+    heartbeat_interval_sec_ = interval_sec;
+  }
+
   /// Execute every descriptor, `jobs` at a time.  results[i] always
   /// corresponds to runs[i].
   [[nodiscard]] std::vector<RunResult> run(const std::vector<RunDescriptor>& runs);
@@ -118,6 +155,10 @@ class SweepRunner {
  private:
   std::size_t jobs_;
   Progress progress_;
+  std::size_t instrument_index_ = static_cast<std::size_t>(-1);
+  scenario::ScenarioSpec::InstrumentFn instrument_;
+  std::ostream* heartbeat_os_ = nullptr;
+  double heartbeat_interval_sec_ = 0.0;
 };
 
 }  // namespace corelite::runner

@@ -5,10 +5,21 @@
 
 namespace corelite::runner {
 
+namespace {
+thread_local std::size_t t_worker_index = ThreadPool::kNotAWorker;
+}  // namespace
+
+std::size_t ThreadPool::current_worker_index() { return t_worker_index; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = std::max<std::size_t>(1, threads);
   workers_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] {
+      t_worker_index = i;
+      worker_loop();
+    });
+  }
 }
 
 ThreadPool::~ThreadPool() {

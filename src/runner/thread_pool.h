@@ -19,6 +19,14 @@ namespace corelite::runner {
 
 class ThreadPool {
  public:
+  /// current_worker_index() outside any pool worker.
+  static constexpr std::size_t kNotAWorker = static_cast<std::size_t>(-1);
+
+  /// Index [0, thread_count) of the pool worker running the calling
+  /// thread, or kNotAWorker.  Telemetry uses it to label wall-clock
+  /// spans and heartbeat rows per worker.
+  [[nodiscard]] static std::size_t current_worker_index();
+
   /// Starts `threads` workers (floor 1).
   explicit ThreadPool(std::size_t threads);
 

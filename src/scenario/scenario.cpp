@@ -15,6 +15,7 @@
 #include "sim/hotpath.h"
 #include "sim/simulator.h"
 #include "stats/fairness.h"
+#include "telemetry/metrics.h"
 
 namespace corelite::scenario {
 
@@ -54,10 +55,15 @@ namespace {
 
 // Records the virtual time of every data drop on a link.
 struct DropRecorder final : net::LinkObserver {
+  net::Link* link = nullptr;
   std::vector<double>* sink = nullptr;
+  ~DropRecorder() override {
+    if (link != nullptr) link->remove_observer(this);
+  }
   void on_drop(const net::Packet& p, sim::SimTime now) override {
     if (p.is_data()) sink->push_back(now.sec());
   }
+  void on_link_destroyed(net::Link& /*l*/) override { link = nullptr; }
 };
 
 net::FlowSpec make_flow_spec(const ScenarioSpec& spec, std::size_t i /*0-based*/,
@@ -120,6 +126,7 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
   for (std::size_t i = 0; i < PaperTopology::kCongestedLinks; ++i) {
     if (auto* l = topo.congested_link(network, i)) {
       auto rec = std::make_unique<DropRecorder>();
+      rec->link = l;
       rec->sink = &result.drop_times;
       l->add_observer(rec.get(), net::Link::kObserveDrop);
       drop_recorders.push_back(std::move(rec));
@@ -228,6 +235,9 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
   auto sampler = simulator.every(spec.cumulative_sample_period,
                                  [&tracker, &simulator] { tracker.sample_cumulative(simulator.now()); });
 
+  // Telemetry hook last, so collectors see the fully wired network.
+  if (spec.instrument) spec.instrument(network, topo);
+
   simulator.run_until(spec.duration);
   sampler.cancel();
   queue_sampler.cancel();
@@ -269,6 +279,7 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
     }
   }
   sim::flush_hotpath_counters();
+  telemetry::flush_thread_metrics();
   return result;
 }
 

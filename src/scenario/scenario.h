@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -66,6 +67,15 @@ struct ScenarioSpec {
   qos::CoreliteConfig corelite{};
   csfq::CsfqConfig csfq{};
   PaperTopologyConfig topology{};
+
+  /// Optional observability hook, invoked once the network and mechanism
+  /// are fully wired but before the simulation runs.  The only way to
+  /// reach the spec-built network (it lives and dies inside
+  /// run_paper_scenario) — telemetry collectors attach link observers
+  /// here.  Must be passive: attaching observers never touches the RNG
+  /// or event order, so results stay bit-identical with or without it.
+  using InstrumentFn = std::function<void(net::Network&, PaperTopology&)>;
+  InstrumentFn instrument;
 };
 
 struct ScenarioResult {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -45,28 +46,31 @@ class LogConfig {
 }
 
 /// One log statement.  Buffered; flushed to the sink on destruction.
+/// The buffer is lazy: a disabled statement never constructs the
+/// ostringstream (or formats anything), so logging left in hot paths
+/// costs one level comparison when off.
 class LogLine {
  public:
-  LogLine(LogLevel lvl, std::string_view component, SimTime at) : enabled_{lvl <= LogConfig::level()} {
-    if (enabled_) {
-      buf_ << "[" << log_level_name(lvl) << "] t=" << at.sec() << " " << component << ": ";
+  LogLine(LogLevel lvl, std::string_view component, SimTime at) {
+    if (lvl <= LogConfig::level()) {
+      buf_.emplace();
+      *buf_ << "[" << log_level_name(lvl) << "] t=" << at.sec() << " " << component << ": ";
     }
   }
   ~LogLine() {
-    if (enabled_) LogConfig::sink() << buf_.str() << "\n";
+    if (buf_.has_value()) LogConfig::sink() << buf_->str() << "\n";
   }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 
   template <typename T>
   LogLine& operator<<(const T& v) {
-    if (enabled_) buf_ << v;
+    if (buf_.has_value()) *buf_ << v;
     return *this;
   }
 
  private:
-  bool enabled_;
-  std::ostringstream buf_;
+  std::optional<std::ostringstream> buf_;  ///< engaged only when enabled
 };
 
 }  // namespace corelite::sim

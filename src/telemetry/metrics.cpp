@@ -1,0 +1,184 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+
+namespace corelite::telemetry {
+
+std::string_view metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "unknown";
+}
+
+std::size_t histogram_bucket(double v) {
+  if (!(v >= 1.0)) return 0;  // < 1, zero, negative and NaN all land in bucket 0
+  const double capped = std::min(v, std::ldexp(1.0, kHistogramBuckets - 2));
+  const auto u = static_cast<std::uint64_t>(capped);
+  return std::min<std::size_t>(std::bit_width(u), kHistogramBuckets - 1);
+}
+
+double histogram_bucket_floor(std::size_t i) {
+  return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+namespace {
+
+/// One metric's accumulation state.  Merging two slots is commutative
+/// except for `last`, which is last-flush-wins (gauges only).
+struct Slot {
+  MetricKind kind = MetricKind::Counter;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double last = 0.0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  [[nodiscard]] bool empty() const { return count == 0; }
+
+  void merge_into(Slot& g) const {
+    g.kind = kind;
+    g.count += count;
+    g.sum += sum;
+    g.min = std::min(g.min, min);
+    g.max = std::max(g.max, max);
+    g.last = last;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) g.buckets[b] += buckets[b];
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::string> names;     // index = MetricId
+  std::vector<MetricKind> kinds;      // parallel to names
+  std::map<std::string, MetricId, std::less<>> by_name;
+  std::vector<Slot> aggregate;        // parallel to names
+
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+};
+
+thread_local std::vector<Slot> t_slots;
+
+/// Size the thread block for `id`, copying the metric's kind into the
+/// new slots.  Rare (first touch per thread per registry growth).
+void grow_thread_block(MetricId id) {
+  Registry& reg = Registry::instance();
+  const std::lock_guard<std::mutex> lock{reg.mu};
+  const std::size_t want = std::max<std::size_t>(id + 1, reg.names.size());
+  t_slots.resize(want);
+  for (std::size_t i = 0; i < t_slots.size() && i < reg.kinds.size(); ++i) {
+    t_slots[i].kind = reg.kinds[i];
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void record(MetricId id, double v) {
+  if (id >= t_slots.size()) grow_thread_block(id);
+  Slot& s = t_slots[id];
+  switch (s.kind) {
+    case MetricKind::Counter:
+      s.count += static_cast<std::uint64_t>(v);
+      s.sum += v;
+      break;
+    case MetricKind::Gauge:
+      ++s.count;
+      s.sum += v;
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+      s.last = v;
+      break;
+    case MetricKind::Histogram:
+      ++s.count;
+      s.sum += v;
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+      ++s.buckets[histogram_bucket(v)];
+      break;
+  }
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+MetricId register_metric(std::string_view name, MetricKind kind) {
+  Registry& reg = Registry::instance();
+  const std::lock_guard<std::mutex> lock{reg.mu};
+  if (const auto it = reg.by_name.find(name); it != reg.by_name.end()) {
+    return reg.kinds[it->second] == kind ? it->second : kInvalidMetric;
+  }
+  const auto id = static_cast<MetricId>(reg.names.size());
+  reg.names.emplace_back(name);
+  reg.kinds.push_back(kind);
+  reg.aggregate.emplace_back().kind = kind;
+  reg.by_name.emplace(reg.names.back(), id);
+  return id;
+}
+
+void flush_thread_metrics() {
+  if (t_slots.empty()) return;
+  Registry& reg = Registry::instance();
+  const std::lock_guard<std::mutex> lock{reg.mu};
+  if (reg.aggregate.size() < t_slots.size()) reg.aggregate.resize(t_slots.size());
+  for (std::size_t i = 0; i < t_slots.size(); ++i) {
+    if (t_slots[i].empty()) continue;
+    t_slots[i].merge_into(reg.aggregate[i]);
+    t_slots[i] = Slot{};
+    t_slots[i].kind = i < reg.kinds.size() ? reg.kinds[i] : MetricKind::Counter;
+  }
+}
+
+std::vector<MetricSnapshot> metrics_snapshot() {
+  flush_thread_metrics();
+  Registry& reg = Registry::instance();
+  const std::lock_guard<std::mutex> lock{reg.mu};
+  std::vector<MetricSnapshot> out;
+  out.reserve(reg.names.size());
+  for (std::size_t i = 0; i < reg.names.size(); ++i) {
+    MetricSnapshot m;
+    m.name = reg.names[i];
+    m.kind = reg.kinds[i];
+    if (i < reg.aggregate.size() && !reg.aggregate[i].empty()) {
+      const Slot& s = reg.aggregate[i];
+      m.count = s.count;
+      m.sum = s.sum;
+      m.min = s.min;
+      m.max = s.max;
+      m.last = s.last;
+      m.buckets = s.buckets;
+    }
+    out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) { return a.name < b.name; });
+  return out;
+}
+
+void reset_metrics() {
+  Registry& reg = Registry::instance();
+  const std::lock_guard<std::mutex> lock{reg.mu};
+  for (std::size_t i = 0; i < reg.aggregate.size(); ++i) {
+    reg.aggregate[i] = Slot{};
+    reg.aggregate[i].kind = reg.kinds[i];
+  }
+  for (std::size_t i = 0; i < t_slots.size(); ++i) {
+    t_slots[i] = Slot{};
+    if (i < reg.kinds.size()) t_slots[i].kind = reg.kinds[i];
+  }
+}
+
+}  // namespace corelite::telemetry

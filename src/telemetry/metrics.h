@@ -1,0 +1,141 @@
+// Process-wide metrics registry: named counters, gauges and
+// log-bucketed histograms.
+//
+// Components register a metric once (by name, under a mutex) and keep
+// the returned handle; bumping a handle on the hot path is a couple of
+// thread-local array writes — no allocation, no lock, no string lookup.
+// Telemetry is OFF by default: a disabled handle bump is a single
+// relaxed atomic load and a predicted branch, so instrumented code can
+// stay compiled into release builds (the same contract as
+// sim::HotPathCounters).
+//
+// Threading mirrors the hot-path counters: every thread accumulates
+// into its own block and publishes it with flush_thread_metrics() — the
+// sweep runner does this after each run, so sweep-wide aggregates are
+// complete at any --jobs level.  Aggregation is commutative (sums,
+// min/max, bucket adds), so the merged totals are independent of worker
+// scheduling; only a gauge's `last` value depends on flush order.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace corelite::telemetry {
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
+
+[[nodiscard]] std::string_view metric_kind_name(MetricKind k);
+
+using MetricId = std::uint32_t;
+inline constexpr MetricId kInvalidMetric = 0xffffffffu;
+
+/// Histogram buckets are powers of two: bucket 0 holds values < 1,
+/// bucket i (i >= 1) holds values in [2^(i-1), 2^i).
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+/// Out-of-line slow path: classify by kind and fold `v` into the
+/// calling thread's slot for `id` (growing the block on first touch).
+void record(MetricId id, double v);
+}  // namespace detail
+
+/// Master switch.  Off by default so experiment binaries pay nothing;
+/// set before the run starts (the flag is read relaxed on hot paths).
+void set_enabled(bool on);
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Merged view of one metric across every flushed thread block.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::Counter;
+  std::uint64_t count = 0;  ///< counter: total; gauge/histogram: samples
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;  ///< gauges only; last flushed value
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Register (or look up) a metric.  Idempotent by name; registering an
+/// existing name with a different kind returns kInvalidMetric.
+[[nodiscard]] MetricId register_metric(std::string_view name, MetricKind kind);
+
+/// Publish the calling thread's block into the process aggregate and
+/// zero it.  Called by the sweep runner after every run; cheap when the
+/// thread recorded nothing.
+void flush_thread_metrics();
+
+/// Process aggregate (every flushed block) plus the calling thread's
+/// unflushed block, sorted by metric name.  Metrics that were never
+/// bumped still appear with count 0.
+[[nodiscard]] std::vector<MetricSnapshot> metrics_snapshot();
+
+/// Zero the aggregate and the calling thread's block (registrations —
+/// names and ids — survive).  Tests and benchmarks call this between
+/// measured sections; other threads' unflushed blocks are untouched.
+void reset_metrics();
+
+/// Histogram bucket index for a value (see kHistogramBuckets).
+[[nodiscard]] std::size_t histogram_bucket(double v);
+
+/// Lower bound of bucket `i` (0 for bucket 0).
+[[nodiscard]] double histogram_bucket_floor(std::size_t i);
+
+// --------------------------------------------------------------------------
+// Cached handles.  Construct once (registry lookup under a mutex), bump
+// freely: a disabled bump is one relaxed load + branch.
+
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(std::string_view name)
+      : id_{register_metric(name, MetricKind::Counter)} {}
+  void add(std::uint64_t n = 1) const {
+    if (enabled() && id_ != kInvalidMetric) detail::record(id_, static_cast<double>(n));
+  }
+  [[nodiscard]] MetricId id() const { return id_; }
+
+ private:
+  MetricId id_ = kInvalidMetric;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  explicit Gauge(std::string_view name) : id_{register_metric(name, MetricKind::Gauge)} {}
+  void set(double v) const {
+    if (enabled() && id_ != kInvalidMetric) detail::record(id_, v);
+  }
+  [[nodiscard]] MetricId id() const { return id_; }
+
+ private:
+  MetricId id_ = kInvalidMetric;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::string_view name)
+      : id_{register_metric(name, MetricKind::Histogram)} {}
+  void observe(double v) const {
+    if (enabled() && id_ != kInvalidMetric) detail::record(id_, v);
+  }
+  [[nodiscard]] MetricId id() const { return id_; }
+
+ private:
+  MetricId id_ = kInvalidMetric;
+};
+
+}  // namespace corelite::telemetry

@@ -1,0 +1,146 @@
+#include "telemetry/trace.h"
+
+#include <cstdio>
+
+#include "stats/json_writer.h"
+
+namespace corelite::telemetry {
+
+namespace {
+
+/// Timestamps keep sub-µs precision (virtual events land on exact
+/// simulated instants; %.6g would round 80-second runs to 10 ms grid).
+std::string format_ts(double us) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+}  // namespace
+
+void TraceWriter::set_process_name(int pid, std::string name) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  process_names_[pid] = std::move(name);
+}
+
+void TraceWriter::set_thread_name(int pid, int tid, std::string name) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  thread_names_[{pid, tid}] = std::move(name);
+}
+
+bool TraceWriter::push(Event&& e) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  if (events_.size() >= limit_) {
+    ++dropped_;
+    return false;
+  }
+  events_.push_back(std::move(e));
+  return true;
+}
+
+void TraceWriter::add_complete(int pid, int tid, std::string_view name, std::string_view cat,
+                               double ts_us, double dur_us) {
+  Event e;
+  e.ph = 'X';
+  e.pid = pid;
+  e.tid = tid;
+  e.ts = ts_us;
+  e.dur = dur_us;
+  e.name = name;
+  e.cat = cat;
+  push(std::move(e));
+}
+
+void TraceWriter::add_complete(int pid, int tid, std::string_view name, std::string_view cat,
+                               double ts_us, double dur_us, std::string_view arg_key,
+                               double arg_value) {
+  Event e;
+  e.ph = 'X';
+  e.pid = pid;
+  e.tid = tid;
+  e.ts = ts_us;
+  e.dur = dur_us;
+  e.name = name;
+  e.cat = cat;
+  e.arg_key = arg_key;
+  e.arg_value = arg_value;
+  push(std::move(e));
+}
+
+void TraceWriter::add_instant(int pid, int tid, std::string_view name, std::string_view cat,
+                              double ts_us) {
+  Event e;
+  e.ph = 'i';
+  e.pid = pid;
+  e.tid = tid;
+  e.ts = ts_us;
+  e.name = name;
+  e.cat = cat;
+  push(std::move(e));
+}
+
+void TraceWriter::add_counter(int pid, std::string_view name, double ts_us,
+                              std::string_view series, double value) {
+  Event e;
+  e.ph = 'C';
+  e.pid = pid;
+  e.tid = 0;
+  e.ts = ts_us;
+  e.name = name;
+  e.cat = "counter";
+  e.arg_key = series;
+  e.arg_value = value;
+  push(std::move(e));
+}
+
+void TraceWriter::set_event_limit(std::size_t limit) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  limit_ = limit;
+}
+
+std::size_t TraceWriter::event_count() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return events_.size();
+}
+
+std::size_t TraceWriter::dropped_events() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return dropped_;
+}
+
+void TraceWriter::write(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  os << "{\n\"traceEvents\": [\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (const auto& [pid, name] : process_names_) {
+    sep();
+    os << R"({"name": "process_name", "ph": "M", "pid": )" << pid
+       << R"(, "tid": 0, "args": {"name": ")" << stats::json_escape(name) << "\"}}";
+  }
+  for (const auto& [key, name] : thread_names_) {
+    sep();
+    os << R"({"name": "thread_name", "ph": "M", "pid": )" << key.first << R"(, "tid": )"
+       << key.second << R"(, "args": {"name": ")" << stats::json_escape(name) << "\"}}";
+  }
+  for (const auto& e : events_) {
+    sep();
+    os << R"({"name": ")" << stats::json_escape(e.name) << R"(", "cat": ")"
+       << stats::json_escape(e.cat) << R"(", "ph": ")" << e.ph << R"(", "pid": )" << e.pid
+       << R"(, "tid": )" << e.tid << R"(, "ts": )" << format_ts(e.ts);
+    if (e.ph == 'X') os << R"(, "dur": )" << format_ts(e.dur);
+    if (e.ph == 'i') os << R"(, "s": "t")";
+    if (!e.arg_key.empty()) {
+      os << R"(, "args": {")" << stats::json_escape(e.arg_key)
+         << "\": " << stats::json_number(e.arg_value) << "}";
+    }
+    os << "}";
+  }
+  os << "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"dropped_events\": " << dropped_
+     << "}\n}\n";
+}
+
+}  // namespace corelite::telemetry

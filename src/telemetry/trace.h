@@ -1,0 +1,90 @@
+// Chrome trace_event JSON emission (the format chrome://tracing and
+// Perfetto open directly).
+//
+// A TraceWriter buffers events and serializes them as the standard
+// `{"traceEvents": [...]}` document.  The harness uses two "processes"
+// as the two clock domains of a simulation campaign:
+//   - pid 1 ("virtual time"): packet lifecycles in simulated time —
+//     per-link tracks of queue-wait and transmit spans plus queue-depth
+//     counters (see virtual_trace.h), timestamps in simulated µs;
+//   - pid 2 ("sweep wall-clock"): one span per run on each worker
+//     thread of the sweep pool, timestamps in real µs since the sweep
+//     started.
+// Opening one file therefore shows the simulated dynamics AND the
+// harness parallelism side by side.
+//
+// Appends are mutex-protected (sweep workers may record concurrently);
+// an event cap (default 2M) bounds memory and file size, with the
+// overflow counted rather than silently discarded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace corelite::telemetry {
+
+class TraceWriter {
+ public:
+  /// Process ids of the two clock domains (see file comment).
+  static constexpr int kVirtualPid = 1;
+  static constexpr int kWallPid = 2;
+
+  /// Name a process / thread track (ph "M" metadata events).
+  void set_process_name(int pid, std::string name);
+  void set_thread_name(int pid, int tid, std::string name);
+
+  /// Complete event (ph "X"): a span of `dur_us` starting at `ts_us`.
+  void add_complete(int pid, int tid, std::string_view name, std::string_view cat, double ts_us,
+                    double dur_us);
+  /// Complete event with one numeric argument (shown in the event pane).
+  void add_complete(int pid, int tid, std::string_view name, std::string_view cat, double ts_us,
+                    double dur_us, std::string_view arg_key, double arg_value);
+
+  /// Instant event (ph "i", thread scope).
+  void add_instant(int pid, int tid, std::string_view name, std::string_view cat, double ts_us);
+
+  /// Counter sample (ph "C"): `series` becomes the plotted line.
+  void add_counter(int pid, std::string_view name, double ts_us, std::string_view series,
+                   double value);
+
+  /// Cap on buffered events; further adds are counted, not stored.
+  void set_event_limit(std::size_t limit);
+
+  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::size_t dropped_events() const;
+
+  /// Serialize the full document (metadata first, then events in
+  /// insertion order).  Valid JSON by construction.
+  void write(std::ostream& os) const;
+
+ private:
+  struct Event {
+    char ph = 'X';
+    int pid = 0;
+    int tid = 0;
+    double ts = 0.0;
+    double dur = 0.0;
+    std::string name;
+    std::string cat;
+    std::string arg_key;   ///< empty = no args object
+    double arg_value = 0.0;
+  };
+
+  bool push(Event&& e);
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<int, std::string> process_names_;
+  std::map<std::pair<int, int>, std::string> thread_names_;
+  std::size_t limit_ = 2'000'000;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace corelite::telemetry

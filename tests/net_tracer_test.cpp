@@ -2,6 +2,7 @@
 // memory limits.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "net/network.h"
@@ -100,6 +101,68 @@ TEST(Tracer, MemoryLimitStopsRetentionNotCounting) {
   f.simulator.run();
   EXPECT_EQ(tracer.records().size(), 3u);
   EXPECT_GT(tracer.total_events(), 3u);
+}
+
+TEST(Tracer, ClearPreservesTotalResetZeroesBoth) {
+  TracerFixture f;
+  PacketTracer tracer;
+  tracer.attach(*f.link);
+  f.link->send(f.data(1, 1));
+  f.simulator.run();
+  ASSERT_EQ(tracer.records().size(), 2u);
+  ASSERT_EQ(tracer.total_events(), 2u);
+  // clear() drops the retained records but keeps the running count.
+  tracer.clear();
+  EXPECT_TRUE(tracer.records().empty());
+  EXPECT_EQ(tracer.total_events(), 2u);
+  // Still attached: new events keep recording and counting.
+  f.link->send(f.data(1, 2));
+  f.simulator.run();
+  EXPECT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.total_events(), 4u);
+  // reset() zeroes both, as if freshly constructed.
+  tracer.reset();
+  EXPECT_TRUE(tracer.records().empty());
+  EXPECT_EQ(tracer.total_events(), 0u);
+  f.link->send(f.data(1, 3));
+  f.simulator.run();
+  EXPECT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.total_events(), 2u);
+}
+
+TEST(Tracer, StreamingContinuesPastMemoryCap) {
+  TracerFixture f;
+  std::ostringstream os;
+  PacketTracer tracer{&os};
+  tracer.set_memory_limit(2);
+  tracer.attach(*f.link);
+  for (std::uint64_t i = 0; i < 5; ++i) f.link->send(f.data(1, i));
+  f.simulator.run();
+  // Retention stops at the cap...
+  EXPECT_EQ(tracer.records().size(), 2u);
+  // ...but every event still reaches the stream and the counter.
+  const std::string out = os.str();
+  const auto lines =
+      static_cast<std::uint64_t>(std::count(out.begin(), out.end(), '\n'));
+  EXPECT_EQ(lines, tracer.total_events());
+  EXPECT_GT(lines, 2u);
+}
+
+TEST(Tracer, TracerOutlivesNetwork) {
+  // Declared before the fixture, so the network (and its links) are
+  // destroyed first; the dying link must null the shim via
+  // on_link_destroyed so the tracer's destructor has nothing to detach.
+  PacketTracer tracer;
+  {
+    TracerFixture f;
+    tracer.attach(*f.link);
+    f.link->send(f.data(1, 1));
+    f.simulator.run();
+  }
+  // The records survive the network's death.
+  ASSERT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.records()[0].uid, 1u);
+  EXPECT_EQ(tracer.total_events(), 2u);
 }
 
 TEST(Tracer, StreamsFormattedLines) {

@@ -222,6 +222,68 @@ TEST(SweepRunner, ProgressReportsEveryRunExactlyOnce) {
   EXPECT_EQ(results.size(), runs.size());
 }
 
+TEST(ThreadPool, WorkerIndexIsStablePerThreadAndInvalidOutside) {
+  EXPECT_EQ(rn::ThreadPool::current_worker_index(), rn::ThreadPool::kNotAWorker);
+  std::mutex mu;
+  std::set<std::size_t> indices;
+  {
+    rn::ThreadPool pool{3};
+    for (int i = 0; i < 30; ++i) {
+      pool.submit([&] {
+        const std::size_t idx = rn::ThreadPool::current_worker_index();
+        const std::lock_guard<std::mutex> lock{mu};
+        indices.insert(idx);
+      });
+    }
+    pool.wait_idle();
+  }
+  // Every observed index names one of the pool's threads.
+  EXPECT_FALSE(indices.empty());
+  EXPECT_LE(indices.size(), 3u);
+  for (const std::size_t idx : indices) EXPECT_LT(idx, 3u);
+}
+
+TEST(SweepRunner, CombinedDigestIsOrderCanonicalAndJobIndependent) {
+  const auto runs = small_grid();
+  rn::SweepRunner serial{1};
+  rn::SweepRunner wide{4};
+  const auto a = serial.run(runs);
+  const auto b = wide.run(runs);
+  // One digest for the whole sweep, identical at any --jobs: this is
+  // the value the manifest records and check_telemetry.py verifies.
+  EXPECT_EQ(rn::combined_digest(a), rn::combined_digest(b));
+  // And it folds the per-run digests, so any single-run change moves it.
+  auto c = a;
+  c[0].digest ^= 1;
+  EXPECT_NE(rn::combined_digest(a), rn::combined_digest(c));
+}
+
+TEST(SweepRunner, ResultsCarryWallClockTelemetryFields) {
+  const auto runs = small_grid();
+  rn::SweepRunner runner{2};
+  const auto results = runner.run(runs);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok);
+    EXPECT_LT(r.worker, 2u);
+    EXPECT_GE(r.wall_start_ms, 0.0);
+    EXPECT_GT(r.wall_ms, 0.0);
+  }
+}
+
+TEST(SweepRunner, HeartbeatEmitsFinalProgressLine) {
+  const auto runs = small_grid();
+  rn::SweepRunner runner{2};
+  std::ostringstream hb;
+  // Long interval: only the guaranteed final line fires, keeping the
+  // assertion deterministic.
+  runner.set_heartbeat(&hb, 60.0);
+  const auto results = runner.run(runs);
+  EXPECT_EQ(results.size(), runs.size());
+  const std::string out = hb.str();
+  EXPECT_NE(out.find("[sweep]"), std::string::npos);
+  EXPECT_NE(out.find("4/4 done"), std::string::npos);
+}
+
 TEST(SweepRunner, FailedBuildIsReportedNotCrashed) {
   std::vector<rn::RunDescriptor> runs(1);
   runs[0].scenario = "bogus";

@@ -58,6 +58,32 @@ TEST_F(LoggingTest, EachLineTerminated) {
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
 }
 
+// A stream-insertable type that counts its insertions, to witness that
+// a disabled log statement formats nothing (the lazy-buffer guarantee).
+struct CountingStreamable {
+  mutable int* inserted = nullptr;
+};
+std::ostream& operator<<(std::ostream& os, const CountingStreamable& c) {
+  ++*c.inserted;
+  return os << "formatted";
+}
+
+TEST_F(LoggingTest, DisabledStatementWritesNothingAndFormatsNothing) {
+  int insertions = 0;
+  CountingStreamable probe{&insertions};
+  // Level is None (SetUp), so the statement is disabled: the sink must
+  // stay empty AND the operand's operator<< must never run — a disabled
+  // LogLine has no buffer to format into.
+  CORELITE_LOG(Debug, "hot", SimTime::seconds(1)) << "x=" << probe << 42;
+  EXPECT_TRUE(buffer_.str().empty());
+  EXPECT_EQ(insertions, 0);
+  // Sanity: the same statement enabled both writes and formats.
+  LogConfig::set_level(LogLevel::Debug);
+  CORELITE_LOG(Debug, "hot", SimTime::seconds(1)) << "x=" << probe << 42;
+  EXPECT_NE(buffer_.str().find("x=formatted42"), std::string::npos);
+  EXPECT_EQ(insertions, 1);
+}
+
 TEST_F(LoggingTest, LevelNames) {
   EXPECT_EQ(log_level_name(LogLevel::Error), "ERROR");
   EXPECT_EQ(log_level_name(LogLevel::Warn), "WARN");

@@ -1,0 +1,160 @@
+// Metrics-registry tests: registration semantics, the off-by-default
+// guarantee, counter/gauge/histogram accumulation, log-bucket math, and
+// cross-thread flush + merge.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace corelite::telemetry {
+namespace {
+
+// Each test enables telemetry and starts from zeroed values; the suite
+// leaves the process-global switch off, matching the binaries' default.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset_metrics();
+  }
+  void TearDown() override {
+    reset_metrics();
+    set_enabled(false);
+  }
+
+  static std::optional<MetricSnapshot> find(const std::string& name) {
+    for (auto& m : metrics_snapshot()) {
+      if (m.name == name) return m;
+    }
+    return std::nullopt;
+  }
+};
+
+TEST_F(MetricsTest, RegistrationIsIdempotentByName) {
+  const MetricId a = register_metric("test.reg.counter", MetricKind::Counter);
+  const MetricId b = register_metric("test.reg.counter", MetricKind::Counter);
+  ASSERT_NE(a, kInvalidMetric);
+  EXPECT_EQ(a, b);
+  // Same name, different kind: rejected rather than silently aliased.
+  EXPECT_EQ(register_metric("test.reg.counter", MetricKind::Gauge), kInvalidMetric);
+}
+
+TEST_F(MetricsTest, DisabledBumpRecordsNothing) {
+  const Counter c{"test.off.counter"};
+  set_enabled(false);
+  c.add(100);
+  set_enabled(true);
+  const auto snap = find("test.off.counter");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->count, 0u);
+  // A default-constructed (unregistered) handle is a safe no-op too.
+  const Counter unbound;
+  unbound.add();
+  EXPECT_EQ(unbound.id(), kInvalidMetric);
+}
+
+TEST_F(MetricsTest, CounterAccumulates) {
+  const Counter c{"test.counter"};
+  c.add();
+  c.add(9);
+  const auto snap = find("test.counter");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->kind, MetricKind::Counter);
+  EXPECT_EQ(snap->count, 10u);
+}
+
+TEST_F(MetricsTest, GaugeTracksMinMaxLastAndMean) {
+  const Gauge g{"test.gauge"};
+  g.set(4.0);
+  g.set(1.0);
+  g.set(7.0);
+  const auto snap = find("test.gauge");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->kind, MetricKind::Gauge);
+  EXPECT_EQ(snap->count, 3u);
+  EXPECT_DOUBLE_EQ(snap->min, 1.0);
+  EXPECT_DOUBLE_EQ(snap->max, 7.0);
+  EXPECT_DOUBLE_EQ(snap->last, 7.0);
+  EXPECT_DOUBLE_EQ(snap->mean(), 4.0);
+}
+
+TEST_F(MetricsTest, HistogramBucketMath) {
+  // Bucket 0 holds v < 1; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(histogram_bucket(0.0), 0u);
+  EXPECT_EQ(histogram_bucket(0.5), 0u);
+  EXPECT_EQ(histogram_bucket(1.0), 1u);
+  EXPECT_EQ(histogram_bucket(1.9), 1u);
+  EXPECT_EQ(histogram_bucket(2.0), 2u);
+  EXPECT_EQ(histogram_bucket(3.0), 2u);
+  EXPECT_EQ(histogram_bucket(4.0), 3u);
+  EXPECT_EQ(histogram_bucket(1024.0), 11u);
+  EXPECT_DOUBLE_EQ(histogram_bucket_floor(0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_bucket_floor(1), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_bucket_floor(2), 2.0);
+  EXPECT_DOUBLE_EQ(histogram_bucket_floor(11), 1024.0);
+}
+
+TEST_F(MetricsTest, HistogramObservationsLandInBuckets) {
+  const Histogram h{"test.hist"};
+  h.observe(0.2);
+  h.observe(3.0);
+  h.observe(3.5);
+  const auto snap = find("test.hist");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->kind, MetricKind::Histogram);
+  EXPECT_EQ(snap->count, 3u);
+  EXPECT_EQ(snap->buckets[0], 1u);
+  EXPECT_EQ(snap->buckets[2], 2u);
+  EXPECT_DOUBLE_EQ(snap->min, 0.2);
+  EXPECT_DOUBLE_EQ(snap->max, 3.5);
+  EXPECT_DOUBLE_EQ(snap->sum, 6.7);
+}
+
+TEST_F(MetricsTest, ThreadBlocksMergeOnFlush) {
+  const Counter c{"test.threads.counter"};
+  const Histogram h{"test.threads.hist"};
+  c.add(5);  // main thread's unflushed block counts too
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&c, &h] {
+      for (int i = 0; i < 100; ++i) c.add();
+      h.observe(2.0);
+      flush_thread_metrics();  // the sweep runner does this per run
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto counter = find("test.threads.counter");
+  const auto hist = find("test.threads.hist");
+  ASSERT_TRUE(counter.has_value());
+  ASSERT_TRUE(hist.has_value());
+  EXPECT_EQ(counter->count, 405u);
+  EXPECT_EQ(hist->count, 4u);
+  EXPECT_EQ(hist->buckets[2], 4u);
+}
+
+TEST_F(MetricsTest, ResetZeroesValuesButKeepsRegistrations) {
+  const Counter c{"test.reset.counter"};
+  c.add(3);
+  reset_metrics();
+  const auto snap = find("test.reset.counter");
+  ASSERT_TRUE(snap.has_value());  // the name survives
+  EXPECT_EQ(snap->count, 0u);
+  c.add();  // the old handle still works
+  EXPECT_EQ(find("test.reset.counter")->count, 1u);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedByName) {
+  (void)register_metric("test.zz", MetricKind::Counter);
+  (void)register_metric("test.aa", MetricKind::Counter);
+  const auto snaps = metrics_snapshot();
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_LT(snaps[i - 1].name, snaps[i].name);
+  }
+}
+
+}  // namespace
+}  // namespace corelite::telemetry

@@ -1,0 +1,92 @@
+// TraceWriter tests: the Chrome trace_event JSON shape, both clock
+// domains, the event cap, and string escaping.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "telemetry/trace.h"
+
+namespace corelite::telemetry {
+namespace {
+
+std::string render(const TraceWriter& w) {
+  std::ostringstream os;
+  w.write(os);
+  return os.str();
+}
+
+TEST(TraceWriter, EmptyDocumentIsStillValidShape) {
+  TraceWriter w;
+  const std::string out = render(w);
+  EXPECT_NE(out.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(out.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(out.find("\"dropped_events\": 0"), std::string::npos);
+}
+
+TEST(TraceWriter, CompleteEventCarriesBothClockDomains) {
+  TraceWriter w;
+  w.add_complete(TraceWriter::kVirtualPid, 3, "pkt uid=1", "queue", 1000.0, 250.0);
+  w.add_complete(TraceWriter::kWallPid, 0, "fig5/wfq r0", "run", 0.0, 12345.678, "events", 99.0);
+  const std::string out = render(w);
+  EXPECT_NE(out.find(R"("name": "pkt uid=1", "cat": "queue", "ph": "X", "pid": 1, "tid": 3, )"
+                     R"("ts": 1000.000, "dur": 250.000)"),
+            std::string::npos);
+  EXPECT_NE(out.find(R"("ph": "X", "pid": 2, "tid": 0, "ts": 0.000, "dur": 12345.678, )"
+                     R"("args": {"events": 99})"),
+            std::string::npos);
+}
+
+TEST(TraceWriter, InstantAndCounterEvents) {
+  TraceWriter w;
+  w.add_instant(TraceWriter::kVirtualPid, 1, "drop uid=7", "drop", 500.0);
+  w.add_counter(TraceWriter::kVirtualPid, "queue 0->1", 500.0, "packets", 4.0);
+  const std::string out = render(w);
+  EXPECT_NE(out.find(R"("ph": "i")"), std::string::npos);
+  EXPECT_NE(out.find(R"("s": "t")"), std::string::npos);  // instant scope
+  EXPECT_NE(out.find(R"("ph": "C")"), std::string::npos);
+  EXPECT_NE(out.find(R"("args": {"packets": 4})"), std::string::npos);
+}
+
+TEST(TraceWriter, MetadataNamesTracks) {
+  TraceWriter w;
+  w.set_process_name(TraceWriter::kVirtualPid, "virtual time");
+  w.set_thread_name(TraceWriter::kVirtualPid, 2, "link 0->1");
+  const std::string out = render(w);
+  EXPECT_NE(out.find(R"("name": "process_name", "ph": "M", "pid": 1, "tid": 0, )"
+                     R"("args": {"name": "virtual time"})"),
+            std::string::npos);
+  EXPECT_NE(out.find(R"("name": "thread_name", "ph": "M", "pid": 1, "tid": 2, )"
+                     R"("args": {"name": "link 0->1"})"),
+            std::string::npos);
+}
+
+TEST(TraceWriter, EventLimitCountsOverflowInsteadOfStoring) {
+  TraceWriter w;
+  w.set_event_limit(2);
+  for (int i = 0; i < 5; ++i) {
+    w.add_instant(TraceWriter::kVirtualPid, 0, "e", "c", static_cast<double>(i));
+  }
+  EXPECT_EQ(w.event_count(), 2u);
+  EXPECT_EQ(w.dropped_events(), 3u);
+  EXPECT_NE(render(w).find("\"dropped_events\": 3"), std::string::npos);
+}
+
+TEST(TraceWriter, EscapesEventNames) {
+  TraceWriter w;
+  w.add_instant(TraceWriter::kVirtualPid, 0, "quote \" and \\ slash", "c", 0.0);
+  const std::string out = render(w);
+  EXPECT_NE(out.find(R"(quote \" and \\ slash)"), std::string::npos);
+  EXPECT_EQ(out.find("quote \" and"), std::string::npos);  // raw quote never emitted
+}
+
+TEST(TraceWriter, TimestampsKeepSubMicrosecondPrecision) {
+  // 80-second virtual runs produce µs timestamps ~8e7; the format must
+  // not collapse nearby events onto a coarse grid.
+  TraceWriter w;
+  w.add_instant(TraceWriter::kVirtualPid, 0, "a", "c", 80'000'000.125);
+  EXPECT_NE(render(w).find("\"ts\": 80000000.125"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace corelite::telemetry

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Validate telemetry output: a Chrome trace file and a run manifest.
+
+CI runs this after a tiny sweep with --telemetry --trace-out:
+
+    python3 tools/check_telemetry.py --trace trace.json \
+        --manifest run_manifest.json --stdout captured_output.txt
+
+Checks:
+  - the trace is valid JSON in the trace_event format: a traceEvents
+    list with metadata (ph "M") naming the tracks, and at least one
+    complete span (ph "X") in EACH clock domain — pid 1 (virtual time)
+    and pid 2 (sweep wall-clock);
+  - the manifest carries every required key, its digest is 16 lowercase
+    hex digits, and the build/phase sub-objects are well-formed;
+  - with --stdout, the manifest digest equals the "result digest: X"
+    line the binary printed (manifest-vs-output cross-check).
+
+Exits non-zero with a message per failed check; prints a one-line
+summary on success.  Stdlib only.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+DIGEST_RE = re.compile(r"^[0-9a-f]{16}$")
+STDOUT_DIGEST_RE = re.compile(r"result digest: ([0-9a-f]{16})")
+
+MANIFEST_REQUIRED = {
+    "tool": str,
+    "scenario": str,
+    "mechanism": str,
+    "base_seed": int,
+    "runs": int,
+    "jobs": int,
+    "events": int,
+    "result_digest": str,
+    "build": dict,
+    "wall_phases_ms": dict,
+    "hot_path_counters": dict,
+    "metrics": list,
+    "extra": dict,
+}
+BUILD_REQUIRED = ("git_sha", "compiler", "flags", "build_type")
+HOTPATH_REQUIRED = (
+    "exp_calls",
+    "pow_calls",
+    "rng_draws",
+    "observer_dispatches",
+    "series_appends",
+)
+
+VIRTUAL_PID = 1
+WALL_PID = 2
+
+
+class CheckError(Exception):
+    pass
+
+
+def load_json(path, what):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        raise CheckError(f"{what}: cannot read {path}: {e}") from e
+    except json.JSONDecodeError as e:
+        raise CheckError(f"{what}: {path} is not valid JSON: {e}") from e
+
+
+def check_trace(path):
+    doc = load_json(path, "trace")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise CheckError("trace: missing top-level traceEvents")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise CheckError("trace: traceEvents is empty")
+
+    spans_by_pid = {VIRTUAL_PID: 0, WALL_PID: 0}
+    metadata = 0
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            raise CheckError(f"trace: event {i} is not an object")
+        for key in ("name", "ph", "pid"):
+            if key not in e:
+                raise CheckError(f"trace: event {i} lacks {key!r}")
+        ph = e["ph"]
+        if ph == "M":
+            metadata += 1
+        elif ph == "X":
+            if "ts" not in e or "dur" not in e:
+                raise CheckError(f"trace: X event {i} lacks ts/dur")
+            if e["pid"] in spans_by_pid:
+                spans_by_pid[e["pid"]] += 1
+
+    if metadata == 0:
+        raise CheckError("trace: no metadata (ph M) events — tracks are unnamed")
+    if spans_by_pid[VIRTUAL_PID] == 0:
+        raise CheckError("trace: no complete spans on pid 1 (virtual time)")
+    if spans_by_pid[WALL_PID] == 0:
+        raise CheckError("trace: no complete spans on pid 2 (sweep wall-clock)")
+    return len(events), spans_by_pid
+
+
+def check_manifest(path):
+    doc = load_json(path, "manifest")
+    if not isinstance(doc, dict):
+        raise CheckError("manifest: top level is not an object")
+    for key, typ in MANIFEST_REQUIRED.items():
+        if key not in doc:
+            raise CheckError(f"manifest: missing key {key!r}")
+        if not isinstance(doc[key], typ):
+            raise CheckError(
+                f"manifest: {key!r} should be {typ.__name__}, "
+                f"got {type(doc[key]).__name__}"
+            )
+    if not DIGEST_RE.match(doc["result_digest"]):
+        raise CheckError(
+            f"manifest: result_digest {doc['result_digest']!r} is not "
+            "16 lowercase hex digits"
+        )
+    for key in BUILD_REQUIRED:
+        if not doc["build"].get(key):
+            raise CheckError(f"manifest: build.{key} missing or empty")
+    for key in HOTPATH_REQUIRED:
+        if key not in doc["hot_path_counters"]:
+            raise CheckError(f"manifest: hot_path_counters.{key} missing")
+    for name, ms in doc["wall_phases_ms"].items():
+        if not isinstance(ms, (int, float)) or ms < 0:
+            raise CheckError(f"manifest: phase {name!r} has bad duration {ms!r}")
+    for i, m in enumerate(doc["metrics"]):
+        for key in ("name", "kind", "count", "sum"):
+            if key not in m:
+                raise CheckError(f"manifest: metrics[{i}] lacks {key!r}")
+    return doc
+
+
+def check_stdout(path, manifest):
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        raise CheckError(f"stdout: cannot read {path}: {e}") from e
+    match = STDOUT_DIGEST_RE.search(text)
+    if not match:
+        raise CheckError("stdout: no 'result digest: <16 hex>' line found")
+    if match.group(1) != manifest["result_digest"]:
+        raise CheckError(
+            f"digest mismatch: stdout printed {match.group(1)} but the "
+            f"manifest recorded {manifest['result_digest']}"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", help="Chrome trace JSON to validate")
+    parser.add_argument("--manifest", help="run_manifest.json to validate")
+    parser.add_argument(
+        "--stdout",
+        help="captured binary output; its printed digest must match the manifest",
+    )
+    args = parser.parse_args()
+    if not args.trace and not args.manifest:
+        parser.error("nothing to check: pass --trace and/or --manifest")
+    if args.stdout and not args.manifest:
+        parser.error("--stdout requires --manifest (it cross-checks the digest)")
+
+    try:
+        parts = []
+        if args.trace:
+            count, spans = check_trace(args.trace)
+            parts.append(
+                f"trace ok ({count} events, {spans[VIRTUAL_PID]} virtual / "
+                f"{spans[WALL_PID]} wall spans)"
+            )
+        if args.manifest:
+            manifest = check_manifest(args.manifest)
+            parts.append(
+                f"manifest ok (tool={manifest['tool']}, runs={manifest['runs']}, "
+                f"digest={manifest['result_digest']})"
+            )
+            if args.stdout:
+                check_stdout(args.stdout, manifest)
+                parts.append("stdout digest matches")
+    except CheckError as e:
+        print(f"check_telemetry: FAIL: {e}", file=sys.stderr)
+        return 1
+    print("check_telemetry: " + "; ".join(parts))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

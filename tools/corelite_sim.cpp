@@ -7,10 +7,12 @@
 //   corelite_sim --csv-rates rates.csv --csv-cum cum.csv
 //   corelite_sim --detector ewma --adaptation aimd --pacing poisson
 //   corelite_sim --sweep 8 --jobs 4 --sweep-mechanisms corelite,csfq --json sweep.json
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -24,11 +26,44 @@
 #include "stats/csv_writer.h"
 #include "stats/json_writer.h"
 #include "stats/fairness.h"
+#include "telemetry/harness.h"
+#include "telemetry/metrics.h"
 
 namespace sc = corelite::scenario;
 namespace rn = corelite::runner;
+namespace tel = corelite::telemetry;
 
 namespace {
+
+/// --telemetry / --trace-out / --manifest / --heartbeat, shared by the
+/// single-run and sweep paths.
+struct TelemetryArgs {
+  bool on = false;            ///< metrics + manifest enabled
+  std::string trace_path;     ///< empty = no trace file
+  std::string manifest_path;  ///< where the manifest goes when on
+  double heartbeat_sec = 0.0;
+
+  static TelemetryArgs from(const corelite::cli::ArgParser& parser) {
+    TelemetryArgs t;
+    t.trace_path = parser.get_string("trace-out");
+    t.on = parser.get_flag("telemetry") || !t.trace_path.empty();
+    t.manifest_path =
+        parser.was_set("manifest") ? parser.get_string("manifest") : "run_manifest.json";
+    t.heartbeat_sec = parser.get_double("heartbeat");
+    tel::set_enabled(t.on);
+    return t;
+  }
+};
+
+void register_telemetry_options(corelite::cli::ArgParser& parser) {
+  parser.add_flag("telemetry", "enable the metrics registry and write a run manifest");
+  parser.add_string("trace-out", "",
+                    "write a Chrome trace_event / Perfetto JSON trace here (implies --telemetry)");
+  parser.add_string("manifest", "run_manifest.json",
+                    "run-manifest path (written when telemetry is on)");
+  parser.add_double("heartbeat", 0.0,
+                    "sweep mode: print live progress to stderr every N seconds (0 = off)");
+}
 
 // --profile: the always-on hot-path op counters, aggregated across every
 // run (and every sweep worker thread) this process executed.
@@ -54,6 +89,15 @@ std::vector<std::string> split_list(const std::string& text) {
   std::string item;
   while (std::getline(ss, item, ',')) {
     if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::string join_list(const std::vector<std::string>& items) {
+  std::string out;
+  for (const auto& s : items) {
+    if (!out.empty()) out += ",";
+    out += s;
   }
   return out;
 }
@@ -99,7 +143,19 @@ int run_sweep(const corelite::cli::ArgParser& parser) {
   std::fprintf(stderr, "sweep: %zu runs (%zu scenario(s) x %zu mechanism(s) x %zu repeat(s)), %zu job(s)\n",
                runs.size(), grid.scenarios.size(), grid.mechanisms.size(), grid.repeats, jobs);
 
+  const TelemetryArgs tele = TelemetryArgs::from(parser);
+  tel::PhaseTimer phases;
+  phases.start("setup");
+  tel::TraceWriter trace;
+  std::unique_ptr<tel::LinkTraceCollector> collector;
+
   rn::SweepRunner sweep_runner{jobs};
+  if (!tele.trace_path.empty()) {
+    // Virtual-time tracks come from run 0 only: one representative
+    // universe, no observer cost on the rest of the grid.
+    sweep_runner.set_run_instrument(0, tel::congested_link_instrument(trace, collector));
+  }
+  if (tele.heartbeat_sec > 0.0) sweep_runner.set_heartbeat(&std::cerr, tele.heartbeat_sec);
   if (!parser.get_flag("quiet")) {
     sweep_runner.set_progress([](const rn::RunResult& r, std::size_t done, std::size_t total) {
       std::fprintf(stderr, "  [%zu/%zu] %s repeat=%zu seed=%llu jain=%.4f (%.0f ms)\n", done,
@@ -107,7 +163,9 @@ int run_sweep(const corelite::cli::ArgParser& parser) {
                    static_cast<unsigned long long>(r.desc.seed), r.jain, r.wall_ms);
     });
   }
+  phases.start("run");
   const std::vector<rn::RunResult> results = sweep_runner.run(runs);
+  phases.start("report");
 
   corelite::stats::SweepAggregator agg;
   for (const auto& r : results) {
@@ -170,6 +228,29 @@ int run_sweep(const corelite::cli::ArgParser& parser) {
     std::fprintf(stderr, "wrote %s\n", parser.get_string("sweep-csv").c_str());
   }
   if (parser.get_flag("profile")) print_hotpath_profile();
+
+  if (tele.on) {
+    const std::uint64_t digest = rn::combined_digest(results);
+    std::printf("result digest: %s\n", tel::digest_hex(digest).c_str());
+    if (!tele.trace_path.empty()) {
+      tel::add_wall_spans(trace, results);
+      if (!tel::write_trace_file(trace, tele.trace_path, std::cerr)) return 1;
+    }
+    phases.stop();
+    tel::RunManifest manifest;
+    manifest.tool = "corelite_sim";
+    manifest.scenario = join_list(grid.scenarios);
+    manifest.mechanism = join_list(mech_names);
+    manifest.base_seed = grid.base_seed;
+    manifest.runs = results.size();
+    manifest.jobs = jobs;
+    for (const auto& r : results) manifest.events += r.events;
+    manifest.result_digest = digest;
+    manifest.hotpath = corelite::sim::aggregated_hotpath_counters();
+    manifest.wall_phases_ms = phases.phases();
+    if (!tele.trace_path.empty()) manifest.extra.emplace_back("trace", tele.trace_path);
+    if (!tel::write_manifest_file(manifest, tele.manifest_path, std::cerr)) return 1;
+  }
   return 0;
 }
 
@@ -226,6 +307,7 @@ int main(int argc, char** argv) {
                     "comma-separated mechanism list for the sweep grid (default: --mechanism)");
   parser.add_string("sweep-csv", "", "write per-cell sweep statistics CSV to this path");
   parser.add_flag("profile", "print the always-on hot-path op counters after the run");
+  register_telemetry_options(parser);
 
   if (!parser.parse(argc, argv, std::cerr)) return 2;
 
@@ -235,10 +317,25 @@ int main(int argc, char** argv) {
   auto spec = corelite::cli::spec_from_args(parser, std::cerr);
   if (!spec.has_value()) return 2;
 
+  const TelemetryArgs tele = TelemetryArgs::from(parser);
+  tel::PhaseTimer phases;
+  phases.start("setup");
+  tel::TraceWriter trace;
+  std::unique_ptr<tel::LinkTraceCollector> collector;
+  if (!tele.trace_path.empty()) {
+    spec->instrument = tel::congested_link_instrument(trace, collector);
+  }
+
   std::fprintf(stderr, "running %s / %s for %.0f s (seed %llu)...\n",
                parser.get_string("scenario").c_str(), sc::mechanism_name(spec->mechanism).c_str(),
                spec->duration.sec(), static_cast<unsigned long long>(spec->seed));
+  phases.start("run");
+  const auto run_t0 = std::chrono::steady_clock::now();
   const auto result = sc::run_paper_scenario(*spec);
+  const double run_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - run_t0)
+          .count();
+  phases.start("report");
 
   const double t_end = spec->duration.sec();
   const double w0 = t_end / 2.0;
@@ -321,5 +418,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote %s\n", parser.get_string("json").c_str());
   }
   if (parser.get_flag("profile")) print_hotpath_profile();
+
+  if (tele.on) {
+    const std::uint64_t digest = rn::result_digest(result);
+    std::printf("result digest: %s\n", tel::digest_hex(digest).c_str());
+    if (!tele.trace_path.empty()) {
+      // One wall-clock span for the single run, so a single-run trace
+      // also carries both clock domains.
+      trace.set_process_name(tel::TraceWriter::kWallPid, "wall-clock (us since start)");
+      trace.set_thread_name(tel::TraceWriter::kWallPid, 0, "main");
+      trace.add_complete(tel::TraceWriter::kWallPid, 0,
+                         parser.get_string("scenario") + "/" + sc::mechanism_name(spec->mechanism),
+                         "run", 0.0, run_ms * 1000.0, "events",
+                         static_cast<double>(result.events_processed));
+      if (!tel::write_trace_file(trace, tele.trace_path, std::cerr)) return 1;
+    }
+    phases.stop();
+    tel::RunManifest manifest;
+    manifest.tool = "corelite_sim";
+    manifest.scenario = parser.get_string("scenario");
+    manifest.mechanism = sc::mechanism_name(spec->mechanism);
+    manifest.base_seed = spec->seed;
+    manifest.runs = 1;
+    manifest.jobs = 1;
+    manifest.events = result.events_processed;
+    manifest.result_digest = digest;
+    manifest.hotpath = corelite::sim::aggregated_hotpath_counters();
+    manifest.wall_phases_ms = phases.phases();
+    if (!tele.trace_path.empty()) manifest.extra.emplace_back("trace", tele.trace_path);
+    if (!tel::write_manifest_file(manifest, tele.manifest_path, std::cerr)) return 1;
+  }
   return 0;
 }
