@@ -182,6 +182,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ops.observer_dispatches));
     std::printf("%-22s %14llu\n", "series appends",
                 static_cast<unsigned long long>(ops.series_appends));
+    std::printf("%-22s %14llu  (%.1f%% of events; heap %llu, cascades %llu)\n", "wheel inserts",
+                static_cast<unsigned long long>(ops.wheel_inserts), ops.wheel_insert_rate() * 100.0,
+                static_cast<unsigned long long>(ops.heap_inserts),
+                static_cast<unsigned long long>(ops.wheel_cascades));
+    std::printf("%-22s %14llu  (%llu fused, mean %.2f/drain)\n", "batch drains",
+                static_cast<unsigned long long>(ops.batch_drains),
+                static_cast<unsigned long long>(ops.batch_drained), ops.mean_batch_len());
   }
 
   std::FILE* json = std::fopen("BENCH_sweep.json", "w");
@@ -215,7 +222,12 @@ int main(int argc, char** argv) {
                    "    \"pow_cache_hits\": %llu,\n"
                    "    \"rng_draws\": %llu,\n"
                    "    \"observer_dispatches\": %llu,\n"
-                   "    \"series_appends\": %llu\n"
+                   "    \"series_appends\": %llu,\n"
+                   "    \"wheel_inserts\": %llu,\n"
+                   "    \"wheel_cascades\": %llu,\n"
+                   "    \"heap_inserts\": %llu,\n"
+                   "    \"batch_drains\": %llu,\n"
+                   "    \"batch_drained\": %llu\n"
                    "  }",
                    static_cast<unsigned long long>(ops.exp_calls),
                    static_cast<unsigned long long>(ops.exp_cache_hits), ops.exp_hit_rate(),
@@ -223,7 +235,12 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(ops.pow_cache_hits),
                    static_cast<unsigned long long>(ops.rng_draws),
                    static_cast<unsigned long long>(ops.observer_dispatches),
-                   static_cast<unsigned long long>(ops.series_appends));
+                   static_cast<unsigned long long>(ops.series_appends),
+                   static_cast<unsigned long long>(ops.wheel_inserts),
+                   static_cast<unsigned long long>(ops.wheel_cascades),
+                   static_cast<unsigned long long>(ops.heap_inserts),
+                   static_cast<unsigned long long>(ops.batch_drains),
+                   static_cast<unsigned long long>(ops.batch_drained));
     }
     std::fprintf(json, "\n}\n");
     std::fclose(json);

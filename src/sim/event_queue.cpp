@@ -15,7 +15,7 @@ EventHandle EventQueue::schedule(SimTime at, Callback cb) {
 }
 
 void EventQueue::clear() {
-  for (const Entry& e : heap_) {
+  const auto discard = [this](const Entry& e) {
     const auto slot = static_cast<std::uint32_t>(e.key & kSlotMask);
     Slot& s = slots_[slot];
     if (s.state != nullptr) {
@@ -25,8 +25,16 @@ void EventQueue::clear() {
     }
     s.cb.reset();
     free_slots_.push_back(slot);
-  }
+  };
+  for (const Entry& e : heap_) discard(e);
   heap_.clear();
+  // The consumed prefix of the buffer was already recycled on pop.
+  for (std::size_t i = buf_pos_; i < buffer_.size(); ++i) discard(buffer_[i]);
+  buffer_.clear();
+  buf_pos_ = 0;
+  std::vector<Entry> pending;
+  wheel_.drain_all(pending);
+  for (const Entry& e : pending) discard(e);
 }
 
 }  // namespace corelite::sim

@@ -3,8 +3,20 @@
 //
 // Events are ordered by (time, insertion sequence): ties on time fire in
 // the order they were scheduled, which makes simulations deterministic.
-// Cancellation is lazy — a cancelled event stays in the heap but is
-// skipped when popped.
+// Cancellation is lazy — a cancelled event stays filed but is skipped
+// when it surfaces.
+//
+// Dispatch is two-tiered.  A hierarchical timing wheel (timer_wheel.h)
+// is the primary structure: the dominant event classes — link transmit
+// completions and paced emission timers — are short-horizon and
+// near-monotonic, so filing them is two array writes instead of a heap
+// sift.  The indexed 4-ary heap remains as the overflow tier for what
+// the wheel declines: events at or before the cursor tick, beyond the
+// ~2^32-tick horizon, or at non-finite times.  Popping merges the two
+// tiers by exact (time, seq), so the firing order — and therefore every
+// golden digest — is bit-identical to the heap-only engine.  Setting
+// the environment variable CORELITE_NO_WHEEL (to any value) routes all
+// traffic to the heap, mirroring CORELITE_NO_FASTMATH.
 //
 // Engineering notes (the million-event hot path):
 //   - Callbacks are SmallFunction: captures up to 48 bytes live inline,
@@ -12,24 +24,28 @@
 //   - `schedule_detached()` skips the EventHandle control block
 //     entirely; `schedule()` materializes one only because the caller
 //     keeps the handle.
-//   - Callbacks live in recycled slots; the heap itself holds 16-byte
-//     (time, seq|flags|slot) keys, so sift operations move two words
+//   - Callbacks live in recycled slots; the wheel and heap both hold
+//     16-byte (time, seq|flags|slot) keys, so filing moves two words
 //     instead of a fat struct with a closure inside.
 //   - The key carries a "cancellable" bit: skipping dead events only
 //     inspects slot state for events that actually own a handle, so the
 //     detached fast path never touches the slot array while peeking.
-//   - The hot methods are defined inline here; the heap walk and the
+//   - The hot methods are defined inline here; the tier merge and the
 //     schedule/fire pair inline into Simulator::run_until and the
 //     forwarding plane.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
+#include "sim/hotpath.h"
 #include "sim/small_function.h"
+#include "sim/timer_wheel.h"
 #include "sim/units.h"
 
 namespace corelite::sim {
@@ -59,15 +75,17 @@ class EventHandle {
   std::shared_ptr<State> state_;
 };
 
-/// Min-heap of timed callbacks.  Not thread-safe: the simulation is
-/// single-threaded by design (determinism beats parallelism for
-/// reproducible network experiments).
+/// Two-tier timed-callback queue (timing wheel + overflow min-heap).
+/// Not thread-safe: the simulation is single-threaded by design
+/// (determinism beats parallelism for reproducible network experiments).
 class EventQueue {
  public:
   /// Inline capacity covers the forwarding-plane closures (a `this`
   /// pointer, a pooled packet handle and a couple of scalars); bigger
   /// captures silently fall back to the heap.
   using Callback = SmallFunction<void(), 48>;
+
+  EventQueue() : wheel_enabled_{std::getenv("CORELITE_NO_WHEEL") == nullptr} {}
 
   /// Schedule `cb` to fire at absolute time `at`.  Allocates the
   /// handle's shared control block — use schedule_detached() when the
@@ -86,39 +104,36 @@ class EventQueue {
     push_entry(at.sec(), slot, /*cancellable=*/false);
   }
 
-  /// True if no live events remain.  May pop dead (cancelled) entries.
-  [[nodiscard]] bool empty() const {
-    drop_dead();
-    return heap_.empty();
-  }
+  /// True if no live events remain.  May discard dead (cancelled) entries.
+  [[nodiscard]] bool empty() const { return front_entry().entry == nullptr; }
 
   /// Fire time of the earliest live event; SimTime::infinite() if none.
   [[nodiscard]] SimTime next_time() const {
-    drop_dead();
-    return heap_.empty() ? SimTime::infinite() : SimTime::seconds(heap_[0].at);
+    const Front f = front_entry();
+    return f.entry == nullptr ? SimTime::infinite() : SimTime::seconds(f.entry->at);
   }
 
-  /// Pop and run the earliest live event.  Returns its fire time.
-  /// Precondition: !empty().
+  /// Pop and run the earliest live event (even one at t = infinity).
+  /// Returns its fire time.  Precondition: !empty().
   SimTime run_next() {
-    drop_dead();
-    assert(!heap_.empty() && "run_next on an empty event queue");
-    return pop_and_fire([](SimTime) {});
+    const Front f = front_entry();
+    assert(f.entry != nullptr && "run_next on an empty event queue");
+    return pop_and_fire(f, [](SimTime) {});
   }
 
   /// Single-peek run step: if the earliest live event fires at a finite
   /// time <= `deadline`, invoke `set_clock` with that time, pop and run
   /// the event, and return its fire time; otherwise leave the queue
   /// untouched and return SimTime::infinite().  Replaces the
-  /// next_time()/run_next() pair in Simulator's run loops — one
-  /// drop_dead() and one root load per event instead of two.
+  /// next_time()/run_next() pair in Simulator's run loops — one dead
+  /// sweep and one front load per event instead of two.
   template <class SetClock>
   SimTime run_next_until(SimTime deadline, SetClock&& set_clock) {
-    drop_dead();
-    if (heap_.empty()) return SimTime::infinite();
-    const double at = heap_[0].at;
+    const Front f = front_entry();
+    if (f.entry == nullptr) return SimTime::infinite();
+    const double at = f.entry->at;
     if (at > deadline.sec() || !std::isfinite(at)) return SimTime::infinite();
-    return pop_and_fire(std::forward<SetClock>(set_clock));
+    return pop_and_fire(f, std::forward<SetClock>(set_clock));
   }
 
   /// Number of events ever scheduled (including cancelled ones).
@@ -132,33 +147,11 @@ class EventQueue {
   /// events); exposed for the allocation-reuse benchmarks and tests.
   [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
 
- private:
-  /// Pop the root (must be live) and fire its callback.  `set_clock`
-  /// runs after the heap is consistent but before the callback, so the
-  /// owner can advance its clock to the fire time the callback observes.
-  template <class SetClock>
-  SimTime pop_and_fire(SetClock&& set_clock) {
-    const Entry top = heap_[0];
-    const auto slot = static_cast<std::uint32_t>(top.key & kSlotMask);
-    Slot& s = slots_[slot];
-    // Move the callback out before invoking: the callback may schedule
-    // new events, which can grow the slot vector and invalidate `s`.
-    Callback cb = std::move(s.cb);
-    if ((top.key & kCancellableBit) != 0) {
-      s.state->fired = true;
-      s.state.reset();
-    }
-    remove_root();
-    free_slots_.push_back(slot);
-    const SimTime t = SimTime::seconds(top.at);
-    set_clock(t);
-    // consume() fuses invoke + destroy into one dispatch — one indirect
-    // call per event instead of two for non-trivial closures.
-    cb.consume();
-    return t;
-  }
+  /// True when the timing-wheel tier is active (CORELITE_NO_WHEEL unset).
+  [[nodiscard]] bool wheel_enabled() const { return wheel_enabled_; }
 
-  // Heap entries are two words: the fire time and a packed
+ private:
+  // Both tiers file two-word entries: the fire time and a packed
   // (sequence << kSeqShift) | cancellable | slot key.  The sequence
   // occupies the high bits, so comparing keys compares sequences — the
   // flag and slot never influence ordering (sequences are unique).  The
@@ -166,13 +159,16 @@ class EventQueue {
   // detached events, which can never be cancelled.  39 bits of sequence
   // (~5*10^11 events) and 24 bits of slot (~16M concurrently pending
   // events) are far beyond any run we do.
-  struct Entry {
-    double at;
-    std::uint64_t key;
-  };
+  using Entry = WheelEntry;
   struct Slot {
     Callback cb;
     std::shared_ptr<EventHandle::State> state;  ///< null for detached events
+  };
+
+  /// The surfaced earliest live entry and which tier it came from.
+  struct Front {
+    const Entry* entry = nullptr;  ///< null when the queue is drained
+    bool from_wheel = false;       ///< true: wheel buffer; false: heap root
   };
 
   static constexpr unsigned kSlotBits = 24;
@@ -183,6 +179,65 @@ class EventQueue {
   static bool earlier(const Entry& a, const Entry& b) {
     if (a.at != b.at) return a.at < b.at;
     return a.key < b.key;
+  }
+
+  /// Surface the earliest live entry across both tiers, lazily
+  /// discarding cancelled entries from the wheel buffer front and the
+  /// heap root.  Refills the wheel buffer (sorted by exact (time, seq))
+  /// from the next occupied slot when it runs dry.
+  Front front_entry() const {
+    for (;;) {
+      if (buf_pos_ < buffer_.size()) {
+        const Entry& e = buffer_[buf_pos_];
+        if ((e.key & kCancellableBit) != 0 && recycle_if_cancelled(e)) {
+          ++buf_pos_;
+          continue;
+        }
+        break;
+      }
+      if (wheel_.count() == 0) break;
+      buffer_.clear();
+      buf_pos_ = 0;
+      wheel_.collect_next(buffer_);
+      if (buffer_.size() > 1) std::sort(buffer_.begin(), buffer_.end(), earlier);
+    }
+    drop_dead();
+    const bool have_buf = buf_pos_ < buffer_.size();
+    if (!have_buf) return heap_.empty() ? Front{} : Front{&heap_[0], false};
+    if (heap_.empty() || earlier(buffer_[buf_pos_], heap_[0])) {
+      return Front{&buffer_[buf_pos_], true};
+    }
+    return Front{&heap_[0], false};
+  }
+
+  /// Pop the surfaced entry (must be live) and fire its callback.
+  /// `set_clock` runs after the tiers are consistent but before the
+  /// callback, so the owner can advance its clock to the fire time the
+  /// callback observes.
+  template <class SetClock>
+  SimTime pop_and_fire(Front f, SetClock&& set_clock) {
+    const Entry top = *f.entry;
+    if (f.from_wheel) {
+      ++buf_pos_;
+    } else {
+      remove_root();
+    }
+    const auto slot = static_cast<std::uint32_t>(top.key & kSlotMask);
+    Slot& s = slots_[slot];
+    // Move the callback out before invoking: the callback may schedule
+    // new events, which can grow the slot vector and invalidate `s`.
+    Callback cb = std::move(s.cb);
+    if ((top.key & kCancellableBit) != 0) {
+      s.state->fired = true;
+      s.state.reset();
+    }
+    free_slots_.push_back(slot);
+    const SimTime t = SimTime::seconds(top.at);
+    set_clock(t);
+    // consume() fuses invoke + destroy into one dispatch — one indirect
+    // call per event instead of two for non-trivial closures.
+    cb.consume();
+    return t;
   }
 
   std::uint32_t acquire_slot() {
@@ -196,12 +251,31 @@ class EventQueue {
     return static_cast<std::uint32_t>(slots_.size() - 1);
   }
 
+  /// Tier selector: file short-horizon events in the wheel, everything
+  /// it declines (past/current tick, beyond horizon, non-finite, or
+  /// CORELITE_NO_WHEEL) in the overflow heap.
   void push_entry(double at, std::uint32_t slot, bool cancellable) {
     const std::uint64_t seq = next_seq_++;
     assert(seq < (std::uint64_t{1} << (64 - kSeqShift)) && "event sequence space exhausted");
-    heap_.push_back(
-        Entry{at, (seq << kSeqShift) | (cancellable ? kCancellableBit : 0) | slot});
+    const std::uint64_t key = (seq << kSeqShift) | (cancellable ? kCancellableBit : 0) | slot;
+    if (wheel_enabled_ && wheel_.try_insert(at, key)) {
+      ++hotpath_counters().wheel_inserts;
+      return;
+    }
+    ++hotpath_counters().heap_inserts;
+    heap_.push_back(Entry{at, key});
     sift_up(heap_.size() - 1);
+  }
+
+  /// Release a cancelled entry's storage.  Returns false if it is live.
+  bool recycle_if_cancelled(const Entry& e) const {
+    const auto slot = static_cast<std::uint32_t>(e.key & kSlotMask);
+    Slot& s = slots_[slot];
+    if (!s.state->cancelled) return false;
+    s.cb.reset();
+    s.state.reset();
+    free_slots_.push_back(slot);
+    return true;
   }
 
   void sift_up(std::size_t i) const {
@@ -239,27 +313,27 @@ class EventQueue {
     if (heap_.size() > 1) sift_down(0);
   }
 
-  /// Pop cancelled entries off the root.  Detached events are live by
-  /// construction, so the common case is a single bit test.
+  /// Pop cancelled entries off the heap root.  Detached events are live
+  /// by construction, so the common case is a single bit test.
   void drop_dead() const {
     while (!heap_.empty()) {
       const std::uint64_t key = heap_[0].key;
       if ((key & kCancellableBit) == 0) return;
-      const auto slot = static_cast<std::uint32_t>(key & kSlotMask);
-      Slot& s = slots_[slot];
-      if (!s.state->cancelled) return;
-      s.cb.reset();
-      s.state.reset();
-      free_slots_.push_back(slot);
+      if (!recycle_if_cancelled(heap_[0])) return;
       remove_root();
     }
   }
 
-  // mutable: empty()/next_time() lazily discard cancelled entries.
-  mutable std::vector<Entry> heap_;       ///< 4-ary min-heap of keys
+  // mutable: empty()/next_time() lazily discard cancelled entries, and
+  // surfacing the wheel front collects its next occupied slot.
+  mutable std::vector<Entry> heap_;       ///< 4-ary min-heap: overflow tier
+  mutable TimerWheel wheel_;              ///< primary tier (short horizon)
+  mutable std::vector<Entry> buffer_;     ///< current wheel slot, sorted
+  mutable std::size_t buf_pos_ = 0;       ///< consumed prefix of buffer_
   mutable std::vector<Slot> slots_;       ///< callback storage, recycled
   mutable std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
+  bool wheel_enabled_;
 };
 
 }  // namespace corelite::sim

@@ -1,58 +1,49 @@
 #include "sim/hotpath.h"
 
 #include <atomic>
+#include <cstddef>
 
 namespace corelite::sim {
 
 namespace {
 
-struct AtomicCounters {
-  std::atomic<std::uint64_t> exp_calls{0};
-  std::atomic<std::uint64_t> exp_cache_hits{0};
-  std::atomic<std::uint64_t> pow_calls{0};
-  std::atomic<std::uint64_t> pow_cache_hits{0};
-  std::atomic<std::uint64_t> rng_draws{0};
-  std::atomic<std::uint64_t> observer_dispatches{0};
-  std::atomic<std::uint64_t> series_appends{0};
+// Every counter field, in declaration order.  flush/aggregate/reset walk
+// this table so adding a counter is a two-line change (struct + here).
+constexpr std::uint64_t HotPathCounters::* kFields[] = {
+    &HotPathCounters::exp_calls,        &HotPathCounters::exp_cache_hits,
+    &HotPathCounters::pow_calls,        &HotPathCounters::pow_cache_hits,
+    &HotPathCounters::rng_draws,        &HotPathCounters::observer_dispatches,
+    &HotPathCounters::series_appends,   &HotPathCounters::wheel_inserts,
+    &HotPathCounters::wheel_cascades,   &HotPathCounters::heap_inserts,
+    &HotPathCounters::batch_drains,     &HotPathCounters::batch_drained,
 };
+constexpr std::size_t kNumFields = sizeof(kFields) / sizeof(kFields[0]);
 
-AtomicCounters g_aggregate;
+std::atomic<std::uint64_t> g_aggregate[kNumFields];
 
 }  // namespace
 
 void flush_hotpath_counters() {
   HotPathCounters& c = hotpath_counters();
-  g_aggregate.exp_calls.fetch_add(c.exp_calls, std::memory_order_relaxed);
-  g_aggregate.exp_cache_hits.fetch_add(c.exp_cache_hits, std::memory_order_relaxed);
-  g_aggregate.pow_calls.fetch_add(c.pow_calls, std::memory_order_relaxed);
-  g_aggregate.pow_cache_hits.fetch_add(c.pow_cache_hits, std::memory_order_relaxed);
-  g_aggregate.rng_draws.fetch_add(c.rng_draws, std::memory_order_relaxed);
-  g_aggregate.observer_dispatches.fetch_add(c.observer_dispatches, std::memory_order_relaxed);
-  g_aggregate.series_appends.fetch_add(c.series_appends, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kNumFields; ++i) {
+    g_aggregate[i].fetch_add(c.*kFields[i], std::memory_order_relaxed);
+  }
   c = HotPathCounters{};
 }
 
 HotPathCounters aggregated_hotpath_counters() {
   HotPathCounters out = hotpath_counters();
-  out.exp_calls += g_aggregate.exp_calls.load(std::memory_order_relaxed);
-  out.exp_cache_hits += g_aggregate.exp_cache_hits.load(std::memory_order_relaxed);
-  out.pow_calls += g_aggregate.pow_calls.load(std::memory_order_relaxed);
-  out.pow_cache_hits += g_aggregate.pow_cache_hits.load(std::memory_order_relaxed);
-  out.rng_draws += g_aggregate.rng_draws.load(std::memory_order_relaxed);
-  out.observer_dispatches += g_aggregate.observer_dispatches.load(std::memory_order_relaxed);
-  out.series_appends += g_aggregate.series_appends.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kNumFields; ++i) {
+    out.*kFields[i] += g_aggregate[i].load(std::memory_order_relaxed);
+  }
   return out;
 }
 
 void reset_hotpath_counters() {
   hotpath_counters() = HotPathCounters{};
-  g_aggregate.exp_calls.store(0, std::memory_order_relaxed);
-  g_aggregate.exp_cache_hits.store(0, std::memory_order_relaxed);
-  g_aggregate.pow_calls.store(0, std::memory_order_relaxed);
-  g_aggregate.pow_cache_hits.store(0, std::memory_order_relaxed);
-  g_aggregate.rng_draws.store(0, std::memory_order_relaxed);
-  g_aggregate.observer_dispatches.store(0, std::memory_order_relaxed);
-  g_aggregate.series_appends.store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kNumFields; ++i) {
+    g_aggregate[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace corelite::sim

@@ -29,7 +29,25 @@ struct HotPathCounters {
   std::uint64_t rng_draws = 0;        ///< PRNG engine advances
   std::uint64_t observer_dispatches = 0;  ///< link observer callbacks invoked
   std::uint64_t series_appends = 0;   ///< stats::TimeSeries::add() samples
+  std::uint64_t wheel_inserts = 0;    ///< events filed in a timing-wheel slot
+  std::uint64_t wheel_cascades = 0;   ///< wheel entries re-filed a level down
+  std::uint64_t heap_inserts = 0;     ///< events filed in the overflow heap
+                                      ///  (every event when CORELITE_NO_WHEEL)
+  std::uint64_t batch_drains = 0;     ///< link events that fused >=1 completion
+  std::uint64_t batch_drained = 0;    ///< completions fused into batch events
 
+  /// Share of scheduled events the wheel tier absorbed.
+  [[nodiscard]] double wheel_insert_rate() const {
+    const std::uint64_t total = wheel_inserts + heap_inserts;
+    return total == 0 ? 0.0
+                      : static_cast<double>(wheel_inserts) / static_cast<double>(total);
+  }
+  /// Mean completions fused per batch-draining link event.
+  [[nodiscard]] double mean_batch_len() const {
+    return batch_drains == 0
+               ? 0.0
+               : static_cast<double>(batch_drained) / static_cast<double>(batch_drains);
+  }
   [[nodiscard]] double exp_hit_rate() const {
     return exp_calls == 0 ? 0.0
                           : static_cast<double>(exp_cache_hits) / static_cast<double>(exp_calls);
@@ -55,7 +73,7 @@ inline constinit thread_local HotPathCounters t_hotpath_counters{};
 
 /// Add the calling thread's block into the process-wide aggregate and
 /// zero the local block.  Called by the sweep runner after each run and
-/// by run_paper_scenario() on completion; cheap (seven relaxed adds).
+/// by run_paper_scenario() on completion; cheap (a dozen relaxed adds).
 void flush_hotpath_counters();
 
 /// Process-wide aggregate (all flushed blocks) plus the calling

@@ -8,9 +8,16 @@
 // running the Figure-5 scenario with seed 42; any engine change that
 // alters event order or RNG consumption shifts the event count and the
 // per-flow delivery checksum and fails here.
+// The timing-wheel tier and batched link transmission must be equally
+// invisible: the wheel only re-buckets entries (exact (time, seq) order
+// is restored on collection) and a fused completion replays the exact
+// event it elides, so every golden scenario must fingerprint
+// identically with the tiers on and off (CORELITE_NO_WHEEL /
+// CORELITE_NO_BATCH, read at EventQueue/Link construction).
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 
 #include "scenario/scenario.h"
 
@@ -69,6 +76,96 @@ TEST(GoldenDeterminism, RepeatedRunsAreBitIdentical) {
   EXPECT_EQ(a.events, b.events);
   EXPECT_EQ(a.delivered, b.delivered);
   EXPECT_EQ(a.checksum, b.checksum);
+}
+
+// ---------------------------------------------------------------------------
+// Wheel / batch tier equivalence across every golden scenario.
+
+Fingerprint run_spec(scenario::ScenarioSpec spec) {
+  spec.seed = 42;
+  const auto r = scenario::run_paper_scenario(spec);
+  Fingerprint fp;
+  fp.events = r.events_processed;
+  fp.checksum = 1469598103934665603ULL;
+  for (std::size_t i = 1; i <= spec.num_flows; ++i) {
+    const auto& fs = r.tracker.series(static_cast<net::FlowId>(i));
+    const std::uint64_t bytes =
+        fs.delivered * static_cast<std::uint64_t>(spec.topology.packet_size.byte_count());
+    fp.checksum = fnv1a(fp.checksum, i);
+    fp.checksum = fnv1a(fp.checksum, bytes);
+    fp.delivered += fs.delivered;
+  }
+  return fp;
+}
+
+// Both escape hatches are read at construction time (EventQueue for the
+// wheel, Link for batching), so flipping the environment between
+// run_paper_scenario calls compares fresh engines inside one process.
+Fingerprint run_with(scenario::ScenarioSpec spec, bool wheel, bool batch) {
+  if (wheel) {
+    unsetenv("CORELITE_NO_WHEEL");
+  } else {
+    setenv("CORELITE_NO_WHEEL", "1", 1);
+  }
+  if (batch) {
+    unsetenv("CORELITE_NO_BATCH");
+  } else {
+    setenv("CORELITE_NO_BATCH", "1", 1);
+  }
+  const Fingerprint fp = run_spec(std::move(spec));
+  unsetenv("CORELITE_NO_WHEEL");
+  unsetenv("CORELITE_NO_BATCH");
+  return fp;
+}
+
+using SpecFactory = scenario::ScenarioSpec (*)(scenario::Mechanism);
+
+struct GoldenCase {
+  const char* name;
+  SpecFactory make;
+};
+
+constexpr GoldenCase kGoldenScenarios[] = {
+    {"fig3", &scenario::fig3_network_dynamics},
+    {"fig5", &scenario::fig5_simultaneous_start},
+    {"fig7", &scenario::fig7_staggered_start},
+    {"fig9", &scenario::fig9_churn},
+};
+
+TEST(GoldenDeterminism, WheelOnMatchesWheelOffOnEveryGoldenScenario) {
+  for (const auto& g : kGoldenScenarios) {
+    for (const auto mech : {scenario::Mechanism::Corelite, scenario::Mechanism::Csfq}) {
+      const Fingerprint on = run_with(g.make(mech), /*wheel=*/true, /*batch=*/true);
+      const Fingerprint off = run_with(g.make(mech), /*wheel=*/false, /*batch=*/true);
+      EXPECT_EQ(on.events, off.events) << g.name << " mech " << static_cast<int>(mech);
+      EXPECT_EQ(on.delivered, off.delivered) << g.name << " mech " << static_cast<int>(mech);
+      EXPECT_EQ(on.checksum, off.checksum) << g.name << " mech " << static_cast<int>(mech);
+    }
+  }
+}
+
+TEST(GoldenDeterminism, BatchingOnMatchesBatchingOffOnEveryGoldenScenario) {
+  for (const auto& g : kGoldenScenarios) {
+    for (const auto mech : {scenario::Mechanism::Corelite, scenario::Mechanism::Csfq}) {
+      const Fingerprint on = run_with(g.make(mech), /*wheel=*/true, /*batch=*/true);
+      const Fingerprint off = run_with(g.make(mech), /*wheel=*/true, /*batch=*/false);
+      EXPECT_EQ(on.events, off.events) << g.name << " mech " << static_cast<int>(mech);
+      EXPECT_EQ(on.delivered, off.delivered) << g.name << " mech " << static_cast<int>(mech);
+      EXPECT_EQ(on.checksum, off.checksum) << g.name << " mech " << static_cast<int>(mech);
+    }
+  }
+}
+
+TEST(GoldenDeterminism, BothTiersOffStillMatchesTheGoldenFingerprint) {
+  // Anchors the equivalence chain to the frozen seed-engine constants:
+  // heap-only, unbatched — the engine configuration the golden numbers
+  // were captured on.
+  const Fingerprint fp =
+      run_with(scenario::fig5_simultaneous_start(scenario::Mechanism::Corelite),
+               /*wheel=*/false, /*batch=*/false);
+  EXPECT_EQ(fp.events, 444442u);
+  EXPECT_EQ(fp.delivered, 36665u);
+  EXPECT_EQ(fp.checksum, 0xfcdc133cb00a346bULL);
 }
 
 }  // namespace

@@ -81,6 +81,13 @@ void print_hotpath_profile() {
               static_cast<unsigned long long>(c.observer_dispatches));
   std::printf("  series appends       %12llu\n",
               static_cast<unsigned long long>(c.series_appends));
+  std::printf("  wheel inserts        %12llu  (%.1f%% of events; heap %llu, cascades %llu)\n",
+              static_cast<unsigned long long>(c.wheel_inserts), c.wheel_insert_rate() * 100.0,
+              static_cast<unsigned long long>(c.heap_inserts),
+              static_cast<unsigned long long>(c.wheel_cascades));
+  std::printf("  batch drains         %12llu  (%llu completions fused, mean %.2f/drain)\n",
+              static_cast<unsigned long long>(c.batch_drains),
+              static_cast<unsigned long long>(c.batch_drained), c.mean_batch_len());
 }
 
 std::vector<std::string> split_list(const std::string& text) {
