@@ -17,10 +17,26 @@
 //               and are bit-identical to --jobs 1), and
 //   --sweep R   repeats every cell R times over derived seeds and adds
 //               a mean±ci95 fairness summary.
+//
+// After the grid, the SCALING CURVE runs generated workloads at bench
+// scale — 1k → 10k → 100k flows on a generated topology (1M with
+// --stretch) — and records wall time, events/s, hot-path op counts and
+// peak RSS per row into BENCH_scale.json.  The curve is the workload
+// axis the paper motivates ("hundreds of thousands of flows"): each row
+// is one deterministic generated scenario, so the per-row digest doubles
+// as a regression gate.
+//   --curve A,B,...      override the curve's flow counts (empty: skip)
+//   --curve-topo T       generated topology (pl8, ft4, isp32, ...)
+//   --curve-duration S   simulated seconds per curve row
+//   --stretch            append the 1M-flow stretch row
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,14 +52,58 @@ namespace sc = corelite::scenario;
 namespace rn = corelite::runner;
 namespace tel = corelite::telemetry;
 
+namespace {
+
+/// Current resident set size in KB from /proc/self/status (-1 if the
+/// platform doesn't expose it — the JSON then records -1, not garbage).
+long current_rss_kb() {
+  std::ifstream in{"/proc/self/status"};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) return std::strtol(line.c_str() + 6, nullptr, 10);
+  }
+  return -1;
+}
+
+/// Process-lifetime peak RSS in KB (ru_maxrss is KB on Linux).
+long peak_rss_kb() {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return -1;
+  return ru.ru_maxrss;
+}
+
+struct CurveRow {
+  std::size_t flows = 0;
+  std::string scenario;
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  std::uint64_t delivered = 0;
+  std::uint64_t drops = 0;
+  double jain = 0.0;
+  std::uint64_t rng_draws = 0;
+  std::uint64_t wheel_inserts = 0;
+  std::uint64_t series_appends = 0;
+  long rss_kb = -1;
+  long peak_kb = -1;
+  std::uint64_t digest = 0;
+  bool ok = false;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::size_t jobs = 1;
   std::size_t repeats = 1;
   std::uint64_t base_seed = 1;
   bool profile = false;
   bool telemetry = false;
+  bool stretch = false;
   std::string trace_path;
   std::string manifest_path = "run_manifest.json";
+  std::string curve_topo = "pl8";
+  std::string curve_list = "1000,10000,100000";
+  double curve_duration = 10.0;
   double heartbeat_sec = 0.0;
   for (int i = 1; i < argc; ++i) {
     const bool more = i + 1 < argc;
@@ -57,6 +117,14 @@ int main(int argc, char** argv) {
       profile = true;
     } else if (std::strcmp(argv[i], "--telemetry") == 0) {
       telemetry = true;
+    } else if (std::strcmp(argv[i], "--stretch") == 0) {
+      stretch = true;
+    } else if (std::strcmp(argv[i], "--curve") == 0 && more) {
+      curve_list = argv[++i];
+    } else if (std::strcmp(argv[i], "--curve-topo") == 0 && more) {
+      curve_topo = argv[++i];
+    } else if (std::strcmp(argv[i], "--curve-duration") == 0 && more) {
+      curve_duration = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && more) {
       trace_path = argv[++i];
       telemetry = true;
@@ -67,7 +135,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--sweep REPEATS] [--seed S] [--profile] [--telemetry] "
-                   "[--trace-out PATH] [--manifest PATH] [--heartbeat SEC]\n",
+                   "[--trace-out PATH] [--manifest PATH] [--heartbeat SEC] "
+                   "[--curve A,B,...] [--curve-topo T] [--curve-duration S] [--stretch]\n",
                    argv[0]);
       return 2;
     }
@@ -168,6 +237,108 @@ int main(int argc, char** argv) {
       "jain decays gently); measured core flow state stays 0 for the core-\n"
       "stateless schemes at every scale while WFQ's grows with the population\n"
       "— the paper's scalability argument.\n");
+
+  // ---- Scaling curve: generated workloads at bench scale ----------------
+  std::vector<std::size_t> curve;
+  {
+    std::stringstream ss{curve_list};
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (item.empty()) continue;
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(item.c_str(), &end, 10);
+      if (end == item.c_str() || *end != '\0' || n == 0) {
+        std::fprintf(stderr, "malformed --curve entry '%s'\n", item.c_str());
+        return 2;
+      }
+      curve.push_back(static_cast<std::size_t>(n));
+    }
+  }
+  if (stretch) curve.push_back(1000000);
+  if (curve_duration <= 0.0) curve_duration = 10.0;
+
+  if (!curve.empty()) {
+    phases.start("curve");
+    std::printf("\nScaling curve: gen-%s topology, corelite, %.1f s per row\n",
+                curve_topo.c_str(), curve_duration);
+    std::printf("%-10s %-12s %-12s %-12s %-12s %-10s %-8s %-10s %-10s\n", "flows", "wall[ms]",
+                "events", "ev/s", "delivered", "drops", "jain", "rss[MB]", "peak[MB]");
+    std::vector<CurveRow> rows;
+    for (const std::size_t n : curve) {
+      rn::RunDescriptor d;
+      d.scenario = "gen-" + curve_topo + "-" + std::to_string(n);
+      d.mechanism = sc::Mechanism::Corelite;
+      d.duration_sec = curve_duration;
+      d.seed = rn::derive_seed(base_seed, 0);
+      const corelite::sim::HotPathCounters before = corelite::sim::aggregated_hotpath_counters();
+      const rn::RunResult r = rn::execute_run(d);
+      const corelite::sim::HotPathCounters after = corelite::sim::aggregated_hotpath_counters();
+      CurveRow row;
+      row.flows = n;
+      row.scenario = d.scenario;
+      row.ok = r.ok;
+      if (!r.ok) {
+        std::printf("%-10zu run failed (scenario '%s')\n", n, d.scenario.c_str());
+        rows.push_back(std::move(row));
+        continue;
+      }
+      row.wall_ms = r.wall_ms;
+      row.events = r.events;
+      row.events_per_sec = r.wall_ms > 0.0 ? static_cast<double>(r.events) / (r.wall_ms / 1e3) : 0.0;
+      row.delivered = r.delivered;
+      row.drops = r.total_drops;
+      row.jain = r.jain;
+      row.rng_draws = after.rng_draws - before.rng_draws;
+      row.wheel_inserts = after.wheel_inserts - before.wheel_inserts;
+      row.series_appends = after.series_appends - before.series_appends;
+      row.rss_kb = current_rss_kb();
+      row.peak_kb = peak_rss_kb();
+      row.digest = r.digest;
+      std::printf("%-10zu %-12.1f %-12llu %-12.3g %-12llu %-10llu %-8.4f %-10.1f %-10.1f\n", n,
+                  row.wall_ms, static_cast<unsigned long long>(row.events), row.events_per_sec,
+                  static_cast<unsigned long long>(row.delivered),
+                  static_cast<unsigned long long>(row.drops), row.jain,
+                  static_cast<double>(row.rss_kb) / 1024.0,
+                  static_cast<double>(row.peak_kb) / 1024.0);
+      rows.push_back(std::move(row));
+    }
+
+    std::FILE* f = std::fopen("BENCH_scale.json", "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write BENCH_scale.json\n");
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"scale_flows_curve\",\n");
+    std::fprintf(f, "  \"topology\": \"%s\",\n", curve_topo.c_str());
+    std::fprintf(f, "  \"mechanism\": \"corelite\",\n");
+    std::fprintf(f, "  \"duration_sec\": %.6g,\n", curve_duration);
+    std::fprintf(f, "  \"base_seed\": %llu,\n", static_cast<unsigned long long>(base_seed));
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const CurveRow& row = rows[i];
+      std::fprintf(f,
+                   "    {\"flows\": %zu, \"scenario\": \"%s\", \"ok\": %s, \"wall_ms\": %.3f, "
+                   "\"events\": %llu, \"events_per_sec\": %.6g, \"delivered\": %llu, "
+                   "\"drops\": %llu, \"jain\": %.6f, \"rng_draws\": %llu, "
+                   "\"wheel_inserts\": %llu, \"series_appends\": %llu, \"rss_kb\": %ld, "
+                   "\"peak_rss_kb\": %ld, \"digest\": \"%s\"}%s\n",
+                   row.flows, row.scenario.c_str(), row.ok ? "true" : "false", row.wall_ms,
+                   static_cast<unsigned long long>(row.events), row.events_per_sec,
+                   static_cast<unsigned long long>(row.delivered),
+                   static_cast<unsigned long long>(row.drops), row.jain,
+                   static_cast<unsigned long long>(row.rng_draws),
+                   static_cast<unsigned long long>(row.wheel_inserts),
+                   static_cast<unsigned long long>(row.series_appends), row.rss_kb, row.peak_kb,
+                   tel::digest_hex(row.digest).c_str(), i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_scale.json (%zu rows)\n", rows.size());
+    bool any_failed = false;
+    for (const CurveRow& row : rows) any_failed = any_failed || !row.ok;
+    if (any_failed) return 1;
+  }
 
   if (telemetry) {
     const std::uint64_t digest = rn::combined_digest(results);

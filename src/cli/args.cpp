@@ -1,6 +1,8 @@
 #include "cli/args.h"
 
 #include <cassert>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -54,20 +56,39 @@ bool ArgParser::assign(Option& opt, const std::string& name, const std::string& 
       break;
     case Kind::Double: {
       char* end = nullptr;
-      opt.dbl_value = std::strtod(value.c_str(), &end);
+      errno = 0;
+      const double parsed = std::strtod(value.c_str(), &end);
       if (end == value.c_str() || *end != '\0') {
         err << program_ << ": --" << name << " expects a number, got '" << value << "'\n";
         return false;
       }
+      // Overflow ("1e999" parses to inf with ERANGE) and literal
+      // inf/nan all yield non-finite values no option can use.
+      if (!std::isfinite(parsed)) {
+        err << program_ << ": --" << name << " value '" << value
+            << "' is out of range (must be finite)\n";
+        return false;
+      }
+      opt.dbl_value = parsed;
       break;
     }
     case Kind::Int: {
       char* end = nullptr;
-      opt.int_value = std::strtoll(value.c_str(), &end, 10);
+      errno = 0;
+      const std::int64_t parsed = std::strtoll(value.c_str(), &end, 10);
       if (end == value.c_str() || *end != '\0') {
         err << program_ << ": --" << name << " expects an integer, got '" << value << "'\n";
         return false;
       }
+      // strtoll saturates to LLONG_MIN/LLONG_MAX on overflow and only
+      // reports it through errno; without this check --flows with 20
+      // digits would silently become LLONG_MAX.
+      if (errno == ERANGE) {
+        err << program_ << ": --" << name << " value '" << value
+            << "' is out of range for a 64-bit integer\n";
+        return false;
+      }
+      opt.int_value = parsed;
       break;
     }
     case Kind::Flag:

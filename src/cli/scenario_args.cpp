@@ -1,5 +1,6 @@
 #include "cli/scenario_args.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <utility>
@@ -9,7 +10,8 @@ namespace corelite::cli {
 void register_scenario_options(ArgParser& parser) {
   parser.add_string("scenario", "fig5",
                     "paper scenario: fig3 (network dynamics), fig5 (simultaneous start), "
-                    "fig7 (staggered), fig9 (churn)");
+                    "fig7 (staggered), fig9 (churn); or a generated workload "
+                    "gen-{pl<stages>|ft<k>|isp<routers>}-<flows>, e.g. gen-pl8-1000");
   parser.add_string("mechanism", "corelite",
                     "in-network mechanism: corelite, csfq, droptail, red, fred, wfq, ecnbit, choke, sfq");
   parser.add_string("selector", "stateless",
@@ -30,13 +32,22 @@ void register_scenario_options(ArgParser& parser) {
 }
 
 std::optional<std::vector<double>> parse_weight_list(const std::string& text) {
+  // A trailing delimiter would silently vanish in the getline loop below,
+  // so an empty final item is rejected up front like any other empty item.
+  if (text.empty() || text.back() == ',') return std::nullopt;
   std::vector<double> weights;
   std::stringstream ss{text};
   std::string item;
   while (std::getline(ss, item, ',')) {
     char* end = nullptr;
     const double w = std::strtod(item.c_str(), &end);
-    if (end == item.c_str() || *end != '\0' || w <= 0.0) return std::nullopt;
+    // NaN compares false against <= and would slip through a plain
+    // w <= 0.0 test; inf parses cleanly ("inf", "1e999").  Either one
+    // poisons every normalized-rate computation downstream, so weights
+    // must be finite and strictly positive.
+    if (end == item.c_str() || *end != '\0' || !std::isfinite(w) || w <= 0.0) {
+      return std::nullopt;
+    }
     weights.push_back(w);
   }
   if (weights.empty()) return std::nullopt;
@@ -113,12 +124,18 @@ std::optional<scenario::ScenarioSpec> spec_from_args(const ArgParser& parser,
       err << "malformed --weights list '" << parser.get_string("weights") << "'\n";
       return std::nullopt;
     }
-    if (weights->size() != spec.num_flows) {
-      err << "--weights needs exactly " << spec.num_flows << " entries, got "
-          << weights->size() << "\n";
-      return std::nullopt;
+    if (spec.generated.has_value()) {
+      // Generated populations take the list (any length) as their
+      // repeating weight cycle.
+      spec.generated->flows.weight_cycle = std::move(*weights);
+    } else {
+      if (weights->size() != spec.num_flows) {
+        err << "--weights needs exactly " << spec.num_flows << " entries, got "
+            << weights->size() << "\n";
+        return std::nullopt;
+      }
+      spec.weights = std::move(*weights);
     }
-    spec.weights = std::move(*weights);
   }
 
   if (parser.get_double("duration") > 0.0) {
@@ -130,6 +147,10 @@ std::optional<scenario::ScenarioSpec> spec_from_args(const ArgParser& parser,
   spec.corelite.q_thresh_pkts = parser.get_double("qthresh");
   spec.corelite.k_cubic = parser.get_double("kcubic");
   spec.topology.link_delay = sim::TimeDelta::millis(parser.get_double("link-delay-ms"));
+  if (spec.generated.has_value() && parser.was_set("link-delay-ms")) {
+    spec.generated->topology.cfg.link_delay =
+        sim::TimeDelta::millis(parser.get_double("link-delay-ms"));
+  }
   return spec;
 }
 

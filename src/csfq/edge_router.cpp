@@ -19,28 +19,45 @@ CsfqEdgeRouter::~CsfqEdgeRouter() { epoch_timer_.cancel(); }
 
 void CsfqEdgeRouter::add_flow(const net::FlowSpec& spec) {
   assert(spec.ingress == node_);
-  assert(spec.weight > 0.0);
+  assert(spec.valid());
   auto fs = std::make_unique<FlowState>(spec, cfg_);
   if (tracker_ != nullptr) tracker_->declare_flow(spec.id, spec.weight);
   FlowState& ref = *fs;
-  flows_[spec.id] = std::move(fs);
-  schedule_lifecycle(ref);
+  if (spec.id >= by_id_.size()) by_id_.resize(spec.id + 1, nullptr);
+  assert(by_id_[spec.id] == nullptr && "duplicate flow id");
+  by_id_[spec.id] = &ref;
+  flows_.push_back(std::move(fs));
+  schedule_window(ref, 0);
 }
 
-void CsfqEdgeRouter::schedule_lifecycle(FlowState& fs) {
+// Lazy lifecycle cursor: only the next transition of each flow sits in
+// the event queue (a 100k-flow churn population would otherwise park
+// two events per window up front).  Each window still costs exactly one
+// start and one finite-stop event, matching the eager schedule.
+void CsfqEdgeRouter::schedule_window(FlowState& fs, std::size_t window) {
   auto& sim = net_.simulator();
-  for (const auto& iv : fs.spec.active) {
-    const sim::SimTime start = std::max(iv.start, sim.now());
-    sim.at_detached(start, [this, &fs] { start_flow(fs); });
-    if (iv.stop < sim::SimTime::infinite()) {
-      sim.at_detached(iv.stop, [this, &fs] { stop_flow(fs); });
-    }
+  while (window < fs.spec.active.size() && fs.spec.active[window].stop <= sim.now()) {
+    ++window;  // window already wholly in the past
   }
+  if (window >= fs.spec.active.size()) return;
+  const sim::SimTime start = std::max(fs.spec.active[window].start, sim.now());
+  sim.at_detached(start, [this, &fs, window] {
+    start_flow(fs);
+    const sim::SimTime stop = fs.spec.active[window].stop;
+    if (stop < sim::SimTime::infinite()) {
+      net_.simulator().at_detached(stop, [this, &fs, window] {
+        stop_flow(fs);
+        schedule_window(fs, window + 1);
+      });
+    }
+  });
 }
 
 void CsfqEdgeRouter::start_flow(FlowState& fs) {
   if (fs.active) return;
   fs.active = true;
+  fs.active_slot = active_.size();
+  active_.push_back(&fs);
   fs.losses_this_epoch = 0;
   fs.estimator.reset();
   fs.ctrl->reset(net_.simulator().now());
@@ -53,6 +70,11 @@ void CsfqEdgeRouter::start_flow(FlowState& fs) {
 void CsfqEdgeRouter::stop_flow(FlowState& fs) {
   if (!fs.active) return;
   fs.active = false;
+  FlowState* last = active_.back();
+  active_[fs.active_slot] = last;
+  last->active_slot = fs.active_slot;
+  active_.pop_back();
+  fs.active_slot = kNoSlot;
   ++fs.emit_gen;  // orphan any in-flight emission event
   fs.losses_this_epoch = 0;
   if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, net_.simulator().now(), 0.0);
@@ -85,13 +107,12 @@ void CsfqEdgeRouter::emit_packet(FlowState& fs) {
 
 void CsfqEdgeRouter::on_epoch() {
   const sim::SimTime now = net_.simulator().now();
-  for (auto& [id, fsp] : flows_) {
+  for (FlowState* fsp : active_) {
     FlowState& fs = *fsp;
-    if (!fs.active) continue;
     const int losses = fs.losses_this_epoch;
     fs.losses_this_epoch = 0;
     fs.ctrl->on_epoch(losses, now);
-    if (tracker_ != nullptr) tracker_->record_rate(id, now, fs.ctrl->rate_pps());
+    if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, now, fs.ctrl->rate_pps());
   }
 }
 
@@ -99,8 +120,8 @@ void CsfqEdgeRouter::handle_local(net::Packet&& p) {
   switch (p.kind) {
     case net::PacketKind::LossNotice: {
       ++losses_received_;
-      auto it = flows_.find(p.flow);
-      if (it != flows_.end() && it->second->active) ++it->second->losses_this_epoch;
+      FlowState* fs = lookup(p.flow);
+      if (fs != nullptr && fs->active) ++fs->losses_this_epoch;
       if (tracker_ != nullptr) {
         tracker_->on_feedback(p.flow);
         tracker_->on_dropped(p.flow);
@@ -116,9 +137,9 @@ void CsfqEdgeRouter::handle_local(net::Packet&& p) {
 }
 
 double CsfqEdgeRouter::current_rate_pps(net::FlowId flow) const {
-  auto it = flows_.find(flow);
-  if (it == flows_.end() || !it->second->active) return 0.0;
-  return it->second->ctrl->rate_pps();
+  const FlowState* fs = lookup(flow);
+  if (fs == nullptr || !fs->active) return 0.0;
+  return fs->ctrl->rate_pps();
 }
 
 }  // namespace corelite::csfq

@@ -14,9 +14,10 @@
 // over core routers.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "csfq/config.h"
 #include "csfq/rate_estimator.h"
@@ -44,6 +45,8 @@ class CsfqEdgeRouter {
   [[nodiscard]] std::uint64_t loss_notices_received() const { return losses_received_; }
 
  private:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
   struct FlowState {
     net::FlowSpec spec;
     std::unique_ptr<qos::RateController> ctrl;
@@ -53,6 +56,9 @@ class CsfqEdgeRouter {
     /// Emission events are fire-and-forget; stopping the flow bumps the
     /// generation so the old chain's in-flight event becomes a no-op.
     std::uint32_t emit_gen = 0;
+    /// Position in active_ while active (kNoSlot otherwise) — O(1)
+    /// swap-removal when the flow stops.
+    std::size_t active_slot = kNoSlot;
 
     FlowState(const net::FlowSpec& s, const CsfqConfig& cfg)
         : spec{s},
@@ -60,7 +66,12 @@ class CsfqEdgeRouter {
           estimator{cfg.k_flow} {}
   };
 
-  void schedule_lifecycle(FlowState& fs);
+  /// Dense id-indexed lookup; nullptr for unknown flows.
+  [[nodiscard]] FlowState* lookup(net::FlowId id) const {
+    return id < by_id_.size() ? by_id_[id] : nullptr;
+  }
+
+  void schedule_window(FlowState& fs, std::size_t window);
   void start_flow(FlowState& fs);
   void stop_flow(FlowState& fs);
   void emit_packet(FlowState& fs);
@@ -71,7 +82,13 @@ class CsfqEdgeRouter {
   net::NodeId node_;
   CsfqConfig cfg_;
   stats::FlowTracker* tracker_;
-  std::unordered_map<net::FlowId, std::unique_ptr<FlowState>> flows_;
+  /// Owner (insertion order, address-stable via unique_ptr: emission
+  /// events capture FlowState&), dense id index, and the set of
+  /// currently active flows — per-epoch bookkeeping is O(active), and
+  /// per-packet lookups are an array index instead of a hash probe.
+  std::vector<std::unique_ptr<FlowState>> flows_;
+  std::vector<FlowState*> by_id_;
+  std::vector<FlowState*> active_;
   sim::PeriodicHandle epoch_timer_;
   std::uint64_t losses_received_ = 0;
 };

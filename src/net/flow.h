@@ -5,6 +5,8 @@
 // egress node, and carries a rate weight that selects its rate class.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "net/types.h"
@@ -18,6 +20,19 @@ struct ActiveInterval {
   sim::SimTime stop = sim::SimTime::infinite();
 };
 
+/// True iff the windows are non-empty (start < stop), time-ordered and
+/// pairwise disjoint — the contract every activity list must satisfy.
+/// Touching windows ([0,5),[5,9)) are allowed; callers that want one
+/// continuous window should merge them, but they are not ambiguous.
+[[nodiscard]] inline bool valid_activity_windows(const std::vector<ActiveInterval>& windows) {
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (!(windows[i].start < windows[i].stop)) return false;
+    if (std::isnan(windows[i].start.sec())) return false;
+    if (i > 0 && windows[i].start < windows[i - 1].stop) return false;
+  }
+  return true;
+}
+
 struct FlowSpec {
   FlowId id = kInvalidFlow;
   NodeId ingress = kInvalidNode;  ///< ingress edge router
@@ -25,18 +40,33 @@ struct FlowSpec {
   double weight = 1.0;            ///< rate weight w(f) > 0
 
   /// Disjoint, time-ordered activity windows.  A flow with several
-  /// windows models the stop/restart churn of the paper's §4.3 scenario.
+  /// windows models the stop/restart churn of the paper's §4.3 scenario;
+  /// churn-generated populations carry hundreds.  Must satisfy
+  /// valid_activity_windows() — see valid().
   std::vector<ActiveInterval> active{{sim::SimTime::zero(), sim::SimTime::infinite()}};
 
   /// Optional minimum rate contract in packets/s (Corelite extension:
   /// the edge never throttles the flow below this floor).
   double min_rate_pps = 0.0;
 
+  /// Construction-time validation: finite positive weight, non-negative
+  /// min rate, well-formed activity windows.  Edge routers assert this
+  /// on add_flow; generators and script parsers reject specs failing it.
+  [[nodiscard]] bool valid() const {
+    return std::isfinite(weight) && weight > 0.0 && std::isfinite(min_rate_pps) &&
+           min_rate_pps >= 0.0 && valid_activity_windows(active);
+  }
+
+  /// O(log W) over the sorted disjoint windows: locate the last window
+  /// starting at or before t and test its stop.
   [[nodiscard]] bool active_at(sim::SimTime t) const {
-    for (const auto& iv : active) {
-      if (t >= iv.start && t < iv.stop) return true;
-    }
-    return false;
+    auto it = std::upper_bound(active.begin(), active.end(), t,
+                               [](sim::SimTime v, const ActiveInterval& iv) {
+                                 return v < iv.start;
+                               });
+    if (it == active.begin()) return false;
+    --it;
+    return t < it->stop;
   }
 };
 

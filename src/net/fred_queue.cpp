@@ -7,6 +7,18 @@
 
 namespace corelite::net {
 
+FredQueue::FlowEntry& FredQueue::ensure_entry(FlowId id) {
+  if (id >= flows_.size()) flows_.resize(id + 1);
+  FlowEntry& fe = flows_[id];
+  if (!fe.present) {
+    fe.present = true;
+    fe.qlen = 0;
+    fe.strikes = 0;
+    ++tracked_;
+  }
+  return fe;
+}
+
 void FredQueue::age_average(sim::SimTime now) {
   if (!idle_) return;
   avg_ = ewma_idle_aged(avg_, cfg_.ewma_weight, now - idle_since_, cfg_.typical_service_time);
@@ -22,8 +34,8 @@ bool FredQueue::enqueue(Packet&& p, sim::SimTime now) {
   age_average(now);
   avg_ = (1.0 - cfg_.ewma_weight) * avg_ + cfg_.ewma_weight * static_cast<double>(data_count_);
 
-  FlowEntry& fe = flows_[p.flow];  // created on first buffered packet
-  const double nactive = std::max<std::size_t>(1, flows_.size());
+  FlowEntry& fe = ensure_entry(p.flow);  // created on first buffered packet
+  const double nactive = std::max<std::size_t>(1, tracked_);
   const double avgcq = std::max(1.0, avg_ / static_cast<double>(nactive));
   const std::size_t max_q =
       std::max(cfg_.min_q, static_cast<std::size_t>(cfg_.min_thresh));
@@ -62,7 +74,7 @@ bool FredQueue::enqueue(Packet&& p, sim::SimTime now) {
   }
 
   if (drop) {
-    if (fe.qlen == 0) flows_.erase(p.flow);  // no state without buffered packets
+    if (fe.qlen == 0) erase_entry(fe);  // no state without buffered packets
     return false;
   }
   ++fe.qlen;
@@ -77,10 +89,9 @@ std::optional<Packet> FredQueue::dequeue(sim::SimTime now) {
   q_.pop_front();
   if (p.is_data()) {
     --data_count_;
-    auto it = flows_.find(p.flow);
-    if (it != flows_.end() && --it->second.qlen == 0) {
+    if (p.flow < flows_.size() && flows_[p.flow].present && --flows_[p.flow].qlen == 0) {
       // FRED keeps per-flow state only while packets are buffered.
-      flows_.erase(it);
+      erase_entry(flows_[p.flow]);
     }
     if (data_count_ == 0) {
       idle_ = true;

@@ -22,7 +22,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "net/queue.h"
 #include "sim/random.h"
@@ -48,25 +48,36 @@ class FredQueue final : public PacketQueue {
   [[nodiscard]] bool empty() const override { return q_.empty(); }
 
   [[nodiscard]] double average_queue() const { return avg_; }
-  [[nodiscard]] std::size_t tracked_flows() const { return flows_.size(); }
-  [[nodiscard]] std::size_t flow_state_entries() const override { return flows_.size(); }
+  [[nodiscard]] std::size_t tracked_flows() const { return tracked_; }
+  [[nodiscard]] std::size_t flow_state_entries() const override { return tracked_; }
   [[nodiscard]] std::size_t queued_for(FlowId f) const {
-    auto it = flows_.find(f);
-    return it == flows_.end() ? 0 : it->second.qlen;
+    return f < flows_.size() && flows_[f].present ? flows_[f].qlen : 0;
   }
 
  private:
+  /// Dense per-flow slot.  FRED's defining property is that state exists
+  /// only while a flow has buffered packets; `present` models that
+  /// lifetime (a "erased" slot keeps its storage but counts as absent,
+  /// and re-creation resets qlen/strikes exactly like a fresh map node).
   struct FlowEntry {
     std::size_t qlen = 0;
     int strikes = 0;
+    bool present = false;
   };
+
+  FlowEntry& ensure_entry(FlowId id);
+  void erase_entry(FlowEntry& fe) {
+    fe.present = false;
+    --tracked_;
+  }
 
   void age_average(sim::SimTime now);
 
   Config cfg_;
   sim::Rng* rng_;
   std::deque<Packet> q_;
-  std::unordered_map<FlowId, FlowEntry> flows_;
+  std::vector<FlowEntry> flows_;  ///< dense: flow id -> entry
+  std::size_t tracked_ = 0;       ///< slots with present == true
   double avg_ = 0.0;
   std::int64_t count_since_drop_ = -1;
   sim::SimTime idle_since_ = sim::SimTime::zero();

@@ -6,10 +6,25 @@
 
 namespace corelite::net {
 
-std::size_t WfqQueue::backlogged_flows() const {
-  std::size_t n = 0;
-  for (const auto& [flow, fq] : flows_) n += fq.q.empty() ? 0 : 1;
-  return n;
+WfqQueue::FlowQueue& WfqQueue::ensure_entry(FlowId id) {
+  if (id >= flows_.size()) flows_.resize(id + 1);
+  FlowQueue& fq = flows_[id];
+  if (!fq.present) {
+    fq.present = true;
+    ++tracked_;
+    double w = weight_of_ ? weight_of_(id) : 1.0;
+    fq.weight = w <= 0.0 ? 1.0 : w;
+  }
+  return fq;
+}
+
+void WfqQueue::mark_backlogged(FlowId id) {
+  backlogged_.insert(std::lower_bound(backlogged_.begin(), backlogged_.end(), id), id);
+}
+
+void WfqQueue::unmark_backlogged(FlowId id) {
+  const auto it = std::lower_bound(backlogged_.begin(), backlogged_.end(), id);
+  backlogged_.erase(it);
 }
 
 bool WfqQueue::enqueue(Packet&& p, sim::SimTime /*now*/) {
@@ -18,29 +33,20 @@ bool WfqQueue::enqueue(Packet&& p, sim::SimTime /*now*/) {
     return true;
   }
 
+  FlowQueue& arriving = ensure_entry(p.flow);
+
   // Weighted per-flow buffer threshold: a flow may hold at most its
   // weight's share of the buffer (x2 slack, floor of 2).  This makes an
   // over-share flow's losses trickle out packet by packet — the loss
   // signal rate-adaptive sources need — rather than letting one flow
   // build a deep backlog that is later evicted in bursts.
   {
-    double w_arriving = weight_of_ ? weight_of_(p.flow) : 1.0;
-    if (w_arriving <= 0.0) w_arriving = 1.0;
     double w_total = 0.0;
-    bool arriving_backlogged = false;
-    for (const auto& [flow, fq] : flows_) {
-      if (fq.q.empty()) continue;
-      double w = weight_of_ ? weight_of_(flow) : 1.0;
-      w_total += w <= 0.0 ? 1.0 : w;
-      arriving_backlogged |= flow == p.flow;
-    }
-    if (!arriving_backlogged) w_total += w_arriving;
+    for (FlowId id : backlogged_) w_total += flows_[id].weight;
+    if (arriving.q.empty()) w_total += arriving.weight;
     const double limit =
-        std::max(2.0, 2.0 * static_cast<double>(capacity_) * w_arriving / w_total);
-    const auto it = flows_.find(p.flow);
-    if (it != flows_.end() && static_cast<double>(it->second.q.size()) >= limit) {
-      return false;
-    }
+        std::max(2.0, 2.0 * static_cast<double>(capacity_) * arriving.weight / w_total);
+    if (static_cast<double>(arriving.q.size()) >= limit) return false;
   }
 
   if (data_count_ >= capacity_) {
@@ -48,40 +54,35 @@ bool WfqQueue::enqueue(Packet&& p, sim::SimTime /*now*/) {
     // the most over-share backlog — the flow with the largest
     // queue-length/weight ratio — to admit the arrival.  If the arrival
     // itself belongs to that flow, reject it instead.
-    auto victim = flows_.end();
+    FlowId victim = kInvalidFlow;
     double worst = -1.0;
-    for (auto it = flows_.begin(); it != flows_.end(); ++it) {
-      if (it->second.q.empty()) continue;
-      double vw = weight_of_ ? weight_of_(it->first) : 1.0;
-      if (vw <= 0.0) vw = 1.0;
-      const double ratio = static_cast<double>(it->second.q.size()) / vw;
+    for (FlowId id : backlogged_) {
+      FlowQueue& fq = flows_[id];
+      const double ratio = static_cast<double>(fq.q.size()) / fq.weight;
       if (ratio > worst) {
         worst = ratio;
-        victim = it;
+        victim = id;
       }
     }
-    if (victim == flows_.end() || victim->first == p.flow) return false;
-    Tagged evicted = std::move(victim->second.q.back());
-    victim->second.q.pop_back();
-    victim->second.last_finish = victim->second.q.empty()
-                                     ? evicted.start_tag
-                                     : victim->second.q.back().finish_tag;
+    if (victim == kInvalidFlow || victim == p.flow) return false;
+    FlowQueue& vq = flows_[victim];
+    Tagged evicted = std::move(vq.q.back());
+    vq.q.pop_back();
+    vq.last_finish = vq.q.empty() ? evicted.start_tag : vq.q.back().finish_tag;
+    if (vq.q.empty()) unmark_backlogged(victim);
     --data_count_;
     notify_internal_drop(evicted.packet);
   }
 
-  double w = weight_of_ ? weight_of_(p.flow) : 1.0;
-  if (w <= 0.0) w = 1.0;
-
-  FlowQueue& fq = flows_[p.flow];
   Tagged t;
   // Service cost in "packet / weight" units: all data packets here are
   // equal-size, so one packet costs 1/w virtual time.
-  t.start_tag = std::max(vtime_, fq.last_finish);
-  t.finish_tag = t.start_tag + 1.0 / w;
-  fq.last_finish = t.finish_tag;
+  t.start_tag = std::max(vtime_, arriving.last_finish);
+  t.finish_tag = t.start_tag + 1.0 / arriving.weight;
+  arriving.last_finish = t.finish_tag;
   t.packet = std::move(p);
-  fq.q.push_back(std::move(t));
+  if (arriving.q.empty()) mark_backlogged(t.packet.flow);
+  arriving.q.push_back(std::move(t));
   ++data_count_;
   return true;
 }
@@ -96,20 +97,22 @@ std::optional<Packet> WfqQueue::dequeue(sim::SimTime /*now*/) {
   if (data_count_ == 0) return std::nullopt;
 
   // Serve the backlogged flow whose head-of-line start tag is smallest
-  // (deterministic tie-break on flow id via map order).
-  auto best = flows_.end();
+  // (deterministic tie-break on the lowest flow id: the backlogged list
+  // is scanned in ascending id order).
+  FlowId best = kInvalidFlow;
   double best_tag = std::numeric_limits<double>::infinity();
-  for (auto it = flows_.begin(); it != flows_.end(); ++it) {
-    if (it->second.q.empty()) continue;
-    const double tag = it->second.q.front().start_tag;
+  for (FlowId id : backlogged_) {
+    const double tag = flows_[id].q.front().start_tag;
     if (tag < best_tag) {
       best_tag = tag;
-      best = it;
+      best = id;
     }
   }
 
-  Tagged t = std::move(best->second.q.front());
-  best->second.q.pop_front();
+  FlowQueue& fq = flows_[best];
+  Tagged t = std::move(fq.q.front());
+  fq.q.pop_front();
+  if (fq.q.empty()) unmark_backlogged(best);
   vtime_ = std::max(vtime_, t.start_tag);
   // NOTE: the flow's entry (its finish tag) is retained across idle
   // periods.  Erasing it would let a flow whose queue keeps emptying

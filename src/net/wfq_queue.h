@@ -23,8 +23,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
+#include <vector>
 
 #include "net/queue.h"
 
@@ -47,10 +47,10 @@ class WfqQueue final : public PacketQueue {
   [[nodiscard]] double virtual_time() const { return vtime_; }
   /// Flows with packets currently queued.  (Finish-tag state is
   /// retained even for idle flows — the stateful cost of WFQ.)
-  [[nodiscard]] std::size_t backlogged_flows() const;
+  [[nodiscard]] std::size_t backlogged_flows() const { return backlogged_.size(); }
   /// Flows the scheduler holds tag state for (>= backlogged_flows()).
-  [[nodiscard]] std::size_t tracked_flows() const { return flows_.size(); }
-  [[nodiscard]] std::size_t flow_state_entries() const override { return flows_.size(); }
+  [[nodiscard]] std::size_t tracked_flows() const { return tracked_; }
+  [[nodiscard]] std::size_t flow_state_entries() const override { return tracked_; }
 
  private:
   struct Tagged {
@@ -61,12 +61,27 @@ class WfqQueue final : public PacketQueue {
   struct FlowQueue {
     std::deque<Tagged> q;
     double last_finish = 0.0;
+    /// Weight cached at first touch (flow weights are per-run constants
+    /// in every scenario; querying the callback per scheduler scan was
+    /// the map-era hot spot).  Already normalized: non-positive -> 1.
+    double weight = 1.0;
+    bool present = false;  ///< scheduler holds tag state for this id
   };
+
+  /// Dense per-flow table entry, created on first touch.
+  FlowQueue& ensure_entry(FlowId id);
+  /// Maintain the sorted backlogged-id list (scans iterate it in
+  /// ascending id order — the same order, FP-sum order and tie-breaks
+  /// as the ordered map this replaces).
+  void mark_backlogged(FlowId id);
+  void unmark_backlogged(FlowId id);
 
   std::size_t capacity_;
   WeightFn weight_of_;
   double vtime_ = 0.0;
-  std::map<FlowId, FlowQueue> flows_;
+  std::vector<FlowQueue> flows_;   ///< dense: flow id -> queue state
+  std::vector<FlowId> backlogged_; ///< sorted ids with non-empty queues
+  std::size_t tracked_ = 0;
   std::deque<Packet> control_;
 };
 

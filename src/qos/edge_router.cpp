@@ -20,41 +20,46 @@ CoreliteEdgeRouter::CoreliteEdgeRouter(net::Network& network, net::NodeId node,
 
 CoreliteEdgeRouter::~CoreliteEdgeRouter() { epoch_timer_.cancel(); }
 
+void CoreliteEdgeRouter::register_flow(std::unique_ptr<FlowState> fs) {
+  const net::FlowId id = fs->spec.id;
+  if (tracker_ != nullptr) tracker_->declare_flow(id, fs->spec.weight);
+  FlowState& ref = *fs;
+  if (id >= by_id_.size()) by_id_.resize(id + 1, nullptr);
+  assert(by_id_[id] == nullptr && "duplicate flow id");
+  by_id_[id] = &ref;
+  flows_.push_back(std::move(fs));
+  schedule_window(ref, 0);
+}
+
 void CoreliteEdgeRouter::add_flow(const net::FlowSpec& spec) {
   assert(spec.ingress == node_ && "flow must enter the network at this edge router");
-  assert(spec.weight > 0.0);
+  assert(spec.valid());
   auto fs = std::make_unique<FlowState>(spec, cfg_.adapt);
   fs->marker_spacing =
       std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(cfg_.k1 * spec.weight)));
-  if (tracker_ != nullptr) tracker_->declare_flow(spec.id, spec.weight);
-  FlowState& ref = *fs;
-  flows_[spec.id] = std::move(fs);
-  schedule_lifecycle(ref);
+  register_flow(std::move(fs));
 }
 
 void CoreliteEdgeRouter::add_transit_flow(const net::FlowSpec& spec) {
   assert(spec.ingress == node_ && "flow must enter the network at this edge router");
-  assert(spec.weight > 0.0);
+  assert(spec.valid());
   auto fs = std::make_unique<FlowState>(spec, cfg_.adapt);
   fs->transit = true;
   fs->bucket = TokenBucket{std::max(cfg_.adapt.initial_rate_pps, 1.0),
                            std::max(1.0, cfg_.edge_burst_tokens), net_.simulator().now()};
   fs->marker_spacing =
       std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(cfg_.k1 * spec.weight)));
-  if (tracker_ != nullptr) tracker_->declare_flow(spec.id, spec.weight);
-  FlowState& ref = *fs;
-  flows_[spec.id] = std::move(fs);
   if (!transit_hook_installed_) {
     transit_hook_installed_ = true;
     net_.node(node_).set_transit_hook(
         [this](net::Packet& p) { return intercept_transit(p); });
   }
-  schedule_lifecycle(ref);
+  register_flow(std::move(fs));
 }
 
 bool CoreliteEdgeRouter::intercept_transit(net::Packet& p) {
-  auto it = flows_.find(p.flow);
-  if (it == flows_.end() || !it->second->transit) return false;
+  FlowState* fsp = lookup(p.flow);
+  if (fsp == nullptr || !fsp->transit) return false;
   if (p.kind == net::PacketKind::Marker) {
     // Cloud boundary: markers are edge-to-edge signals of the UPSTREAM
     // cloud; absorb them here.  This edge injects its own markers for
@@ -62,7 +67,7 @@ bool CoreliteEdgeRouter::intercept_transit(net::Packet& p) {
     return true;
   }
   if (p.kind != net::PacketKind::Data) return false;
-  FlowState& fs = *it->second;
+  FlowState& fs = *fsp;
   if (!fs.active || fs.shaping_queue.size() >= cfg_.edge_queue_capacity) {
     // Edge policing drop: the ONLY place Corelite loses packets.
     ++transit_drops_;
@@ -110,20 +115,34 @@ void CoreliteEdgeRouter::drain_transit(FlowState& fs) {
       });
 }
 
-void CoreliteEdgeRouter::schedule_lifecycle(FlowState& fs) {
+// Lazy lifecycle cursor: only the next transition of each flow sits in
+// the event queue (a 100k-flow churn population would otherwise park
+// two events per window up front).  Each window still costs exactly one
+// start and one finite-stop event, matching the eager schedule.
+void CoreliteEdgeRouter::schedule_window(FlowState& fs, std::size_t window) {
   auto& sim = net_.simulator();
-  for (const auto& iv : fs.spec.active) {
-    const sim::SimTime start = std::max(iv.start, sim.now());
-    sim.at_detached(start, [this, &fs] { start_flow(fs); });
-    if (iv.stop < sim::SimTime::infinite()) {
-      sim.at_detached(iv.stop, [this, &fs] { stop_flow(fs); });
-    }
+  while (window < fs.spec.active.size() && fs.spec.active[window].stop <= sim.now()) {
+    ++window;  // window already wholly in the past
   }
+  if (window >= fs.spec.active.size()) return;
+  const sim::SimTime start = std::max(fs.spec.active[window].start, sim.now());
+  sim.at_detached(start, [this, &fs, window] {
+    start_flow(fs);
+    const sim::SimTime stop = fs.spec.active[window].stop;
+    if (stop < sim::SimTime::infinite()) {
+      net_.simulator().at_detached(stop, [this, &fs, window] {
+        stop_flow(fs);
+        schedule_window(fs, window + 1);
+      });
+    }
+  });
 }
 
 void CoreliteEdgeRouter::start_flow(FlowState& fs) {
   if (fs.active) return;
   fs.active = true;
+  fs.active_slot = active_.size();
+  active_.push_back(&fs);
   fs.marker_credit = 0.0;
   fs.feedback_per_core.clear();
   fs.ctrl->reset(net_.simulator().now());
@@ -146,6 +165,11 @@ void CoreliteEdgeRouter::start_flow(FlowState& fs) {
 void CoreliteEdgeRouter::stop_flow(FlowState& fs) {
   if (!fs.active) return;
   fs.active = false;
+  FlowState* last = active_.back();
+  active_[fs.active_slot] = last;
+  last->active_slot = fs.active_slot;
+  active_.pop_back();
+  fs.active_slot = kNoSlot;
   ++fs.emit_gen;  // orphan any in-flight emission/drain event
   fs.draining = false;
   fs.shaping_queue.clear();
@@ -242,16 +266,15 @@ void CoreliteEdgeRouter::inject_marker(FlowState& fs) {
 
 void CoreliteEdgeRouter::on_epoch() {
   const sim::SimTime now = net_.simulator().now();
-  for (auto& [id, fsp] : flows_) {
+  for (FlowState* fsp : active_) {
     FlowState& fs = *fsp;
-    if (!fs.active) continue;
     // React to the bottleneck: max over core routers, not the sum
     // (paper §2.2 step 3).
     int m = 0;
     for (const auto& [core, count] : fs.feedback_per_core) m = std::max(m, count);
     fs.feedback_per_core.clear();
     fs.ctrl->on_epoch(m, now);
-    if (tracker_ != nullptr) tracker_->record_rate(id, now, fs.ctrl->rate_pps());
+    if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, now, fs.ctrl->rate_pps());
   }
 }
 
@@ -259,9 +282,15 @@ void CoreliteEdgeRouter::handle_local(net::Packet&& p) {
   switch (p.kind) {
     case net::PacketKind::Feedback: {
       ++feedback_received_;
-      auto it = flows_.find(p.marker.flow);
-      if (it != flows_.end() && it->second->active) {
-        ++it->second->feedback_per_core[p.feedback_origin];
+      FlowState* fs = lookup(p.marker.flow);
+      if (fs != nullptr && fs->active) {
+        auto it = std::find_if(fs->feedback_per_core.begin(), fs->feedback_per_core.end(),
+                               [&](const auto& e) { return e.first == p.feedback_origin; });
+        if (it == fs->feedback_per_core.end()) {
+          fs->feedback_per_core.emplace_back(p.feedback_origin, 1);
+        } else {
+          ++it->second;
+        }
       }
       if (tracker_ != nullptr) tracker_->on_feedback(p.marker.flow);
       break;
@@ -281,9 +310,9 @@ void CoreliteEdgeRouter::handle_local(net::Packet&& p) {
 }
 
 double CoreliteEdgeRouter::current_rate_pps(net::FlowId flow) const {
-  auto it = flows_.find(flow);
-  if (it == flows_.end() || !it->second->active) return 0.0;
-  return it->second->ctrl->rate_pps();
+  const FlowState* fs = lookup(flow);
+  if (fs == nullptr || !fs->active) return 0.0;
+  return fs->ctrl->rate_pps();
 }
 
 }  // namespace corelite::qos

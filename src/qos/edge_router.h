@@ -16,10 +16,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/flow.h"
@@ -65,10 +66,15 @@ class CoreliteEdgeRouter {
   [[nodiscard]] std::uint64_t data_delivered_here() const { return data_delivered_; }
 
  private:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
   struct FlowState {
     net::FlowSpec spec;
     std::unique_ptr<RateController> ctrl;
     bool active = false;
+    /// Position in active_ while active (kNoSlot otherwise) — O(1)
+    /// swap-removal when the flow stops.
+    std::size_t active_slot = kNoSlot;
     /// Out-of-profile packet credit: each data packet contributes the
     /// flow's out-of-profile fraction; a marker is injected when the
     /// credit reaches N_w.  For flows without a min-rate contract every
@@ -76,7 +82,10 @@ class CoreliteEdgeRouter {
     /// every N_w data packets" (paper §2.2).
     double marker_credit = 0.0;
     std::uint32_t marker_spacing = 1;  ///< N_w = K1 * w
-    std::unordered_map<net::NodeId, int> feedback_per_core;
+    /// Marker-feedback counts keyed by originating core router.  A flow
+    /// crosses a handful of cores, so a flat pair vector beats a hash
+    /// map on both memory (no buckets per flow) and epoch-scan cost.
+    std::vector<std::pair<net::NodeId, int>> feedback_per_core;
     /// Emission/drain events are fire-and-forget (no per-event control
     /// block); stopping the flow bumps this generation so in-flight
     /// events of the old chain turn into no-ops.
@@ -100,7 +109,13 @@ class CoreliteEdgeRouter {
     }
   };
 
-  void schedule_lifecycle(FlowState& fs);
+  /// Dense id-indexed lookup; nullptr for unknown flows.
+  [[nodiscard]] FlowState* lookup(net::FlowId id) const {
+    return id < by_id_.size() ? by_id_[id] : nullptr;
+  }
+  void register_flow(std::unique_ptr<FlowState> fs);
+
+  void schedule_window(FlowState& fs, std::size_t window);
   void start_flow(FlowState& fs);
   void stop_flow(FlowState& fs);
   void emit_packet(FlowState& fs);
@@ -116,7 +131,13 @@ class CoreliteEdgeRouter {
   net::NodeId node_;
   CoreliteConfig cfg_;
   stats::FlowTracker* tracker_;
-  std::unordered_map<net::FlowId, std::unique_ptr<FlowState>> flows_;
+  /// Owner (insertion order, address-stable via unique_ptr: emission
+  /// events capture FlowState&), dense id index, and the set of
+  /// currently active flows — per-epoch bookkeeping is O(active), and
+  /// per-packet lookups are an array index instead of a hash probe.
+  std::vector<std::unique_ptr<FlowState>> flows_;
+  std::vector<FlowState*> by_id_;
+  std::vector<FlowState*> active_;
   sim::PeriodicHandle epoch_timer_;
   std::uint64_t markers_injected_ = 0;
   std::uint64_t feedback_received_ = 0;

@@ -168,6 +168,9 @@ std::optional<ScriptScenario> parse_scenario_script(std::istream& in, std::ostre
           return fail("unknown flow attribute '" + tok[i] + "'");
         }
       }
+      if (!net::valid_activity_windows(f.windows)) {
+        return fail("flow windows must be time-ordered and disjoint");
+      }
       s.flows.push_back(std::move(f));
     } else {
       return fail("unknown command '" + cmd + "'");

@@ -1,0 +1,334 @@
+// The generated-workload runner: turns a GeneratedTopology + flow
+// population into a live network and runs it under any mechanism.
+//
+// Structural differences from the paper runner (scenario.cpp):
+//   - routers come from the generator, not the fixed C1..C4 chain, and
+//     the configured queue discipline runs on BOTH directions of every
+//     router-router link (generated graphs have no dedicated forward
+//     direction);
+//   - sources and sinks attach per ROUTER, not per flow: one source
+//     attach node (with one multi-flow edge router) and one sink attach
+//     node per router the topology designates, so node count stays
+//     O(routers) and a 100k-flow population shares O(routers) access
+//     links;
+//   - the telemetry surface (drop times, queue series, congested-link
+//     drops, the instrument hook) covers the topology's designated
+//     bottleneck links instead of the paper's three core links.
+//
+// Everything downstream — FlowTracker, ScenarioResult, the sweep's
+// result digest — is shared with the paper runner, so generated
+// scenarios compose with every existing harness feature.
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "csfq/core.h"
+#include "csfq/edge_router.h"
+#include "net/network.h"
+#include "qos/core_router.h"
+#include "qos/ecn.h"
+#include "qos/edge_router.h"
+#include "scenario/scenario.h"
+#include "sim/hotpath.h"
+#include "sim/simulator.h"
+#include "telemetry/metrics.h"
+
+namespace corelite::scenario {
+
+namespace {
+
+// Records the virtual time of every data drop on a link (same shape as
+// the paper runner's recorder; local because that one is file-private).
+struct GenDropRecorder final : net::LinkObserver {
+  net::Link* link = nullptr;
+  std::vector<double>* sink = nullptr;
+  ~GenDropRecorder() override {
+    if (link != nullptr) link->remove_observer(this);
+  }
+  void on_drop(const net::Packet& p, sim::SimTime now) override {
+    if (p.is_data()) sink->push_back(now.sec());
+  }
+  void on_link_destroyed(net::Link& /*l*/) override { link = nullptr; }
+};
+
+/// One unidirectional router-router link running the configured core
+/// queue discipline — the generated analogue of PaperTopology's switch.
+net::Link& connect_core_directed(net::Network& network, net::NodeId from, net::NodeId to,
+                                 const PaperTopologyConfig& q) {
+  switch (q.core_queue) {
+    case CoreQueueKind::Red: {
+      auto red_cfg = q.red;
+      red_cfg.capacity_data_packets = q.queue_capacity_packets;
+      return network.connect_with_queue(
+          from, to, q.link_rate, q.link_delay,
+          std::make_unique<net::RedQueue>(red_cfg, network.simulator().rng()));
+    }
+    case CoreQueueKind::Fred: {
+      auto fred_cfg = q.fred;
+      fred_cfg.capacity_data_packets = q.queue_capacity_packets;
+      return network.connect_with_queue(
+          from, to, q.link_rate, q.link_delay,
+          std::make_unique<net::FredQueue>(fred_cfg, network.simulator().rng()));
+    }
+    case CoreQueueKind::Choke: {
+      auto choke_cfg = q.choke;
+      choke_cfg.capacity_data_packets = q.queue_capacity_packets;
+      return network.connect_with_queue(
+          from, to, q.link_rate, q.link_delay,
+          std::make_unique<net::ChokeQueue>(choke_cfg, network.simulator().rng()));
+    }
+    case CoreQueueKind::Sfq: {
+      const std::size_t per_band =
+          std::max<std::size_t>(2, q.queue_capacity_packets / q.sfq_bands);
+      return network.connect_with_queue(from, to, q.link_rate, q.link_delay,
+                                        std::make_unique<net::SfqQueue>(q.sfq_bands, per_band));
+    }
+    case CoreQueueKind::Wfq:
+      return network.connect_with_queue(
+          from, to, q.link_rate, q.link_delay,
+          std::make_unique<net::WfqQueue>(q.queue_capacity_packets, q.wfq_weight_of));
+    case CoreQueueKind::DropTail:
+      break;
+  }
+  return network.connect(from, to, q.link_rate, q.link_delay, q.queue_capacity_packets);
+}
+
+}  // namespace
+
+ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
+  assert(spec.generated.has_value() && "run_generated_scenario needs spec.generated");
+  const GeneratedWorkload& wl = *spec.generated;
+  const GeneratedTopology& topo = wl.topology;
+  assert(topo.routers > 0 && topo.connected() && "generated topology must be connected");
+  assert(spec.num_flows == wl.flows.num_flows &&
+         "spec.num_flows must mirror generated->flows.num_flows");
+
+  // The population is a pure function of (topology, config, duration,
+  // seed): sweep workers regenerate it independently and still land on
+  // bit-identical run digests.
+  const std::vector<GenFlow> flows =
+      generate_flows(topo, wl.flows, spec.duration.sec(), spec.seed);
+
+  sim::Simulator simulator{spec.seed};
+  net::Network network{simulator};
+
+  // Queue parameters: the generator's link knobs layered over the
+  // spec's discipline configs (RED/FRED/CHOKe thresholds etc.).
+  PaperTopologyConfig q = spec.topology;
+  q.link_rate = topo.cfg.core_rate;
+  q.link_delay = topo.cfg.link_delay;
+  q.queue_capacity_packets = topo.cfg.queue_capacity_packets;
+  q.packet_size = topo.cfg.packet_size;
+  if (spec.mechanism == Mechanism::Red) q.core_queue = CoreQueueKind::Red;
+  if (spec.mechanism == Mechanism::Fred) q.core_queue = CoreQueueKind::Fred;
+  if (spec.mechanism == Mechanism::Choke) q.core_queue = CoreQueueKind::Choke;
+  if (spec.mechanism == Mechanism::Sfq) q.core_queue = CoreQueueKind::Sfq;
+  if (spec.mechanism == Mechanism::Wfq) {
+    q.core_queue = CoreQueueKind::Wfq;
+    // The stateful reference: cores know every generated flow's weight.
+    std::vector<double> w(wl.flows.num_flows + 1, 1.0);
+    for (const GenFlow& f : flows) w[f.id] = f.weight;
+    q.wfq_weight_of = [w = std::move(w)](net::FlowId f) {
+      return f < w.size() ? w[f] : 1.0;
+    };
+  }
+
+  // Routers, then the discipline-bearing core links (both directions).
+  std::vector<net::NodeId> routers;
+  routers.reserve(topo.routers);
+  for (std::size_t i = 0; i < topo.routers; ++i) {
+    routers.push_back(network.add_node("R" + std::to_string(i)));
+  }
+  std::vector<net::Link*> forward_of_link(topo.links.size(), nullptr);
+  for (std::size_t i = 0; i < topo.links.size(); ++i) {
+    const GenLink& l = topo.links[i];
+    forward_of_link[i] = &connect_core_directed(network, routers[l.a], routers[l.b], q);
+    connect_core_directed(network, routers[l.b], routers[l.a], q);
+  }
+  std::vector<net::Link*> bottleneck_links;
+  bottleneck_links.reserve(topo.bottlenecks.size());
+  for (std::size_t idx : topo.bottlenecks) bottleneck_links.push_back(forward_of_link.at(idx));
+
+  // Attach nodes: one source node per source router (hosting that
+  // router's multi-flow edge), one sink node per sink router.  Access
+  // links are fat drop-tail pipes — the core links are the bottlenecks.
+  std::vector<net::NodeId> src_node(topo.routers, net::kInvalidNode);
+  std::vector<net::NodeId> dst_node(topo.routers, net::kInvalidNode);
+  for (std::uint32_t r : topo.sources) {
+    src_node[r] = network.add_node("S" + std::to_string(r));
+    network.connect_duplex(src_node[r], routers[r], topo.cfg.access_rate, topo.cfg.link_delay,
+                           topo.cfg.queue_capacity_packets);
+  }
+  for (std::uint32_t r : topo.sinks) {
+    dst_node[r] = network.add_node("D" + std::to_string(r));
+    network.connect_duplex(routers[r], dst_node[r], topo.cfg.access_rate, topo.cfg.link_delay,
+                           topo.cfg.queue_capacity_packets);
+  }
+  network.build_routes();
+
+  ScenarioResult result;
+  stats::FlowTracker& tracker = result.tracker;
+  tracker.set_series_enabled(wl.flows.record_series);
+
+  // Egress sinks: count deliveries with one-way delay (EcnBit overrides
+  // these below with a sink that also echoes marked packets).
+  for (std::uint32_t r : topo.sinks) {
+    network.node(dst_node[r]).set_local_sink([&tracker, &simulator](net::Packet&& p) {
+      if (p.is_data()) tracker.on_delivered(p.flow, simulator.now() - p.created);
+    });
+  }
+
+  if (spec.control_loss_rate > 0.0) {
+    for (const auto& link : network.links()) {
+      link->set_control_loss_rate(spec.control_loss_rate);
+    }
+  }
+
+  // Drop timing on the designated bottleneck links.
+  std::vector<std::unique_ptr<GenDropRecorder>> drop_recorders;
+  for (net::Link* l : bottleneck_links) {
+    if (l == nullptr) continue;
+    auto rec = std::make_unique<GenDropRecorder>();
+    rec->link = l;
+    rec->sink = &result.drop_times;
+    l->add_observer(rec.get(), net::Link::kObserveDrop);
+    drop_recorders.push_back(std::move(rec));
+  }
+
+  // Mechanism wiring.  Core machinery goes on EVERY router; one edge
+  // router per source attach node carries all flows entering there.
+  // Iteration order (sources in topology order, then flows in id order)
+  // is deterministic, so RNG draw order — and hence the digest — is too.
+  std::vector<std::unique_ptr<qos::CoreliteEdgeRouter>> cl_edges;
+  std::vector<std::unique_ptr<qos::CoreliteCoreRouter>> cl_cores;
+  std::vector<std::unique_ptr<csfq::CsfqEdgeRouter>> csfq_edges;
+  std::vector<std::unique_ptr<csfq::CsfqCoreRouter>> csfq_cores;
+  std::vector<std::unique_ptr<csfq::LossNotifyingCoreRouter>> droptail_cores;
+  std::vector<std::unique_ptr<qos::EcnCoreRouter>> ecn_cores;
+  std::vector<std::unique_ptr<qos::EcnEgressAgent>> ecn_agents;
+  // edge_of[r]: index into the mechanism's edge vector for source router r.
+  std::vector<std::size_t> edge_of(topo.routers, static_cast<std::size_t>(-1));
+
+  auto flow_spec_of = [&](const GenFlow& f) {
+    net::FlowSpec fs;
+    fs.id = f.id;
+    fs.ingress = src_node[f.src_router];
+    fs.egress = dst_node[f.dst_router];
+    fs.weight = f.weight;
+    fs.active = f.windows;
+    return fs;
+  };
+
+  const bool corelite_edges = spec.mechanism == Mechanism::Corelite ||
+                              spec.mechanism == Mechanism::EcnBit;
+  switch (spec.mechanism) {
+    case Mechanism::Corelite:
+      for (net::NodeId r : routers) {
+        cl_cores.push_back(std::make_unique<qos::CoreliteCoreRouter>(network, r, spec.corelite));
+      }
+      break;
+    case Mechanism::EcnBit:
+      for (net::NodeId r : routers) {
+        ecn_cores.push_back(std::make_unique<qos::EcnCoreRouter>(network, r, spec.corelite));
+      }
+      break;
+    case Mechanism::Csfq:
+      for (net::NodeId r : routers) {
+        csfq_cores.push_back(std::make_unique<csfq::CsfqCoreRouter>(network, r, spec.csfq));
+      }
+      break;
+    case Mechanism::DropTail:
+    case Mechanism::Red:
+    case Mechanism::Fred:
+    case Mechanism::Choke:
+    case Mechanism::Sfq:
+    case Mechanism::Wfq:
+      for (net::NodeId r : routers) {
+        droptail_cores.push_back(std::make_unique<csfq::LossNotifyingCoreRouter>(network, r));
+      }
+      break;
+  }
+  for (std::uint32_t r : topo.sources) {
+    if (corelite_edges) {
+      edge_of[r] = cl_edges.size();
+      cl_edges.push_back(std::make_unique<qos::CoreliteEdgeRouter>(network, src_node[r],
+                                                                   spec.corelite, &tracker));
+    } else {
+      edge_of[r] = csfq_edges.size();
+      csfq_edges.push_back(
+          std::make_unique<csfq::CsfqEdgeRouter>(network, src_node[r], spec.csfq, &tracker));
+    }
+  }
+  for (const GenFlow& f : flows) {
+    if (corelite_edges) {
+      cl_edges[edge_of[f.src_router]]->add_flow(flow_spec_of(f));
+    } else {
+      csfq_edges[edge_of[f.src_router]]->add_flow(flow_spec_of(f));
+    }
+  }
+  if (spec.mechanism == Mechanism::EcnBit) {
+    // Egress echoes marked packets back as unweighted feedback.
+    for (std::uint32_t r : topo.sinks) {
+      auto agent = std::make_unique<qos::EcnEgressAgent>(network, dst_node[r]);
+      qos::EcnEgressAgent* agent_ptr = agent.get();
+      ecn_agents.push_back(std::move(agent));
+      network.node(dst_node[r]).set_local_sink(
+          [&tracker, &simulator, agent_ptr](net::Packet&& p) {
+            if (p.is_data()) {
+              tracker.on_delivered(p.flow, simulator.now() - p.created);
+              agent_ptr->on_data(p);
+            }
+          });
+    }
+  }
+
+  // Queue-length sampling on the bottleneck links.
+  result.queue_series.resize(bottleneck_links.size());
+  auto queue_sampler = simulator.every(sim::TimeDelta::millis(100), [&] {
+    for (std::size_t i = 0; i < bottleneck_links.size(); ++i) {
+      if (bottleneck_links[i] != nullptr) {
+        result.queue_series[i].add(simulator.now().sec(),
+                                   static_cast<double>(bottleneck_links[i]->queued_data_packets()));
+      }
+    }
+  });
+
+  tracker.sample_cumulative(simulator.now());
+  auto sampler = simulator.every(spec.cumulative_sample_period,
+                                 [&tracker, &simulator] { tracker.sample_cumulative(simulator.now()); });
+
+  // Telemetry hook last, so collectors see the fully wired network.
+  if (spec.instrument) spec.instrument(network, bottleneck_links);
+
+  simulator.run_until(spec.duration);
+  sampler.cancel();
+  queue_sampler.cancel();
+  tracker.sample_cumulative(simulator.now());
+
+  // Global accounting — same fields the paper runner fills, so the
+  // sweep's result digest covers generated runs identically.
+  result.events_processed = simulator.events_processed();
+  result.unrouteable = network.unrouteable_count();
+  for (net::NodeId r : routers) {
+    std::size_t state = 0;
+    for (net::Link* l : network.node(r).out_links()) {
+      state += l->queue().flow_state_entries();
+    }
+    result.core_flow_state = std::max(result.core_flow_state, state);
+  }
+  for (const auto& link : network.links()) result.total_data_drops += link->stats().dropped;
+  for (net::Link* l : bottleneck_links) {
+    if (l != nullptr) result.congested_link_drops += l->stats().dropped;
+  }
+  for (const auto& e : cl_edges) result.markers_injected += e->markers_injected();
+  for (const auto& e : cl_edges) result.feedback_messages += e->feedback_received();
+  for (const auto& e : csfq_edges) result.feedback_messages += e->loss_notices_received();
+  sim::flush_hotpath_counters();
+  telemetry::flush_thread_metrics();
+  return result;
+}
+
+}  // namespace corelite::scenario

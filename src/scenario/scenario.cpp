@@ -43,12 +43,74 @@ std::optional<Mechanism> mechanism_from_name(const std::string& name) {
   return std::nullopt;
 }
 
+namespace {
+
+/// Fixed topology seed for named "gen-isp*" scenarios: the name must
+/// denote one stable topology instance (only the flow population varies
+/// with the run seed), or sweep cells would not be comparable.
+constexpr std::uint64_t kIspTopologySeed = 7;
+
+/// Strictly positive decimal integer, nothing else; nullopt on junk,
+/// empty, leading-zero-only or oversized input.
+std::optional<std::size_t> parse_positive(const std::string& s) {
+  if (s.empty() || s.size() > 9) return std::nullopt;
+  std::size_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (v == 0) return std::nullopt;
+  return v;
+}
+
+std::optional<ScenarioSpec> generated_scenario_from_name(const std::string& name, Mechanism m) {
+  if (name.rfind("gen-", 0) != 0) return std::nullopt;
+  const std::string rest = name.substr(4);
+  const auto dash = rest.find('-');
+  if (dash == std::string::npos) return std::nullopt;
+  const std::string topo_part = rest.substr(0, dash);
+  const auto flows = parse_positive(rest.substr(dash + 1));
+  if (!flows.has_value() || *flows > 2'000'000) return std::nullopt;
+
+  GeneratedTopology topo;
+  if (topo_part.rfind("pl", 0) == 0) {
+    const auto stages = parse_positive(topo_part.substr(2));
+    if (!stages.has_value() || *stages > 64) return std::nullopt;
+    topo = make_parking_lot(*stages);
+  } else if (topo_part.rfind("ft", 0) == 0) {
+    const auto k = parse_positive(topo_part.substr(2));
+    if (!k.has_value() || *k < 2 || *k > 16 || *k % 2 != 0) return std::nullopt;
+    topo = make_fat_tree(*k);
+  } else if (topo_part.rfind("isp", 0) == 0) {
+    const auto routers = parse_positive(topo_part.substr(3));
+    if (!routers.has_value() || *routers < 2 || *routers > 512) return std::nullopt;
+    topo = make_isp(*routers, kIspTopologySeed);
+  } else {
+    return std::nullopt;
+  }
+
+  ScenarioSpec s;
+  s.mechanism = m;
+  s.num_flows = *flows;
+  s.duration = sim::SimTime::seconds(80);
+  GeneratedWorkload wl;
+  wl.topology = std::move(topo);
+  wl.flows.num_flows = *flows;
+  // Per-flow series cost O(flows x samples) memory: keep them up to
+  // sweep-sized populations, counters-only at bench scale.
+  wl.flows.record_series = *flows <= 20000;
+  s.generated = std::move(wl);
+  return s;
+}
+
+}  // namespace
+
 std::optional<ScenarioSpec> scenario_by_name(const std::string& name, Mechanism m) {
   if (name == "fig3") return fig3_network_dynamics(m);
   if (name == "fig5") return fig5_simultaneous_start(m);
   if (name == "fig7") return fig7_staggered_start(m);
   if (name == "fig9") return fig9_churn(m);
-  return std::nullopt;
+  return generated_scenario_from_name(name, m);
 }
 
 namespace {
@@ -83,6 +145,7 @@ net::FlowSpec make_flow_spec(const ScenarioSpec& spec, std::size_t i /*0-based*/
 }  // namespace
 
 ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
+  if (spec.generated.has_value()) return run_generated_scenario(spec);
   assert(spec.weights.size() == spec.num_flows && "one weight per flow required");
 
   sim::Simulator simulator{spec.seed};
@@ -236,7 +299,13 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
                                  [&tracker, &simulator] { tracker.sample_cumulative(simulator.now()); });
 
   // Telemetry hook last, so collectors see the fully wired network.
-  if (spec.instrument) spec.instrument(network, topo);
+  if (spec.instrument) {
+    std::vector<net::Link*> congested;
+    for (std::size_t i = 0; i < PaperTopology::kCongestedLinks; ++i) {
+      if (auto* l = topo.congested_link(network, i)) congested.push_back(l);
+    }
+    spec.instrument(network, congested);
+  }
 
   simulator.run_until(spec.duration);
   sampler.cancel();
@@ -284,6 +353,10 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
 }
 
 std::unordered_map<net::FlowId, double> ideal_rates_at(const ScenarioSpec& spec, sim::SimTime t) {
+  // The water-filling oracle models the paper's fixed three-link chain;
+  // generated topologies have no closed-form here (the sweep falls back
+  // to weight-normalized delivered throughput for them).
+  if (spec.generated.has_value()) return {};
   const double cap = PaperTopologyConfig{spec.topology}.link_rate.pps(spec.topology.packet_size);
   std::vector<double> caps(PaperTopology::kCongestedLinks, cap);
   std::vector<stats::MaxMinFlow> flows;

@@ -21,6 +21,7 @@
 #include "csfq/config.h"
 #include "net/flow.h"
 #include "qos/config.h"
+#include "scenario/flow_gen.h"
 #include "scenario/paper_topology.h"
 #include "sim/units.h"
 #include "stats/flow_tracker.h"
@@ -68,13 +69,25 @@ struct ScenarioSpec {
   csfq::CsfqConfig csfq{};
   PaperTopologyConfig topology{};
 
+  /// Generated workload (scaling axis): when set, the run uses the
+  /// generated topology + flow population instead of the paper's
+  /// Figure-2 network; `weights`/`activity`/`min_rates` above are
+  /// ignored (the population carries its own).  The flow population is
+  /// regenerated at run time from this spec's `seed`, so sweeps stay a
+  /// pure function of the descriptor.  num_flows must equal
+  /// generated->flows.num_flows.
+  std::optional<GeneratedWorkload> generated;
+
   /// Optional observability hook, invoked once the network and mechanism
   /// are fully wired but before the simulation runs.  The only way to
   /// reach the spec-built network (it lives and dies inside
   /// run_paper_scenario) — telemetry collectors attach link observers
-  /// here.  Must be passive: attaching observers never touches the RNG
-  /// or event order, so results stay bit-identical with or without it.
-  using InstrumentFn = std::function<void(net::Network&, PaperTopology&)>;
+  /// here.  The second argument is the run's congested/bottleneck links
+  /// (the paper topology's three core links, or the generated
+  /// topology's designated bottlenecks).  Must be passive: attaching
+  /// observers never touches the RNG or event order, so results stay
+  /// bit-identical with or without it.
+  using InstrumentFn = std::function<void(net::Network&, const std::vector<net::Link*>&)>;
   InstrumentFn instrument;
 };
 
@@ -101,8 +114,16 @@ struct ScenarioResult {
   std::vector<stats::TimeSeries> queue_series;
 };
 
-/// Build, run and measure one scenario.
+/// Build, run and measure one scenario.  Dispatches to the generated-
+/// workload runner when spec.generated is set.
 [[nodiscard]] ScenarioResult run_paper_scenario(const ScenarioSpec& spec);
+
+/// The generated-workload path of run_paper_scenario: builds the
+/// generated topology (one multi-flow edge router per source router,
+/// one shared sink node per sink router, core machinery on every
+/// router), generates the flow population from spec.seed, and runs the
+/// configured mechanism.  Exposed for tests; prefer run_paper_scenario.
+[[nodiscard]] ScenarioResult run_generated_scenario(const ScenarioSpec& spec);
 
 /// Weighted max-min fair rates (pkt/s) for the flows active at time t,
 /// computed by the water-filling oracle on the three congested links.
@@ -130,7 +151,11 @@ struct ScenarioResult {
 /// stops, and restarts 5 s later; 160 s.
 [[nodiscard]] ScenarioSpec fig9_churn(Mechanism m);
 
-/// Paper scenario by its CLI name — "fig3", "fig5", "fig7" or "fig9";
+/// Scenario by its CLI name — "fig3", "fig5", "fig7", "fig9", or a
+/// generated-workload name "gen-<topo>-<flows>" where <topo> is
+/// "pl<stages>" (parking lot), "ft<k>" (fat tree) or "isp<routers>"
+/// (random ISP, fixed topology seed) and <flows> is the population
+/// size, e.g. "gen-pl8-1000", "gen-ft4-1000", "gen-isp32-10000".
 /// nullopt for an unknown name.  Pure function of its arguments (no
 /// shared state), so sweep workers can build specs concurrently.
 [[nodiscard]] std::optional<ScenarioSpec> scenario_by_name(const std::string& name, Mechanism m);

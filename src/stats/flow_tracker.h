@@ -6,11 +6,20 @@
 //   - "Cumulative service": data packets delivered at the egress,
 //     sampled periodically (Figure 4).
 // Plus drop and delivery counters used in the comparisons.
+//
+// Storage is scale-friendly: FlowSeries live in a deque (address-stable
+// slabs, no per-flow tree node), per-packet counter bumps go through a
+// dense id-indexed pointer table, and iteration (all(), totals,
+// sample_cumulative) walks a sorted id vector — 100k-flow populations
+// pay array walks, not red-black-tree traversals.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <span>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "net/types.h"
@@ -35,10 +44,17 @@ struct FlowSeries {
 
 class FlowTracker {
  public:
+  /// Counters-only mode for very large populations: rate and cumulative
+  /// samples are not stored (a 100k-flow run would otherwise append one
+  /// point per flow per adaptation epoch).  Per-packet counters, weights
+  /// and delay samples are unaffected.  Flip before the run starts.
+  void set_series_enabled(bool on) { series_enabled_ = on; }
+  [[nodiscard]] bool series_enabled() const { return series_enabled_; }
+
   void declare_flow(net::FlowId id, double weight) { slot(id).weight = weight; }
 
   void record_rate(net::FlowId id, sim::SimTime t, double pps) {
-    slot(id).allotted_rate.add(t.sec(), pps);
+    if (series_enabled_) slot(id).allotted_rate.add(t.sec(), pps);
   }
   /// Delay sampling stride: one sample per this many deliveries.
   static constexpr std::uint64_t kDelaySampleStride = 8;
@@ -64,41 +80,85 @@ class FlowTracker {
 
   /// Snapshot every flow's cumulative delivery counter at time t.
   void sample_cumulative(sim::SimTime t) {
-    for (auto& [id, fs] : flows_) {
+    if (!series_enabled_) return;
+    for (net::FlowId id : ids_) {
+      auto& fs = *index_[id];
       fs.cumulative_delivered.add(t.sec(), static_cast<double>(fs.delivered));
     }
   }
 
-  [[nodiscard]] const FlowSeries& series(net::FlowId id) const { return flows_.at(id); }
-  [[nodiscard]] bool has(net::FlowId id) const { return flows_.contains(id); }
-  [[nodiscard]] const std::map<net::FlowId, FlowSeries>& all() const { return flows_; }
+  [[nodiscard]] const FlowSeries& series(net::FlowId id) const {
+    if (!has(id)) throw std::out_of_range{"FlowTracker::series: unknown flow"};
+    return *index_[id];
+  }
+  [[nodiscard]] bool has(net::FlowId id) const {
+    return id < index_.size() && index_[id] != nullptr;
+  }
+  [[nodiscard]] std::size_t flow_count() const { return ids_.size(); }
+
+  /// Id-ordered iteration view; yields (FlowId, const FlowSeries&)
+  /// pairs, so range-for structured bindings read like the std::map
+  /// this replaces.
+  class ConstView {
+   public:
+    class iterator {
+     public:
+      iterator(const FlowTracker* t, std::size_t i) : t_{t}, i_{i} {}
+      [[nodiscard]] std::pair<net::FlowId, const FlowSeries&> operator*() const {
+        const net::FlowId id = t_->ids_[i_];
+        return {id, *t_->index_[id]};
+      }
+      iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      [[nodiscard]] bool operator!=(const iterator& o) const { return i_ != o.i_; }
+      [[nodiscard]] bool operator==(const iterator& o) const { return i_ == o.i_; }
+
+     private:
+      const FlowTracker* t_;
+      std::size_t i_;
+    };
+    explicit ConstView(const FlowTracker* t) : t_{t} {}
+    [[nodiscard]] iterator begin() const { return {t_, 0}; }
+    [[nodiscard]] iterator end() const { return {t_, t_->ids_.size()}; }
+    [[nodiscard]] std::size_t size() const { return t_->ids_.size(); }
+
+   private:
+    const FlowTracker* t_;
+  };
+  [[nodiscard]] ConstView all() const { return ConstView{this}; }
 
   [[nodiscard]] std::uint64_t total_dropped() const {
     std::uint64_t n = 0;
-    for (const auto& [id, fs] : flows_) n += fs.dropped;
+    for (net::FlowId id : ids_) n += index_[id]->dropped;
     return n;
   }
   [[nodiscard]] std::uint64_t total_delivered() const {
     std::uint64_t n = 0;
-    for (const auto& [id, fs] : flows_) n += fs.delivered;
+    for (net::FlowId id : ids_) n += index_[id]->delivered;
     return n;
   }
 
  private:
   /// Flow ids are small and dense, and these counters are bumped for
   /// every packet of every flow, so lookups go through a flat pointer
-  /// index instead of the tree.  The map stays the owner: its nodes are
-  /// address-stable and `all()` keeps its sorted iteration order.
+  /// index.  The deque owns the series (address-stable, slab-allocated);
+  /// ids_ stays sorted so all() keeps the map's id-ordered iteration.
   FlowSeries& slot(net::FlowId id) {
     if (id < index_.size() && index_[id] != nullptr) return *index_[id];
-    FlowSeries* fs = &flows_[id];
+    storage_.emplace_back();
+    FlowSeries* fs = &storage_.back();
     if (id >= index_.size()) index_.resize(id + 1, nullptr);
     index_[id] = fs;
+    ids_.insert(std::lower_bound(ids_.begin(), ids_.end(), id), id);
     return *fs;
   }
 
-  std::map<net::FlowId, FlowSeries> flows_;
-  std::vector<FlowSeries*> index_;
+  std::deque<FlowSeries> storage_;
+  std::vector<net::FlowId> ids_;       ///< sorted; iteration order of all()
+  std::vector<FlowSeries*> index_;     ///< dense: id -> series
+  bool series_enabled_ = true;
 };
 
 }  // namespace corelite::stats

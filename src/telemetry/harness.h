@@ -53,17 +53,18 @@ class PhaseTimer {
   bool running_ = false;
 };
 
-/// Instrument hook tracing the paper topology's three congested links.
-/// The collector is created inside the run (the network only exists
-/// there) but parked in `slot`, which must outlive the run: dying links
-/// notify it via on_link_destroyed, so destruction order is safe either
-/// way.
+/// Instrument hook tracing the run's congested links (the paper
+/// topology's three core links, or a generated topology's designated
+/// bottlenecks).  The collector is created inside the run (the network
+/// only exists there) but parked in `slot`, which must outlive the run:
+/// dying links notify it via on_link_destroyed, so destruction order is
+/// safe either way.
 [[nodiscard]] inline scenario::ScenarioSpec::InstrumentFn congested_link_instrument(
     TraceWriter& trace, std::unique_ptr<LinkTraceCollector>& slot) {
-  return [&trace, &slot](net::Network& network, scenario::PaperTopology& topo) {
+  return [&trace, &slot](net::Network& /*network*/, const std::vector<net::Link*>& congested) {
     slot = std::make_unique<LinkTraceCollector>(trace);
-    for (std::size_t i = 0; i < scenario::PaperTopology::kCongestedLinks; ++i) {
-      if (auto* link = topo.congested_link(network, i)) slot->attach(*link);
+    for (net::Link* link : congested) {
+      if (link != nullptr) slot->attach(*link);
     }
   };
 }

@@ -67,6 +67,36 @@ TEST(ArgParser, RejectsMalformedNumber) {
   EXPECT_FALSE(parse(p, {"--n", "1.5"}, err2));
 }
 
+// Regression: strtoll saturates silently on overflow (errno=ERANGE was
+// never checked), so "--n 99999999999999999999" became LLONG_MAX.
+TEST(ArgParser, RejectsOutOfRangeInteger) {
+  ArgParser p{"prog", "test"};
+  p.add_int("n", 0, "h");
+  std::ostringstream err;
+  EXPECT_FALSE(parse(p, {"--n", "99999999999999999999"}, err));
+  EXPECT_NE(err.str().find("out of range"), std::string::npos);
+  std::ostringstream err2;
+  EXPECT_FALSE(parse(p, {"--n", "-99999999999999999999"}, err2));
+  // The boundary values themselves still parse.
+  std::ostringstream err3;
+  ArgParser q{"prog", "test"};
+  q.add_int("n", 0, "h");
+  ASSERT_TRUE(parse(q, {"--n", "9223372036854775807"}, err3));
+  EXPECT_EQ(q.get_int("n"), INT64_MAX);
+}
+
+// Regression: "--x 1e999" parsed to inf (ERANGE ignored) and literal
+// inf/nan passed straight through to option consumers.
+TEST(ArgParser, RejectsNonFiniteDouble) {
+  for (const char* bad : {"1e999", "-1e999", "inf", "-inf", "nan"}) {
+    ArgParser p{"prog", "test"};
+    p.add_double("x", 0.0, "h");
+    std::ostringstream err;
+    EXPECT_FALSE(parse(p, {"--x", bad}, err)) << bad;
+    EXPECT_NE(err.str().find("out of range"), std::string::npos) << bad;
+  }
+}
+
 TEST(ArgParser, RejectsMissingValue) {
   ArgParser p{"prog", "test"};
   p.add_string("name", "", "h");
@@ -93,6 +123,28 @@ TEST(ScenarioArgs, WeightListParsing) {
   EXPECT_FALSE(parse_weight_list("").has_value());
   EXPECT_FALSE(parse_weight_list("1,x").has_value());
   EXPECT_FALSE(parse_weight_list("1,-2").has_value());
+}
+
+// Regression: NaN compares false against `w <= 0.0`, so "nan" used to
+// slip through and poison every normalized-rate computation; "inf" and
+// overflowing literals ("1e999" parses to inf) passed outright.
+TEST(ScenarioArgs, WeightListRejectsNonFiniteWeights) {
+  EXPECT_FALSE(parse_weight_list("nan").has_value());
+  EXPECT_FALSE(parse_weight_list("1,nan,2").has_value());
+  EXPECT_FALSE(parse_weight_list("-nan").has_value());
+  EXPECT_FALSE(parse_weight_list("inf").has_value());
+  EXPECT_FALSE(parse_weight_list("1,inf").has_value());
+  EXPECT_FALSE(parse_weight_list("1e999").has_value());
+  EXPECT_FALSE(parse_weight_list("1,1e999,2").has_value());
+}
+
+// Regression: empty items between or around delimiters must not be
+// silently skipped ("1,,2") or dropped ("1,2,", ",1").
+TEST(ScenarioArgs, WeightListRejectsEmptyItems) {
+  EXPECT_FALSE(parse_weight_list("1,,2").has_value());
+  EXPECT_FALSE(parse_weight_list("1,2,").has_value());
+  EXPECT_FALSE(parse_weight_list(",1").has_value());
+  EXPECT_FALSE(parse_weight_list(",").has_value());
 }
 
 TEST(ScenarioArgs, DefaultsProduceFig5Corelite) {

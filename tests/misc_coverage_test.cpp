@@ -32,6 +32,60 @@ TEST(FlowSpec, DefaultAlwaysOn) {
   EXPECT_TRUE(fs.active_at(sim::SimTime::seconds(1e6)));
 }
 
+// Regression: unordered/overlapping windows used to be silently
+// tolerated by the linear active_at scan; with the O(log W) binary
+// search they must be rejected at spec-validation time instead.
+TEST(FlowSpec, WindowValidationRejectsUnorderedAndOverlapping) {
+  auto win = [](double a, double b) {
+    return net::ActiveInterval{sim::SimTime::seconds(a), sim::SimTime::seconds(b)};
+  };
+  EXPECT_TRUE(net::valid_activity_windows({}));
+  EXPECT_TRUE(net::valid_activity_windows({win(0, 5)}));
+  EXPECT_TRUE(net::valid_activity_windows({win(0, 5), win(5, 9)}));  // touching is fine
+  EXPECT_TRUE(net::valid_activity_windows(
+      {win(0, 5), {sim::SimTime::seconds(6), sim::SimTime::infinite()}}));
+  // Out of order.
+  EXPECT_FALSE(net::valid_activity_windows({win(5, 9), win(0, 4)}));
+  // Overlapping.
+  EXPECT_FALSE(net::valid_activity_windows({win(0, 5), win(4, 9)}));
+  // Empty or inverted window.
+  EXPECT_FALSE(net::valid_activity_windows({win(3, 3)}));
+  EXPECT_FALSE(net::valid_activity_windows({win(4, 2)}));
+  // NaN start never orders.
+  EXPECT_FALSE(net::valid_activity_windows(
+      {{sim::SimTime::seconds(std::nan("")), sim::SimTime::seconds(1)}}));
+
+  net::FlowSpec fs;
+  EXPECT_TRUE(fs.valid());
+  fs.active = {win(5, 9), win(0, 4)};
+  EXPECT_FALSE(fs.valid());
+  fs.active = {win(0, 4), win(5, 9)};
+  EXPECT_TRUE(fs.valid());
+  fs.weight = std::nan("");
+  EXPECT_FALSE(fs.valid());
+}
+
+// The binary-search query must agree with a brute-force scan over a
+// churn-sized window population, at boundaries included.
+TEST(FlowSpec, ActiveAtBinarySearchMatchesLinearScan) {
+  net::FlowSpec fs;
+  fs.active.clear();
+  for (int i = 0; i < 200; ++i) {
+    fs.active.push_back({sim::SimTime::seconds(3.0 * i), sim::SimTime::seconds(3.0 * i + 2.0)});
+  }
+  ASSERT_TRUE(fs.valid());
+  auto linear = [&](sim::SimTime t) {
+    for (const auto& iv : fs.active) {
+      if (t >= iv.start && t < iv.stop) return true;
+    }
+    return false;
+  };
+  for (double t = -1.0; t < 610.0; t += 0.25) {
+    const auto st = sim::SimTime::seconds(t);
+    EXPECT_EQ(fs.active_at(st), linear(st)) << "t=" << t;
+  }
+}
+
 TEST(Packet, KindClassification) {
   net::Packet p;
   p.kind = net::PacketKind::Data;

@@ -356,14 +356,19 @@ int main(int argc, char** argv) {
     for (std::size_t i = 1; i <= spec->num_flows; ++i) {
       const auto f = static_cast<corelite::net::FlowId>(i);
       const auto& fs = result.tracker.series(f);
-      const double got = fs.allotted_rate.average_over(w0, t_end);
+      // Generated specs carry no weights list (the population owns the
+      // weights) and may run counters-only; read both from the tracker.
+      const double w = i <= spec->weights.size() ? spec->weights[i - 1] : fs.weight;
+      const double got = !fs.allotted_rate.points().empty()
+                             ? fs.allotted_rate.average_over(w0, t_end)
+                             : static_cast<double>(fs.delivered) / t_end;
       const double want = ideal.count(f) != 0 ? ideal.at(f) : 0.0;
-      std::printf("%-6zu %-7.1f %-9.2f %-9.2f %-9llu %-9llu\n", i, spec->weights[i - 1], want,
+      std::printf("%-6zu %-7.1f %-9.2f %-9.2f %-9llu %-9llu\n", i, w, want,
                   got, static_cast<unsigned long long>(fs.delivered),
                   static_cast<unsigned long long>(fs.dropped));
-      if (want > 0.0) {
+      if (want > 0.0 || spec->generated.has_value()) {
         rates.push_back(got);
-        weights.push_back(spec->weights[i - 1]);
+        weights.push_back(w);
       }
     }
     std::printf("\nweighted Jain index [%g, %g]: %.4f\n", w0, t_end,
