@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <thread>
 
 #include "net/network.h"
 #include "scenario/scenario.h"
@@ -498,6 +499,7 @@ int main() {
   if (json != nullptr) {
     std::fprintf(json,
                  "{\n"
+                 "  \"hw_threads\": %u,\n"
                  "  \"detached_schedule_fire\": {\n"
                  "    \"events\": %llu,\n"
                  "    \"events_per_sec\": %.0f,\n"
@@ -587,6 +589,7 @@ int main() {
                  "    \"csfq_80_wall\": %.2f\n"
                  "  }\n"
                  "}\n",
+                 std::thread::hardware_concurrency(),
                  static_cast<unsigned long long>(detached.events), detached.events_per_sec,
                  detached.allocs_per_event, static_cast<unsigned long long>(handled.events),
                  handled.events_per_sec, handled.allocs_per_event,

@@ -44,6 +44,7 @@
 #include "bench_util.h"
 #include "runner/sweep.h"
 #include "sim/hotpath.h"
+#include "sim/parallel/thread_budget.h"
 #include "stats/aggregate.h"
 #include "telemetry/harness.h"
 #include "telemetry/metrics.h"
@@ -75,6 +76,7 @@ long peak_rss_kb() {
 struct CurveRow {
   std::size_t flows = 0;
   std::string scenario;
+  std::size_t lp = 1;  ///< requested LP count (1 = serial engine)
   double wall_ms = 0.0;
   std::uint64_t events = 0;
   double events_per_sec = 0.0;
@@ -84,6 +86,15 @@ struct CurveRow {
   std::uint64_t rng_draws = 0;
   std::uint64_t wheel_inserts = 0;
   std::uint64_t series_appends = 0;
+  std::uint64_t lp_barriers = 0;
+  std::uint64_t cross_lp_events = 0;
+  std::uint64_t mailbox_flushes = 0;
+  double lookahead_ms = 0.0;
+  double cross_lp_fraction = 0.0;  ///< cross-LP handoffs / events
+  double speedup_vs_serial = 0.0;  ///< wall(lp=1, same flows) / wall(this row)
+  /// lp > 1 rows re-run with --lp-threads 1: the digest must not depend
+  /// on the OS thread count (the engine's determinism contract).
+  bool digest_match_serial_stepped = false;
   long rss_kb = -1;
   long peak_kb = -1;
   std::uint64_t digest = 0;
@@ -103,6 +114,7 @@ int main(int argc, char** argv) {
   std::string manifest_path = "run_manifest.json";
   std::string curve_topo = "pl8";
   std::string curve_list = "1000,10000,100000";
+  std::string lp_list = "1,4";
   double curve_duration = 10.0;
   double heartbeat_sec = 0.0;
   for (int i = 1; i < argc; ++i) {
@@ -125,6 +137,8 @@ int main(int argc, char** argv) {
       curve_topo = argv[++i];
     } else if (std::strcmp(argv[i], "--curve-duration") == 0 && more) {
       curve_duration = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--lp-list") == 0 && more) {
+      lp_list = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && more) {
       trace_path = argv[++i];
       telemetry = true;
@@ -136,7 +150,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--sweep REPEATS] [--seed S] [--profile] [--telemetry] "
                    "[--trace-out PATH] [--manifest PATH] [--heartbeat SEC] "
-                   "[--curve A,B,...] [--curve-topo T] [--curve-duration S] [--stretch]\n",
+                   "[--curve A,B,...] [--curve-topo T] [--curve-duration S] [--lp-list A,B,...] "
+                   "[--stretch]\n",
                    argv[0]);
       return 2;
     }
@@ -229,6 +244,10 @@ int main(int argc, char** argv) {
     std::printf("  batch drains         %12llu  (%llu completions fused, mean %.2f/drain)\n",
                 static_cast<unsigned long long>(c.batch_drains),
                 static_cast<unsigned long long>(c.batch_drained), c.mean_batch_len());
+    std::printf("  lp barriers          %12llu  (cross-LP events %llu, mailbox flushes %llu)\n",
+                static_cast<unsigned long long>(c.lp_barriers),
+                static_cast<unsigned long long>(c.cross_lp_events),
+                static_cast<unsigned long long>(c.mailbox_flushes));
   }
 
   std::printf(
@@ -257,50 +276,104 @@ int main(int argc, char** argv) {
   if (stretch) curve.push_back(1000000);
   if (curve_duration <= 0.0) curve_duration = 10.0;
 
+  std::vector<std::size_t> lps;
+  {
+    std::stringstream ss{lp_list};
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (item.empty()) continue;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(item.c_str(), &end, 10);
+      if (end == item.c_str() || *end != '\0' || v == 0) {
+        std::fprintf(stderr, "malformed --lp-list entry '%s'\n", item.c_str());
+        return 2;
+      }
+      lps.push_back(static_cast<std::size_t>(v));
+    }
+    if (lps.empty()) lps.push_back(1);
+  }
+
+  const std::size_t hw_threads = corelite::sim::par::ThreadBudget::hardware_threads();
   if (!curve.empty()) {
     phases.start("curve");
-    std::printf("\nScaling curve: gen-%s topology, corelite, %.1f s per row\n",
-                curve_topo.c_str(), curve_duration);
-    std::printf("%-10s %-12s %-12s %-12s %-12s %-10s %-8s %-10s %-10s\n", "flows", "wall[ms]",
-                "events", "ev/s", "delivered", "drops", "jain", "rss[MB]", "peak[MB]");
+    std::printf("\nScaling curve: gen-%s topology, corelite, %.1f s per row, %zu hw thread(s)\n",
+                curve_topo.c_str(), curve_duration, hw_threads);
+    std::printf("%-10s %-4s %-12s %-12s %-12s %-12s %-10s %-8s %-9s %-10s %-10s\n", "flows", "lp",
+                "wall[ms]", "events", "ev/s", "delivered", "drops", "jain", "speedup", "rss[MB]",
+                "peak[MB]");
     std::vector<CurveRow> rows;
     for (const std::size_t n : curve) {
-      rn::RunDescriptor d;
-      d.scenario = "gen-" + curve_topo + "-" + std::to_string(n);
-      d.mechanism = sc::Mechanism::Corelite;
-      d.duration_sec = curve_duration;
-      d.seed = rn::derive_seed(base_seed, 0);
-      const corelite::sim::HotPathCounters before = corelite::sim::aggregated_hotpath_counters();
-      const rn::RunResult r = rn::execute_run(d);
-      const corelite::sim::HotPathCounters after = corelite::sim::aggregated_hotpath_counters();
-      CurveRow row;
-      row.flows = n;
-      row.scenario = d.scenario;
-      row.ok = r.ok;
-      if (!r.ok) {
-        std::printf("%-10zu run failed (scenario '%s')\n", n, d.scenario.c_str());
+      double serial_wall_ms = 0.0;
+      for (const std::size_t lp : lps) {
+        rn::RunDescriptor d;
+        d.scenario = "gen-" + curve_topo + "-" + std::to_string(n);
+        d.mechanism = sc::Mechanism::Corelite;
+        d.duration_sec = curve_duration;
+        d.seed = rn::derive_seed(base_seed, 0);
+        d.lp = lp;
+        const corelite::sim::HotPathCounters before = corelite::sim::aggregated_hotpath_counters();
+        const rn::RunResult r = rn::execute_run(d);
+        const corelite::sim::HotPathCounters after = corelite::sim::aggregated_hotpath_counters();
+        CurveRow row;
+        row.flows = n;
+        row.scenario = d.scenario;
+        row.lp = lp;
+        row.ok = r.ok;
+        if (!r.ok) {
+          std::printf("%-10zu run failed (scenario '%s')\n", n, d.scenario.c_str());
+          rows.push_back(std::move(row));
+          continue;
+        }
+        row.wall_ms = r.wall_ms;
+        row.events = r.events;
+        row.events_per_sec =
+            r.wall_ms > 0.0 ? static_cast<double>(r.events) / (r.wall_ms / 1e3) : 0.0;
+        row.delivered = r.delivered;
+        row.drops = r.total_drops;
+        row.jain = r.jain;
+        row.rng_draws = after.rng_draws - before.rng_draws;
+        row.wheel_inserts = after.wheel_inserts - before.wheel_inserts;
+        row.series_appends = after.series_appends - before.series_appends;
+        row.lp_barriers = after.lp_barriers - before.lp_barriers;
+        row.cross_lp_events = after.cross_lp_events - before.cross_lp_events;
+        row.mailbox_flushes = after.mailbox_flushes - before.mailbox_flushes;
+        row.lookahead_ms = (after.lookahead_ns - before.lookahead_ns) / 1e6;
+        row.cross_lp_fraction =
+            row.events > 0 ? static_cast<double>(row.cross_lp_events) /
+                                 static_cast<double>(row.events)
+                           : 0.0;
+        if (lp <= 1) serial_wall_ms = r.wall_ms;
+        row.speedup_vs_serial =
+            serial_wall_ms > 0.0 && row.wall_ms > 0.0 ? serial_wall_ms / row.wall_ms : 0.0;
+        if (lp > 1) {
+          // Determinism witness: the digest is a function of (spec, lp
+          // count), never of the OS thread count — re-run the same row
+          // stepped on one thread and compare.
+          rn::RunDescriptor ds = d;
+          ds.lp_threads = 1;
+          const rn::RunResult rs = rn::execute_run(ds);
+          row.digest_match_serial_stepped = rs.ok && rs.digest == r.digest;
+          if (!row.digest_match_serial_stepped) {
+            std::fprintf(stderr,
+                         "DIGEST MISMATCH: %s lp=%zu auto-threads %016llx vs 1-thread %016llx\n",
+                         d.scenario.c_str(), lp, static_cast<unsigned long long>(r.digest),
+                         static_cast<unsigned long long>(rs.digest));
+            row.ok = false;
+          }
+        } else {
+          row.digest_match_serial_stepped = true;
+        }
+        row.rss_kb = current_rss_kb();
+        row.peak_kb = peak_rss_kb();
+        row.digest = r.digest;
+        std::printf(
+            "%-10zu %-4zu %-12.1f %-12llu %-12.3g %-12llu %-10llu %-8.4f %-9.2f %-10.1f %-10.1f\n",
+            n, lp, row.wall_ms, static_cast<unsigned long long>(row.events), row.events_per_sec,
+            static_cast<unsigned long long>(row.delivered),
+            static_cast<unsigned long long>(row.drops), row.jain, row.speedup_vs_serial,
+            static_cast<double>(row.rss_kb) / 1024.0, static_cast<double>(row.peak_kb) / 1024.0);
         rows.push_back(std::move(row));
-        continue;
       }
-      row.wall_ms = r.wall_ms;
-      row.events = r.events;
-      row.events_per_sec = r.wall_ms > 0.0 ? static_cast<double>(r.events) / (r.wall_ms / 1e3) : 0.0;
-      row.delivered = r.delivered;
-      row.drops = r.total_drops;
-      row.jain = r.jain;
-      row.rng_draws = after.rng_draws - before.rng_draws;
-      row.wheel_inserts = after.wheel_inserts - before.wheel_inserts;
-      row.series_appends = after.series_appends - before.series_appends;
-      row.rss_kb = current_rss_kb();
-      row.peak_kb = peak_rss_kb();
-      row.digest = r.digest;
-      std::printf("%-10zu %-12.1f %-12llu %-12.3g %-12llu %-10llu %-8.4f %-10.1f %-10.1f\n", n,
-                  row.wall_ms, static_cast<unsigned long long>(row.events), row.events_per_sec,
-                  static_cast<unsigned long long>(row.delivered),
-                  static_cast<unsigned long long>(row.drops), row.jain,
-                  static_cast<double>(row.rss_kb) / 1024.0,
-                  static_cast<double>(row.peak_kb) / 1024.0);
-      rows.push_back(std::move(row));
     }
 
     std::FILE* f = std::fopen("BENCH_scale.json", "w");
@@ -314,22 +387,34 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"mechanism\": \"corelite\",\n");
     std::fprintf(f, "  \"duration_sec\": %.6g,\n", curve_duration);
     std::fprintf(f, "  \"base_seed\": %llu,\n", static_cast<unsigned long long>(base_seed));
+    std::fprintf(f, "  \"hw_threads\": %zu,\n", hw_threads);
     std::fprintf(f, "  \"rows\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const CurveRow& row = rows[i];
       std::fprintf(f,
-                   "    {\"flows\": %zu, \"scenario\": \"%s\", \"ok\": %s, \"wall_ms\": %.3f, "
+                   "    {\"flows\": %zu, \"scenario\": \"%s\", \"lp\": %zu, \"hw_threads\": %zu, "
+                   "\"ok\": %s, \"wall_ms\": %.3f, "
                    "\"events\": %llu, \"events_per_sec\": %.6g, \"delivered\": %llu, "
                    "\"drops\": %llu, \"jain\": %.6f, \"rng_draws\": %llu, "
-                   "\"wheel_inserts\": %llu, \"series_appends\": %llu, \"rss_kb\": %ld, "
+                   "\"wheel_inserts\": %llu, \"series_appends\": %llu, "
+                   "\"lp_barriers\": %llu, \"cross_lp_events\": %llu, "
+                   "\"mailbox_flushes\": %llu, \"lookahead_ms\": %.6g, "
+                   "\"cross_lp_fraction\": %.6g, \"speedup_vs_serial\": %.3f, "
+                   "\"digest_match_serial_stepped\": %s, \"rss_kb\": %ld, "
                    "\"peak_rss_kb\": %ld, \"digest\": \"%s\"}%s\n",
-                   row.flows, row.scenario.c_str(), row.ok ? "true" : "false", row.wall_ms,
+                   row.flows, row.scenario.c_str(), row.lp, hw_threads,
+                   row.ok ? "true" : "false", row.wall_ms,
                    static_cast<unsigned long long>(row.events), row.events_per_sec,
                    static_cast<unsigned long long>(row.delivered),
                    static_cast<unsigned long long>(row.drops), row.jain,
                    static_cast<unsigned long long>(row.rng_draws),
                    static_cast<unsigned long long>(row.wheel_inserts),
-                   static_cast<unsigned long long>(row.series_appends), row.rss_kb, row.peak_kb,
+                   static_cast<unsigned long long>(row.series_appends),
+                   static_cast<unsigned long long>(row.lp_barriers),
+                   static_cast<unsigned long long>(row.cross_lp_events),
+                   static_cast<unsigned long long>(row.mailbox_flushes), row.lookahead_ms,
+                   row.cross_lp_fraction, row.speedup_vs_serial,
+                   row.digest_match_serial_stepped ? "true" : "false", row.rss_kb, row.peak_kb,
                    tel::digest_hex(row.digest).c_str(), i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

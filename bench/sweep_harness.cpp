@@ -189,6 +189,10 @@ int main(int argc, char** argv) {
     std::printf("%-22s %14llu  (%llu fused, mean %.2f/drain)\n", "batch drains",
                 static_cast<unsigned long long>(ops.batch_drains),
                 static_cast<unsigned long long>(ops.batch_drained), ops.mean_batch_len());
+    std::printf("%-22s %14llu  (cross-LP events %llu, mailbox flushes %llu)\n", "lp barriers",
+                static_cast<unsigned long long>(ops.lp_barriers),
+                static_cast<unsigned long long>(ops.cross_lp_events),
+                static_cast<unsigned long long>(ops.mailbox_flushes));
   }
 
   std::FILE* json = std::fopen("BENCH_sweep.json", "w");
@@ -227,7 +231,10 @@ int main(int argc, char** argv) {
                    "    \"wheel_cascades\": %llu,\n"
                    "    \"heap_inserts\": %llu,\n"
                    "    \"batch_drains\": %llu,\n"
-                   "    \"batch_drained\": %llu\n"
+                   "    \"batch_drained\": %llu,\n"
+                   "    \"lp_barriers\": %llu,\n"
+                   "    \"cross_lp_events\": %llu,\n"
+                   "    \"mailbox_flushes\": %llu\n"
                    "  }",
                    static_cast<unsigned long long>(ops.exp_calls),
                    static_cast<unsigned long long>(ops.exp_cache_hits), ops.exp_hit_rate(),
@@ -240,7 +247,10 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(ops.wheel_cascades),
                    static_cast<unsigned long long>(ops.heap_inserts),
                    static_cast<unsigned long long>(ops.batch_drains),
-                   static_cast<unsigned long long>(ops.batch_drained));
+                   static_cast<unsigned long long>(ops.batch_drained),
+                   static_cast<unsigned long long>(ops.lp_barriers),
+                   static_cast<unsigned long long>(ops.cross_lp_events),
+                   static_cast<unsigned long long>(ops.mailbox_flushes));
     }
     std::fprintf(json, "\n}\n");
     std::fclose(json);

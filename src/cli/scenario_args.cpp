@@ -1,6 +1,8 @@
 #include "cli/scenario_args.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 #include <utility>
@@ -24,6 +26,12 @@ void register_scenario_options(ArgParser& parser) {
                     "comma-separated per-flow weights overriding the scenario's");
   parser.add_double("duration", 0.0, "simulated seconds (0 = scenario default)");
   parser.add_int("seed", 1, "random seed");
+  parser.add_int("lp", 1,
+                 "logical processes for the parallel engine (1 = serial; clamped to "
+                 "what the topology supports)");
+  parser.add_int("lp-threads", 0,
+                 "OS threads driving the LPs (0 = auto, budget-clamped to the hardware; "
+                 "thread count never changes results)");
   parser.add_double("epoch-ms", 100.0, "core congestion epoch [ms]");
   parser.add_double("k1", 1.0, "marker spacing constant K1");
   parser.add_double("qthresh", 8.0, "congestion threshold [packets]");
@@ -142,6 +150,8 @@ std::optional<scenario::ScenarioSpec> spec_from_args(const ArgParser& parser,
     spec.duration = sim::SimTime::seconds(parser.get_double("duration"));
   }
   spec.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  spec.lp = static_cast<std::size_t>(std::max<std::int64_t>(1, parser.get_int("lp")));
+  spec.lp_threads = static_cast<std::size_t>(std::max<std::int64_t>(0, parser.get_int("lp-threads")));
   spec.corelite.core_epoch = sim::TimeDelta::millis(parser.get_double("epoch-ms"));
   spec.corelite.k1 = parser.get_double("k1");
   spec.corelite.q_thresh_pkts = parser.get_double("qthresh");

@@ -110,7 +110,7 @@ struct CsfqCoreRouter::LinkState final : net::LinkObserver {
 CsfqCoreRouter::CsfqCoreRouter(net::Network& network, net::NodeId node, const CsfqConfig& config)
     : net_{network}, node_{node}, cfg_{config} {
   for (net::Link* link : net_.node(node_).out_links()) {
-    links_.push_back(std::make_unique<LinkState>(this, link, cfg_, net_.simulator().rng()));
+    links_.push_back(std::make_unique<LinkState>(this, link, cfg_, net_.local_sim(node_).rng()));
     link->set_admission(&links_.back()->policy);
     link->add_observer(links_.back().get(), net::Link::kObserveDrop);
   }
@@ -135,14 +135,14 @@ const CsfqLinkPolicy* CsfqCoreRouter::policy_for(net::NodeId link_to) const {
 
 void CsfqCoreRouter::send_loss_notice(const net::Packet& dropped) {
   net::Packet notice;
-  notice.uid = net_.next_packet_uid();
+  notice.uid = net_.next_packet_uid(node_);
   notice.kind = net::PacketKind::LossNotice;
   notice.flow = dropped.flow;
   notice.src = node_;
   notice.dst = dropped.src;  // back to the ingress edge
   notice.size = sim::DataSize::zero();
   notice.feedback_origin = node_;
-  notice.created = net_.simulator().now();
+  notice.created = net_.local_sim(node_).now();
   ++notices_sent_;
   net_.inject(node_, std::move(notice));
 }
@@ -176,14 +176,14 @@ LossNotifyingCoreRouter::~LossNotifyingCoreRouter() {
 
 void LossNotifyingCoreRouter::send_loss_notice(const net::Packet& dropped) {
   net::Packet notice;
-  notice.uid = net_.next_packet_uid();
+  notice.uid = net_.next_packet_uid(node_);
   notice.kind = net::PacketKind::LossNotice;
   notice.flow = dropped.flow;
   notice.src = node_;
   notice.dst = dropped.src;
   notice.size = sim::DataSize::zero();
   notice.feedback_origin = node_;
-  notice.created = net_.simulator().now();
+  notice.created = net_.local_sim(node_).now();
   ++notices_sent_;
   net_.inject(node_, std::move(notice));
 }

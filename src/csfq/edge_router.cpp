@@ -11,8 +11,8 @@ CsfqEdgeRouter::CsfqEdgeRouter(net::Network& network, net::NodeId node, const Cs
     : net_{network}, node_{node}, cfg_{config}, tracker_{tracker} {
   net_.node(node_).set_local_sink([this](net::Packet&& p) { handle_local(std::move(p)); });
   const auto phase =
-      sim::TimeDelta::seconds(net_.simulator().rng().uniform(0.0, cfg_.edge_epoch.sec()));
-  epoch_timer_ = net_.simulator().every(cfg_.edge_epoch, [this] { on_epoch(); }, phase);
+      sim::TimeDelta::seconds(net_.local_sim(node_).rng().uniform(0.0, cfg_.edge_epoch.sec()));
+  epoch_timer_ = net_.local_sim(node_).every(cfg_.edge_epoch, [this] { on_epoch(); }, phase);
 }
 
 CsfqEdgeRouter::~CsfqEdgeRouter() { epoch_timer_.cancel(); }
@@ -35,7 +35,7 @@ void CsfqEdgeRouter::add_flow(const net::FlowSpec& spec) {
 // two events per window up front).  Each window still costs exactly one
 // start and one finite-stop event, matching the eager schedule.
 void CsfqEdgeRouter::schedule_window(FlowState& fs, std::size_t window) {
-  auto& sim = net_.simulator();
+  auto& sim = net_.local_sim(node_);
   while (window < fs.spec.active.size() && fs.spec.active[window].stop <= sim.now()) {
     ++window;  // window already wholly in the past
   }
@@ -45,7 +45,7 @@ void CsfqEdgeRouter::schedule_window(FlowState& fs, std::size_t window) {
     start_flow(fs);
     const sim::SimTime stop = fs.spec.active[window].stop;
     if (stop < sim::SimTime::infinite()) {
-      net_.simulator().at_detached(stop, [this, &fs, window] {
+      net_.local_sim(node_).at_detached(stop, [this, &fs, window] {
         stop_flow(fs);
         schedule_window(fs, window + 1);
       });
@@ -60,9 +60,9 @@ void CsfqEdgeRouter::start_flow(FlowState& fs) {
   active_.push_back(&fs);
   fs.losses_this_epoch = 0;
   fs.estimator.reset();
-  fs.ctrl->reset(net_.simulator().now());
+  fs.ctrl->reset(net_.local_sim(node_).now());
   if (tracker_ != nullptr) {
-    tracker_->record_rate(fs.spec.id, net_.simulator().now(), fs.ctrl->rate_pps());
+    tracker_->record_rate(fs.spec.id, net_.local_sim(node_).now(), fs.ctrl->rate_pps());
   }
   emit_packet(fs);
 }
@@ -77,17 +77,17 @@ void CsfqEdgeRouter::stop_flow(FlowState& fs) {
   fs.active_slot = kNoSlot;
   ++fs.emit_gen;  // orphan any in-flight emission event
   fs.losses_this_epoch = 0;
-  if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, net_.simulator().now(), 0.0);
+  if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, net_.local_sim(node_).now(), 0.0);
 }
 
 void CsfqEdgeRouter::emit_packet(FlowState& fs) {
   if (!fs.active) return;
 
-  const sim::SimTime now = net_.simulator().now();
+  const sim::SimTime now = net_.local_sim(node_).now();
   const double estimate = fs.estimator.on_arrival(1.0, now);
 
   net::Packet p;
-  p.uid = net_.next_packet_uid();
+  p.uid = net_.next_packet_uid(node_);
   p.kind = net::PacketKind::Data;
   p.flow = fs.spec.id;
   p.src = node_;
@@ -99,14 +99,14 @@ void CsfqEdgeRouter::emit_packet(FlowState& fs) {
   net_.inject(node_, std::move(p));
 
   const double rate = std::max(fs.ctrl->rate_pps(), 1e-3);
-  net_.simulator().after_detached(sim::TimeDelta::seconds(1.0 / rate),
+  net_.local_sim(node_).after_detached(sim::TimeDelta::seconds(1.0 / rate),
                                   [this, &fs, gen = fs.emit_gen] {
                                     if (gen == fs.emit_gen) emit_packet(fs);
                                   });
 }
 
 void CsfqEdgeRouter::on_epoch() {
-  const sim::SimTime now = net_.simulator().now();
+  const sim::SimTime now = net_.local_sim(node_).now();
   for (FlowState* fsp : active_) {
     FlowState& fs = *fsp;
     const int losses = fs.losses_this_epoch;

@@ -39,8 +39,11 @@ Link::Link(sim::Simulator& simulator, Network& network, NodeId from, NodeId to, 
            sim::TimeDelta propagation_delay, std::unique_ptr<PacketQueue> queue)
     : sim_{simulator},
       net_{network},
+      pool_{network.packet_pool(from)},
       from_{from},
       to_{to},
+      cross_lp_{network.lp_of(from) != network.lp_of(to)},
+      lp_from_{network.lp_of(from)},
       rate_{rate},
       prop_delay_{propagation_delay},
       queue_{std::move(queue)},
@@ -146,7 +149,7 @@ bool Link::dequeue_next(PooledPacket& pooled) {
 }
 
 void Link::start_transmission() {
-  PooledPacket pooled{net_.packet_pool()};
+  PooledPacket pooled{pool_};
   if (!dequeue_next(pooled)) return;
   const sim::TimeDelta ser = rate_.serialization_time(pooled->size);
   sim_.after_detached(ser,
@@ -169,10 +172,18 @@ void Link::on_serialized(PooledPacket p) {
       ++stats_.data_delivered;
       stats_.data_bytes_delivered += p->size;
     }
-    sim_.after_detached(prop_delay_, [this, p = std::move(p)]() mutable {
-      net_.deliver(to_, std::move(*p));
-    });
-    PooledPacket next{net_.packet_pool()};
+    if (!cross_lp_) {
+      sim_.after_detached(prop_delay_, [this, p = std::move(p)]() mutable {
+        net_.deliver(to_, std::move(*p));
+      });
+    } else {
+      // Cut link: the propagation hop crosses an LP boundary.  The
+      // packet is copied into the mailbox (due strictly after the
+      // current conservative window — prop_delay_ >= the partition's
+      // lookahead) and the pooled slot recycles locally right away.
+      net_.post_cross_lp(lp_from_, sim_.now() + prop_delay_, to_, *p);
+    }
+    PooledPacket next{pool_};
     if (!dequeue_next(next)) return;
     const sim::TimeDelta ser = rate_.serialization_time(next->size);
     const sim::SimTime done = sim_.now() + ser;

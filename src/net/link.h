@@ -135,8 +135,17 @@ class Link {
 
   sim::Simulator& sim_;
   Network& net_;
+  /// The upstream LP's packet pool (the network's only pool in legacy
+  /// mode).  Pools are single-threaded; a link only ever touches its
+  /// own LP's.
+  PacketPool& pool_;
   NodeId from_;
   NodeId to_;
+  /// Cut-link marker: endpoints live in different LPs, so propagation
+  /// completions become cross-LP mailbox messages instead of local
+  /// events.  Always false in legacy mode.
+  bool cross_lp_ = false;
+  std::uint32_t lp_from_ = 0;
   sim::Rate rate_;
   sim::TimeDelta prop_delay_;
   std::unique_ptr<PacketQueue> queue_;

@@ -7,9 +7,15 @@
 
 namespace corelite::net {
 
-NodeId Network::add_node(std::string name) {
+NodeId Network::add_node(std::string name, std::uint32_t lp) {
   const auto id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(id, std::move(name)));
+  if (lp_rt_ != nullptr) {
+    assert(lp < lp_rt_->lp_count() && "node pinned to a nonexistent LP");
+    lp_of_node_.push_back(lp);
+  } else {
+    lp_of_node_.push_back(0);
+  }
   return id;
 }
 
@@ -22,7 +28,10 @@ Link& Network::connect(NodeId a, NodeId b, sim::Rate rate, sim::TimeDelta delay,
 Link& Network::connect_with_queue(NodeId a, NodeId b, sim::Rate rate, sim::TimeDelta delay,
                                   std::unique_ptr<PacketQueue> queue) {
   assert(a < nodes_.size() && b < nodes_.size() && a != b);
-  links_.push_back(std::make_unique<Link>(sim_, *this, a, b, rate, delay, std::move(queue)));
+  // The link runs on its upstream node's LP: send/serialize/dequeue all
+  // happen there, and only the final propagation hop may cross LPs.
+  links_.push_back(
+      std::make_unique<Link>(local_sim(a), *this, a, b, rate, delay, std::move(queue)));
   Link* link = links_.back().get();
   nodes_[a]->add_out_link(link);
   return *link;
@@ -81,11 +90,24 @@ void Network::build_routes() {
 }
 
 void Network::deliver(NodeId to, Packet&& p) {
-  if (!nodes_.at(to)->receive(std::move(p))) ++unrouteable_;
+  if (!nodes_.at(to)->receive(std::move(p))) {
+    unrouteable_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void Network::inject(NodeId at, Packet&& p) {
-  if (!nodes_.at(at)->receive(std::move(p))) ++unrouteable_;
+  if (!nodes_.at(at)->receive(std::move(p))) {
+    unrouteable_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Network::post_cross_lp(std::uint32_t src_lp, sim::SimTime at, NodeId to, const Packet& p) {
+  assert(lp_rt_ != nullptr);
+  // The packet rides the mailbox message by value (headers only, no
+  // payload); the dst LP's worker replays the delivery at its correct
+  // virtual time after the next barrier.
+  lp_rt_->post(src_lp, lp_of_node_[to], at,
+               [this, to, p = p]() mutable { deliver(to, std::move(p)); });
 }
 
 std::vector<NodeId> Network::path(NodeId from, NodeId to) const {

@@ -65,13 +65,13 @@ CoreliteCoreRouter::CoreliteCoreRouter(net::Network& network, net::NodeId node,
                                        const CoreliteConfig& config)
     : net_{network}, node_{node}, cfg_{config} {
   for (net::Link* link : net_.node(node_).out_links()) {
-    links_.push_back(std::make_unique<LinkState>(this, link, cfg_, net_.simulator().rng()));
+    links_.push_back(std::make_unique<LinkState>(this, link, cfg_, net_.local_sim(node_).rng()));
     link->add_observer(links_.back().get(),
                        net::Link::kObserveEnqueue | net::Link::kObserveQueueLength);
   }
   const auto phase =
-      sim::TimeDelta::seconds(net_.simulator().rng().uniform(0.0, cfg_.core_epoch.sec()));
-  epoch_timer_ = net_.simulator().every(cfg_.core_epoch, [this] { on_epoch(); }, phase);
+      sim::TimeDelta::seconds(net_.local_sim(node_).rng().uniform(0.0, cfg_.core_epoch.sec()));
+  epoch_timer_ = net_.local_sim(node_).every(cfg_.core_epoch, [this] { on_epoch(); }, phase);
 }
 
 CoreliteCoreRouter::~CoreliteCoreRouter() {
@@ -83,7 +83,7 @@ CoreliteCoreRouter::~CoreliteCoreRouter() {
 
 void CoreliteCoreRouter::send_feedback(const net::MarkerInfo& m) {
   net::Packet fb;
-  fb.uid = net_.next_packet_uid();
+  fb.uid = net_.next_packet_uid(node_);
   fb.kind = net::PacketKind::Feedback;
   fb.flow = m.flow;
   fb.src = node_;
@@ -91,14 +91,14 @@ void CoreliteCoreRouter::send_feedback(const net::MarkerInfo& m) {
   fb.size = sim::DataSize::zero();
   fb.marker = m;
   fb.feedback_origin = node_;
-  fb.created = net_.simulator().now();
+  fb.created = net_.local_sim(node_).now();
   ++feedback_sent_;
   feedback_counter().add();
   net_.inject(node_, std::move(fb));
 }
 
 void CoreliteCoreRouter::on_epoch() {
-  const sim::SimTime now = net_.simulator().now();
+  const sim::SimTime now = net_.local_sim(node_).now();
   for (auto& ls : links_) {
     const double fn = ls->detector->end_epoch(now);
     ls->q_avg_series.add(now.sec(), ls->detector->last_q_avg());

@@ -26,7 +26,7 @@ std::uint64_t EcnCoreRouter::total_marked() const {
 void EcnEgressAgent::on_data(const net::Packet& p) {
   if (!p.ecn) return;
   net::Packet fb;
-  fb.uid = net_.next_packet_uid();
+  fb.uid = net_.next_packet_uid(node_);
   fb.kind = net::PacketKind::Feedback;
   fb.flow = p.flow;
   fb.src = node_;
@@ -34,7 +34,7 @@ void EcnEgressAgent::on_data(const net::Packet& p) {
   fb.size = sim::DataSize::zero();
   fb.marker = net::MarkerInfo{p.src, p.flow, 0.0};
   fb.feedback_origin = node_;
-  fb.created = net_.simulator().now();
+  fb.created = net_.local_sim(node_).now();
   ++echoes_;
   net_.inject(node_, std::move(fb));
 }

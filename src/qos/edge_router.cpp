@@ -14,8 +14,8 @@ CoreliteEdgeRouter::CoreliteEdgeRouter(net::Network& network, net::NodeId node,
   // Random phase: edge routers' adaptation epochs are mutually
   // desynchronized, as independent routers' timers are in practice.
   const auto phase =
-      sim::TimeDelta::seconds(net_.simulator().rng().uniform(0.0, cfg_.edge_epoch.sec()));
-  epoch_timer_ = net_.simulator().every(cfg_.edge_epoch, [this] { on_epoch(); }, phase);
+      sim::TimeDelta::seconds(net_.local_sim(node_).rng().uniform(0.0, cfg_.edge_epoch.sec()));
+  epoch_timer_ = net_.local_sim(node_).every(cfg_.edge_epoch, [this] { on_epoch(); }, phase);
 }
 
 CoreliteEdgeRouter::~CoreliteEdgeRouter() { epoch_timer_.cancel(); }
@@ -46,7 +46,7 @@ void CoreliteEdgeRouter::add_transit_flow(const net::FlowSpec& spec) {
   auto fs = std::make_unique<FlowState>(spec, cfg_.adapt);
   fs->transit = true;
   fs->bucket = TokenBucket{std::max(cfg_.adapt.initial_rate_pps, 1.0),
-                           std::max(1.0, cfg_.edge_burst_tokens), net_.simulator().now()};
+                           std::max(1.0, cfg_.edge_burst_tokens), net_.local_sim(node_).now()};
   fs->marker_spacing =
       std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(cfg_.k1 * spec.weight)));
   if (!transit_hook_installed_) {
@@ -87,7 +87,7 @@ void CoreliteEdgeRouter::drain_transit(FlowState& fs) {
     fs.draining = false;
     return;
   }
-  const sim::SimTime now = net_.simulator().now();
+  const sim::SimTime now = net_.local_sim(node_).now();
   const double rate = std::max(fs.ctrl->rate_pps(), 1e-3);
   fs.bucket.set_rate(rate, now);
 
@@ -108,7 +108,7 @@ void CoreliteEdgeRouter::drain_transit(FlowState& fs) {
     fs.draining = false;
     return;
   }
-  net_.simulator().after_detached(
+  net_.local_sim(node_).after_detached(
       fs.bucket.time_until(1.0, now),
       [this, &fs, gen = fs.emit_gen] {
         if (gen == fs.emit_gen) drain_transit(fs);
@@ -120,7 +120,7 @@ void CoreliteEdgeRouter::drain_transit(FlowState& fs) {
 // two events per window up front).  Each window still costs exactly one
 // start and one finite-stop event, matching the eager schedule.
 void CoreliteEdgeRouter::schedule_window(FlowState& fs, std::size_t window) {
-  auto& sim = net_.simulator();
+  auto& sim = net_.local_sim(node_);
   while (window < fs.spec.active.size() && fs.spec.active[window].stop <= sim.now()) {
     ++window;  // window already wholly in the past
   }
@@ -130,7 +130,7 @@ void CoreliteEdgeRouter::schedule_window(FlowState& fs, std::size_t window) {
     start_flow(fs);
     const sim::SimTime stop = fs.spec.active[window].stop;
     if (stop < sim::SimTime::infinite()) {
-      net_.simulator().at_detached(stop, [this, &fs, window] {
+      net_.local_sim(node_).at_detached(stop, [this, &fs, window] {
         stop_flow(fs);
         schedule_window(fs, window + 1);
       });
@@ -145,14 +145,14 @@ void CoreliteEdgeRouter::start_flow(FlowState& fs) {
   active_.push_back(&fs);
   fs.marker_credit = 0.0;
   fs.feedback_per_core.clear();
-  fs.ctrl->reset(net_.simulator().now());
-  fs.pacing_anchor = net_.simulator().now();
+  fs.ctrl->reset(net_.local_sim(node_).now());
+  fs.pacing_anchor = net_.local_sim(node_).now();
   if (tracker_ != nullptr) {
-    tracker_->record_rate(fs.spec.id, net_.simulator().now(), fs.ctrl->rate_pps());
+    tracker_->record_rate(fs.spec.id, net_.local_sim(node_).now(), fs.ctrl->rate_pps());
   }
   if (fs.transit) {
     // Fresh admission: no banked burst credit from the idle period.
-    fs.bucket.clear(net_.simulator().now());
+    fs.bucket.clear(net_.local_sim(node_).now());
     if (!fs.shaping_queue.empty() && !fs.draining) {
       fs.draining = true;
       drain_transit(fs);
@@ -174,27 +174,27 @@ void CoreliteEdgeRouter::stop_flow(FlowState& fs) {
   fs.draining = false;
   fs.shaping_queue.clear();
   fs.feedback_per_core.clear();
-  if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, net_.simulator().now(), 0.0);
+  if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, net_.local_sim(node_).now(), 0.0);
 }
 
 void CoreliteEdgeRouter::emit_packet(FlowState& fs) {
   if (!fs.active) return;
 
   net::Packet p;
-  p.uid = net_.next_packet_uid();
+  p.uid = net_.next_packet_uid(node_);
   p.kind = net::PacketKind::Data;
   p.flow = fs.spec.id;
   p.src = node_;
   p.dst = fs.spec.egress;
   p.size = cfg_.packet_size;
-  p.created = net_.simulator().now();
+  p.created = net_.local_sim(node_).now();
   if (tracker_ != nullptr) tracker_->on_sent(fs.spec.id);
   net_.inject(node_, std::move(p));
 
   count_marker_credit_and_maybe_mark(fs);
 
   const double rate = std::max(fs.ctrl->rate_pps(), 1e-3);
-  net_.simulator().after_detached(next_emission_gap(fs, rate),
+  net_.local_sim(node_).after_detached(next_emission_gap(fs, rate),
                                   [this, &fs, gen = fs.emit_gen] {
                                     if (gen == fs.emit_gen) emit_packet(fs);
                                   });
@@ -218,14 +218,14 @@ sim::TimeDelta CoreliteEdgeRouter::next_emission_gap(FlowState& fs, double rate_
   const double mean_gap = 1.0 / rate_pps;
   switch (cfg_.pacing) {
     case PacingMode::Poisson:
-      return sim::TimeDelta::seconds(net_.simulator().rng().exponential(mean_gap));
+      return sim::TimeDelta::seconds(net_.local_sim(node_).rng().exponential(mean_gap));
     case PacingMode::OnOff: {
       // Bursts at peak rate so the cycle average stays at rate_pps.
       const double burst = cfg_.on_off_burst.sec();
       const double idle = cfg_.on_off_idle.sec();
       const double cycle = burst + idle;
       const double peak_gap = mean_gap * burst / cycle;
-      const double now = net_.simulator().now().sec();
+      const double now = net_.local_sim(node_).now().sec();
       const double next = now + peak_gap;
       const double anchor = fs.pacing_anchor.sec();
       const double pos = std::fmod(next - anchor, cycle);
@@ -244,14 +244,14 @@ sim::TimeDelta CoreliteEdgeRouter::next_emission_gap(FlowState& fs, double rate_
 
 void CoreliteEdgeRouter::inject_marker(FlowState& fs) {
   net::Packet m;
-  m.uid = net_.next_packet_uid();
+  m.uid = net_.next_packet_uid(node_);
   m.kind = net::PacketKind::Marker;
   m.flow = fs.spec.id;
   m.src = node_;
   m.dst = fs.spec.egress;  // markers follow the flow's path
   m.size = sim::DataSize::zero();
   m.marker = net::MarkerInfo{node_, fs.spec.id, fs.out_of_profile_pps() / fs.spec.weight};
-  m.created = net_.simulator().now();
+  m.created = net_.local_sim(node_).now();
   ++markers_injected_;
   // Forward via the FIB directly: injecting at the node would run the
   // transit hook, which absorbs markers of transit flows (they are
@@ -265,7 +265,7 @@ void CoreliteEdgeRouter::inject_marker(FlowState& fs) {
 }
 
 void CoreliteEdgeRouter::on_epoch() {
-  const sim::SimTime now = net_.simulator().now();
+  const sim::SimTime now = net_.local_sim(node_).now();
   for (FlowState* fsp : active_) {
     FlowState& fs = *fsp;
     // React to the bottleneck: max over core routers, not the sum

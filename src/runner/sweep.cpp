@@ -18,6 +18,9 @@ namespace corelite::runner {
 std::string cell_key(const RunDescriptor& d) {
   std::string key = d.scenario + "/" + scenario::mechanism_name(d.mechanism);
   if (d.num_flows > 0) key += "/n" + std::to_string(d.num_flows);
+  // The LP count changes the digest (per-LP RNG streams), so LP cells
+  // aggregate separately; lp_threads does not and is omitted.
+  if (d.lp > 1) key += "/lp" + std::to_string(d.lp);
   return key;
 }
 
@@ -45,6 +48,8 @@ std::vector<RunDescriptor> expand_grid(const SweepGrid& grid) {
         d.num_flows = grid.num_flows;
         d.weights = grid.weights;
         d.control_loss_rate = grid.control_loss_rate;
+        d.lp = grid.lp;
+        d.lp_threads = grid.lp_threads;
         runs.push_back(std::move(d));
       }
     }
@@ -84,6 +89,8 @@ std::optional<scenario::ScenarioSpec> build_spec(const RunDescriptor& d) {
   }
   if (d.duration_sec > 0.0) spec->duration = sim::SimTime::seconds(d.duration_sec);
   if (d.control_loss_rate > 0.0) spec->control_loss_rate = d.control_loss_rate;
+  if (d.lp > 0) spec->lp = d.lp;
+  if (d.lp_threads > 0) spec->lp_threads = d.lp_threads;
   spec->seed = d.seed;
   return spec;
 }

@@ -43,6 +43,12 @@ struct RunDescriptor {
   std::size_t num_flows = 0;  ///< overriding resets activity windows to always-on
   std::vector<double> weights;
   double control_loss_rate = 0.0;
+  /// Parallel-engine overrides: lp > 0 sets ScenarioSpec::lp (LP count;
+  /// 1 = force serial), lp_threads > 0 sets ScenarioSpec::lp_threads.
+  /// 0 keeps the scenario defaults.  lp is part of the cell key (the
+  /// digest depends on the effective LP count); lp_threads is not.
+  std::size_t lp = 0;
+  std::size_t lp_threads = 0;
 };
 
 /// Aggregation key: runs differing only in seed/repeat share a cell.
@@ -64,6 +70,8 @@ struct SweepGrid {
   std::size_t num_flows = 0;
   std::vector<double> weights;
   double control_loss_rate = 0.0;
+  std::size_t lp = 0;          ///< see RunDescriptor::lp
+  std::size_t lp_threads = 0;  ///< see RunDescriptor::lp_threads
 };
 
 [[nodiscard]] std::vector<RunDescriptor> expand_grid(const SweepGrid& grid);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/parallel/thread_budget.h"
+
 namespace corelite::runner {
 
 namespace {
@@ -13,6 +15,12 @@ std::size_t ThreadPool::current_worker_index() { return t_worker_index; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = std::max<std::size_t>(1, threads);
+  // Register the pool's footprint with the process-wide thread budget so
+  // per-run LP engines in auto mode (lp_threads = 0) don't oversubscribe
+  // --jobs x --lp beyond the hardware.  The worker count itself is never
+  // reduced here — --jobs is an explicit user choice.
+  budget_reservation_ = n > 1 ? n - 1 : 0;
+  if (budget_reservation_ > 0) sim::par::ThreadBudget::instance().reserve(budget_reservation_);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this, i] {
@@ -29,6 +37,7 @@ ThreadPool::~ThreadPool() {
   }
   work_ready_.notify_all();
   for (auto& w : workers_) w.join();
+  if (budget_reservation_ > 0) sim::par::ThreadBudget::instance().release(budget_reservation_);
 }
 
 void ThreadPool::submit(std::function<void()> job) {

@@ -55,6 +55,10 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t active_ = 0;
   bool stopping_ = false;
+  /// Tokens held in the process-wide sim::par::ThreadBudget while the
+  /// pool lives (workers beyond the first), so auto-mode LP runtimes
+  /// see the cores the sweep already occupies.
+  std::size_t budget_reservation_ = 0;
 };
 
 }  // namespace corelite::runner

@@ -20,6 +20,8 @@
 // scenarios compose with every existing harness feature.
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <deque>
 #include <memory>
 #include <string>
 #include <utility>
@@ -33,6 +35,8 @@
 #include "qos/edge_router.h"
 #include "scenario/scenario.h"
 #include "sim/hotpath.h"
+#include "sim/parallel/lp_partition.h"
+#include "sim/parallel/lp_runtime.h"
 #include "sim/simulator.h"
 #include "telemetry/metrics.h"
 
@@ -58,27 +62,30 @@ struct GenDropRecorder final : net::LinkObserver {
 /// queue discipline — the generated analogue of PaperTopology's switch.
 net::Link& connect_core_directed(net::Network& network, net::NodeId from, net::NodeId to,
                                  const PaperTopologyConfig& q) {
+  // AQM queues draw from the link's OWNING simulator's RNG (the from
+  // node's LP): serially that is the one global stream, exactly as
+  // before; in LP mode it keeps every draw single-threaded.
   switch (q.core_queue) {
     case CoreQueueKind::Red: {
       auto red_cfg = q.red;
       red_cfg.capacity_data_packets = q.queue_capacity_packets;
       return network.connect_with_queue(
           from, to, q.link_rate, q.link_delay,
-          std::make_unique<net::RedQueue>(red_cfg, network.simulator().rng()));
+          std::make_unique<net::RedQueue>(red_cfg, network.local_rng(from)));
     }
     case CoreQueueKind::Fred: {
       auto fred_cfg = q.fred;
       fred_cfg.capacity_data_packets = q.queue_capacity_packets;
       return network.connect_with_queue(
           from, to, q.link_rate, q.link_delay,
-          std::make_unique<net::FredQueue>(fred_cfg, network.simulator().rng()));
+          std::make_unique<net::FredQueue>(fred_cfg, network.local_rng(from)));
     }
     case CoreQueueKind::Choke: {
       auto choke_cfg = q.choke;
       choke_cfg.capacity_data_packets = q.queue_capacity_packets;
       return network.connect_with_queue(
           from, to, q.link_rate, q.link_delay,
-          std::make_unique<net::ChokeQueue>(choke_cfg, network.simulator().rng()));
+          std::make_unique<net::ChokeQueue>(choke_cfg, network.local_rng(from)));
     }
     case CoreQueueKind::Sfq: {
       const std::size_t per_band =
@@ -112,8 +119,40 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
   const std::vector<GenFlow> flows =
       generate_flows(topo, wl.flows, spec.duration.sec(), spec.seed);
 
-  sim::Simulator simulator{spec.seed};
-  net::Network network{simulator};
+  // LP partition over the router graph: cut preferentially at the
+  // designated bottleneck links, lookahead = min propagation delay over
+  // the cut set.  Attach nodes are co-located with their router, so only
+  // router-router links can cross LPs.
+  sim::par::LpPlan plan;
+  if (spec.lp > 1) {
+    std::vector<bool> is_bottleneck(topo.links.size(), false);
+    for (std::size_t idx : topo.bottlenecks) {
+      if (idx < is_bottleneck.size()) is_bottleneck[idx] = true;
+    }
+    sim::par::LpGraph g;
+    g.nodes = topo.routers;
+    g.edges.reserve(topo.links.size());
+    for (std::size_t i = 0; i < topo.links.size(); ++i) {
+      const GenLink& l = topo.links[i];
+      g.edges.push_back({l.a, l.b, topo.cfg.link_delay.sec(), is_bottleneck[i]});
+    }
+    plan = sim::par::partition_lp_graph(g, spec.lp);
+    if (plan.zero_lookahead_fallback) {
+      std::fprintf(stderr,
+                   "corelite: --lp %zu requires positive link delay for lookahead; "
+                   "falling back to the serial engine\n",
+                   spec.lp);
+    } else if (plan.lp_count < plan.requested) {
+      std::fprintf(stderr,
+                   "corelite: --lp %zu clamped to %zu LPs (topology has %zu routers)\n",
+                   spec.lp, plan.lp_count, topo.routers);
+    }
+  }
+  const bool lp_mode = plan.lp_count > 1;
+
+  sim::par::LpRuntime lp_rt{plan.lp_count, spec.seed, plan.lookahead, spec.lp_threads};
+  sim::Simulator& simulator = lp_rt.lp_sim(0);
+  net::Network network{lp_rt};
 
   // Queue parameters: the generator's link knobs layered over the
   // spec's discipline configs (RED/FRED/CHOKe thresholds etc.).
@@ -140,7 +179,8 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
   std::vector<net::NodeId> routers;
   routers.reserve(topo.routers);
   for (std::size_t i = 0; i < topo.routers; ++i) {
-    routers.push_back(network.add_node("R" + std::to_string(i)));
+    routers.push_back(network.add_node("R" + std::to_string(i),
+                                       lp_mode ? plan.lp_of_node[i] : 0u));
   }
   std::vector<net::Link*> forward_of_link(topo.links.size(), nullptr);
   for (std::size_t i = 0; i < topo.links.size(); ++i) {
@@ -158,12 +198,12 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
   std::vector<net::NodeId> src_node(topo.routers, net::kInvalidNode);
   std::vector<net::NodeId> dst_node(topo.routers, net::kInvalidNode);
   for (std::uint32_t r : topo.sources) {
-    src_node[r] = network.add_node("S" + std::to_string(r));
+    src_node[r] = network.add_node("S" + std::to_string(r), network.lp_of(routers[r]));
     network.connect_duplex(src_node[r], routers[r], topo.cfg.access_rate, topo.cfg.link_delay,
                            topo.cfg.queue_capacity_packets);
   }
   for (std::uint32_t r : topo.sinks) {
-    dst_node[r] = network.add_node("D" + std::to_string(r));
+    dst_node[r] = network.add_node("D" + std::to_string(r), network.lp_of(routers[r]));
     network.connect_duplex(routers[r], dst_node[r], topo.cfg.access_rate, topo.cfg.link_delay,
                            topo.cfg.queue_capacity_packets);
   }
@@ -174,11 +214,14 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
   tracker.set_series_enabled(wl.flows.record_series);
 
   // Egress sinks: count deliveries with one-way delay (EcnBit overrides
-  // these below with a sink that also echoes marked packets).
+  // these below with a sink that also echoes marked packets).  Each sink
+  // reads its own node's clock — the sink LP's simulator in LP mode, the
+  // one global simulator serially.
   for (std::uint32_t r : topo.sinks) {
-    network.node(dst_node[r]).set_local_sink([&tracker, &simulator](net::Packet&& p) {
-      if (p.is_data()) tracker.on_delivered(p.flow, simulator.now() - p.created);
-    });
+    network.node(dst_node[r]).set_local_sink(
+        [&tracker, &snk_sim = network.local_sim(dst_node[r])](net::Packet&& p) {
+          if (p.is_data()) tracker.on_delivered(p.flow, snk_sim.now() - p.created);
+        });
   }
 
   if (spec.control_loss_rate > 0.0) {
@@ -187,13 +230,21 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
     }
   }
 
-  // Drop timing on the designated bottleneck links.
+  // Drop timing on the designated bottleneck links.  In LP mode each
+  // recorder gets a private sink (its link's LP is the only writer);
+  // merged and time-sorted after the run.
   std::vector<std::unique_ptr<GenDropRecorder>> drop_recorders;
+  std::deque<std::vector<double>> lp_drop_sinks;
   for (net::Link* l : bottleneck_links) {
     if (l == nullptr) continue;
     auto rec = std::make_unique<GenDropRecorder>();
     rec->link = l;
-    rec->sink = &result.drop_times;
+    if (lp_mode) {
+      lp_drop_sinks.emplace_back();
+      rec->sink = &lp_drop_sinks.back();
+    } else {
+      rec->sink = &result.drop_times;
+    }
     l->add_observer(rec.get(), net::Link::kObserveDrop);
     drop_recorders.push_back(std::move(rec));
   }
@@ -276,41 +327,99 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
       qos::EcnEgressAgent* agent_ptr = agent.get();
       ecn_agents.push_back(std::move(agent));
       network.node(dst_node[r]).set_local_sink(
-          [&tracker, &simulator, agent_ptr](net::Packet&& p) {
+          [&tracker, &snk_sim = network.local_sim(dst_node[r]), agent_ptr](net::Packet&& p) {
             if (p.is_data()) {
-              tracker.on_delivered(p.flow, simulator.now() - p.created);
+              tracker.on_delivered(p.flow, snk_sim.now() - p.created);
               agent_ptr->on_data(p);
             }
           });
     }
   }
 
-  // Queue-length sampling on the bottleneck links.
+  // Queue-length sampling on the bottleneck links.  Serially one timer
+  // samples them all; in LP mode each link is sampled by a timer on its
+  // from-router's LP (the link's single-threaded owner).
   result.queue_series.resize(bottleneck_links.size());
-  auto queue_sampler = simulator.every(sim::TimeDelta::millis(100), [&] {
-    for (std::size_t i = 0; i < bottleneck_links.size(); ++i) {
-      if (bottleneck_links[i] != nullptr) {
-        result.queue_series[i].add(simulator.now().sec(),
-                                   static_cast<double>(bottleneck_links[i]->queued_data_packets()));
+  std::vector<sim::PeriodicHandle> samplers;
+  if (!lp_mode) {
+    samplers.push_back(simulator.every(sim::TimeDelta::millis(100), [&] {
+      for (std::size_t i = 0; i < bottleneck_links.size(); ++i) {
+        if (bottleneck_links[i] != nullptr) {
+          result.queue_series[i].add(
+              simulator.now().sec(),
+              static_cast<double>(bottleneck_links[i]->queued_data_packets()));
+        }
       }
+    }));
+  } else {
+    for (std::size_t lp = 0; lp < plan.lp_count; ++lp) {
+      std::vector<std::size_t> owned;
+      for (std::size_t i = 0; i < topo.bottlenecks.size(); ++i) {
+        if (bottleneck_links[i] == nullptr) continue;
+        const std::uint32_t from_router = topo.links[topo.bottlenecks[i]].a;
+        if (plan.lp_of_node[from_router] == lp) owned.push_back(i);
+      }
+      if (owned.empty()) continue;
+      sim::Simulator& lsim = lp_rt.lp_sim(lp);
+      samplers.push_back(lsim.every(
+          sim::TimeDelta::millis(100), [&result, &bottleneck_links, &lsim, owned] {
+            for (std::size_t i : owned) {
+              result.queue_series[i].add(
+                  lsim.now().sec(),
+                  static_cast<double>(bottleneck_links[i]->queued_data_packets()));
+            }
+          }));
     }
-  });
+  }
 
+  // Cumulative-service sampling, sharded by egress (sink-router) LP in
+  // LP mode so each flow's series keeps a single writer.
   tracker.sample_cumulative(simulator.now());
-  auto sampler = simulator.every(spec.cumulative_sample_period,
-                                 [&tracker, &simulator] { tracker.sample_cumulative(simulator.now()); });
+  if (!lp_mode) {
+    samplers.push_back(simulator.every(spec.cumulative_sample_period, [&tracker, &simulator] {
+      tracker.sample_cumulative(simulator.now());
+    }));
+  } else {
+    for (std::size_t lp = 0; lp < plan.lp_count; ++lp) {
+      std::vector<net::FlowId> owned;
+      for (const GenFlow& f : flows) {
+        if (plan.lp_of_node[f.dst_router] == lp) owned.push_back(f.id);
+      }
+      if (owned.empty()) continue;
+      std::sort(owned.begin(), owned.end());
+      sim::Simulator& lsim = lp_rt.lp_sim(lp);
+      samplers.push_back(lsim.every(
+          spec.cumulative_sample_period, [&tracker, &lsim, owned = std::move(owned)] {
+            tracker.sample_cumulative(lsim.now(), owned);
+          }));
+    }
+  }
 
   // Telemetry hook last, so collectors see the fully wired network.
-  if (spec.instrument) spec.instrument(network, bottleneck_links);
+  // Collector callbacks are not thread-safe, so the hook is serial-only.
+  if (spec.instrument) {
+    if (lp_mode) {
+      std::fprintf(stderr,
+                   "corelite: telemetry instrumentation is not supported with --lp > 1; "
+                   "skipping collectors for this run\n");
+    } else {
+      spec.instrument(network, bottleneck_links);
+    }
+  }
 
-  simulator.run_until(spec.duration);
-  sampler.cancel();
-  queue_sampler.cancel();
+  lp_rt.run_until(spec.duration);
+  for (auto& s : samplers) s.cancel();
   tracker.sample_cumulative(simulator.now());
+  if (lp_mode) {
+    for (const auto& sink : lp_drop_sinks) {
+      result.drop_times.insert(result.drop_times.end(), sink.begin(), sink.end());
+    }
+    std::sort(result.drop_times.begin(), result.drop_times.end());
+  }
 
   // Global accounting — same fields the paper runner fills, so the
   // sweep's result digest covers generated runs identically.
-  result.events_processed = simulator.events_processed();
+  result.events_processed = lp_rt.events_processed();
   result.unrouteable = network.unrouteable_count();
   for (net::NodeId r : routers) {
     std::size_t state = 0;

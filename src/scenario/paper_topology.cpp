@@ -27,10 +27,15 @@ std::vector<std::size_t> PaperTopology::congested_links(net::FlowId flow_1based)
 }
 
 PaperTopology::PaperTopology(net::Network& network, std::size_t num_flows,
-                             PaperTopologyConfig cfg)
+                             PaperTopologyConfig cfg,
+                             const std::vector<std::uint32_t>* core_lp)
     : cfg_{cfg} {
+  assert(core_lp == nullptr || core_lp->size() >= kCoreCount);
+  const auto lp_of_core = [core_lp](std::size_t i) {
+    return core_lp != nullptr ? (*core_lp)[i] : 0u;
+  };
   for (std::size_t i = 0; i < kCoreCount; ++i) {
-    cores_.push_back(network.add_node("C" + std::to_string(i + 1)));
+    cores_.push_back(network.add_node("C" + std::to_string(i + 1), lp_of_core(i)));
   }
   for (std::size_t i = 0; i + 1 < kCoreCount; ++i) {
     // The forward (congested) direction runs the configured discipline;
@@ -42,7 +47,7 @@ PaperTopology::PaperTopology(net::Network& network, std::size_t num_flows,
         red_cfg.capacity_data_packets = cfg_.queue_capacity_packets;
         network.connect_with_queue(
             cores_[i], cores_[i + 1], cfg_.link_rate, cfg_.link_delay,
-            std::make_unique<net::RedQueue>(red_cfg, network.simulator().rng()));
+            std::make_unique<net::RedQueue>(red_cfg, network.local_rng(cores_[i])));
         network.connect(cores_[i + 1], cores_[i], cfg_.link_rate, cfg_.link_delay,
                         cfg_.queue_capacity_packets);
         break;
@@ -52,7 +57,7 @@ PaperTopology::PaperTopology(net::Network& network, std::size_t num_flows,
         fred_cfg.capacity_data_packets = cfg_.queue_capacity_packets;
         network.connect_with_queue(
             cores_[i], cores_[i + 1], cfg_.link_rate, cfg_.link_delay,
-            std::make_unique<net::FredQueue>(fred_cfg, network.simulator().rng()));
+            std::make_unique<net::FredQueue>(fred_cfg, network.local_rng(cores_[i])));
         network.connect(cores_[i + 1], cores_[i], cfg_.link_rate, cfg_.link_delay,
                         cfg_.queue_capacity_packets);
         break;
@@ -62,7 +67,7 @@ PaperTopology::PaperTopology(net::Network& network, std::size_t num_flows,
         choke_cfg.capacity_data_packets = cfg_.queue_capacity_packets;
         network.connect_with_queue(
             cores_[i], cores_[i + 1], cfg_.link_rate, cfg_.link_delay,
-            std::make_unique<net::ChokeQueue>(choke_cfg, network.simulator().rng()));
+            std::make_unique<net::ChokeQueue>(choke_cfg, network.local_rng(cores_[i])));
         network.connect(cores_[i + 1], cores_[i], cfg_.link_rate, cfg_.link_delay,
                         cfg_.queue_capacity_packets);
         break;
@@ -97,8 +102,8 @@ PaperTopology::PaperTopology(net::Network& network, std::size_t num_flows,
     FlowEndpoints ep;
     ep.entry_core = entry;
     ep.exit_core = exit;
-    ep.ingress = network.add_node("E" + std::to_string(f) + "in");
-    ep.egress = network.add_node("E" + std::to_string(f) + "out");
+    ep.ingress = network.add_node("E" + std::to_string(f) + "in", lp_of_core(entry));
+    ep.egress = network.add_node("E" + std::to_string(f) + "out", lp_of_core(exit));
     network.connect_duplex(ep.ingress, cores_[entry], cfg_.link_rate, cfg_.link_delay,
                            cfg_.queue_capacity_packets);
     network.connect_duplex(cores_[exit], ep.egress, cfg_.link_rate, cfg_.link_delay,

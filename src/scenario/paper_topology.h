@@ -74,7 +74,13 @@ class PaperTopology {
 
   /// Builds nodes and duplex links into `network` for flows 1..num_flows.
   /// Call network.build_routes() afterwards.
-  PaperTopology(net::Network& network, std::size_t num_flows, PaperTopologyConfig cfg = {});
+  ///
+  /// `core_lp`, when non-null, pins core i to LP core_lp[i] (parallel
+  /// engine); each flow's attach nodes follow its entry/exit core so
+  /// only the three inter-core links can become cut links.  Null keeps
+  /// everything on LP 0 (the legacy single-universe layout).
+  PaperTopology(net::Network& network, std::size_t num_flows, PaperTopologyConfig cfg = {},
+                const std::vector<std::uint32_t>* core_lp = nullptr);
 
   /// (entry core index, exit core index) for 1-based flow id.
   [[nodiscard]] static std::pair<std::size_t, std::size_t> core_span(net::FlowId flow_1based);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <deque>
 #include <memory>
 #include <utility>
 
@@ -13,6 +15,8 @@
 #include "qos/ecn.h"
 #include "qos/edge_router.h"
 #include "sim/hotpath.h"
+#include "sim/parallel/lp_partition.h"
+#include "sim/parallel/lp_runtime.h"
 #include "sim/simulator.h"
 #include "stats/fairness.h"
 #include "telemetry/metrics.h"
@@ -148,8 +152,33 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
   if (spec.generated.has_value()) return run_generated_scenario(spec);
   assert(spec.weights.size() == spec.num_flows && "one weight per flow required");
 
-  sim::Simulator simulator{spec.seed};
-  net::Network network{simulator};
+  // LP partition of the four-core chain: the three inter-core links are
+  // the only candidate cut links (every flow's attach nodes follow its
+  // entry/exit core), so the paper topology supports at most 4 LPs and
+  // the lookahead is the core link propagation delay.
+  sim::par::LpPlan plan;
+  if (spec.lp > 1) {
+    sim::par::LpGraph g;
+    g.nodes = PaperTopology::kCoreCount;
+    for (std::uint32_t i = 0; i + 1 < PaperTopology::kCoreCount; ++i) {
+      g.edges.push_back({i, i + 1, spec.topology.link_delay.sec(), true});
+    }
+    plan = sim::par::partition_lp_graph(g, spec.lp);
+    if (plan.zero_lookahead_fallback) {
+      std::fprintf(stderr,
+                   "corelite: --lp %zu requires positive core link delay for lookahead; "
+                   "falling back to the serial engine\n",
+                   spec.lp);
+    } else if (plan.lp_count < plan.requested) {
+      std::fprintf(stderr, "corelite: --lp %zu clamped to %zu LPs (paper topology has %zu cores)\n",
+                   spec.lp, plan.lp_count, PaperTopology::kCoreCount);
+    }
+  }
+  const bool lp_mode = plan.lp_count > 1;
+
+  sim::par::LpRuntime lp_rt{plan.lp_count, spec.seed, plan.lookahead, spec.lp_threads};
+  sim::Simulator& simulator = lp_rt.lp_sim(0);
+  net::Network network{lp_rt};
   PaperTopologyConfig topo_cfg = spec.topology;
   if (spec.mechanism == Mechanism::Red) topo_cfg.core_queue = CoreQueueKind::Red;
   if (spec.mechanism == Mechanism::Fred) topo_cfg.core_queue = CoreQueueKind::Fred;
@@ -163,19 +192,24 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
       return (f >= 1 && f <= weights.size()) ? weights[f - 1] : 1.0;
     };
   }
-  PaperTopology topo{network, spec.num_flows, topo_cfg};
+  PaperTopology topo{network, spec.num_flows, topo_cfg,
+                     lp_mode ? &plan.lp_of_node : nullptr};
   network.build_routes();
 
   ScenarioResult result;
   stats::FlowTracker& tracker = result.tracker;
 
   // Egress sinks: count delivered data packets per flow, with one-way
-  // delay measured from the edge's emission timestamp.
+  // delay measured from the edge's emission timestamp.  The sink reads
+  // its own node's clock — in LP mode that is the egress LP's simulator
+  // (the single writer of this flow's delivery counters), serially it is
+  // the one global simulator, exactly as before.
   for (std::size_t i = 0; i < spec.num_flows; ++i) {
     const auto& ep = topo.endpoints(static_cast<net::FlowId>(i + 1));
-    network.node(ep.egress).set_local_sink([&tracker, &simulator](net::Packet&& p) {
-      if (p.is_data()) tracker.on_delivered(p.flow, simulator.now() - p.created);
-    });
+    network.node(ep.egress).set_local_sink(
+        [&tracker, &snk_sim = network.local_sim(ep.egress)](net::Packet&& p) {
+          if (p.is_data()) tracker.on_delivered(p.flow, snk_sim.now() - p.created);
+        });
   }
 
   if (spec.control_loss_rate > 0.0) {
@@ -184,13 +218,21 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
     }
   }
 
-  // Drop timing on the three congested links.
+  // Drop timing on the three congested links.  In LP mode each recorder
+  // writes a private vector (links live on different LPs); the vectors
+  // are merged and time-sorted after the run.
   std::vector<std::unique_ptr<DropRecorder>> drop_recorders;
+  std::deque<std::vector<double>> lp_drop_sinks;
   for (std::size_t i = 0; i < PaperTopology::kCongestedLinks; ++i) {
     if (auto* l = topo.congested_link(network, i)) {
       auto rec = std::make_unique<DropRecorder>();
       rec->link = l;
-      rec->sink = &result.drop_times;
+      if (lp_mode) {
+        lp_drop_sinks.emplace_back();
+        rec->sink = &lp_drop_sinks.back();
+      } else {
+        rec->sink = &result.drop_times;
+      }
       l->add_observer(rec.get(), net::Link::kObserveDrop);
       drop_recorders.push_back(std::move(rec));
     }
@@ -251,9 +293,9 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
         qos::EcnEgressAgent* agent_ptr = agent.get();
         ecn_agents.push_back(std::move(agent));
         network.node(ep.egress).set_local_sink(
-            [&tracker, &simulator, agent_ptr](net::Packet&& p) {
+            [&tracker, &snk_sim = network.local_sim(ep.egress), agent_ptr](net::Packet&& p) {
               if (p.is_data()) {
-                tracker.on_delivered(p.flow, simulator.now() - p.created);
+                tracker.on_delivered(p.flow, snk_sim.now() - p.created);
                 agent_ptr->on_data(p);
               }
             });
@@ -282,38 +324,93 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
     }
   }
 
-  // Queue-length sampling on the congested links.
+  // Queue-length sampling on the congested links.  Serially one timer
+  // samples all three; in LP mode each congested link is sampled by a
+  // timer on its from-node's LP (the link's owner), keeping every
+  // observation single-threaded.
   result.queue_series.resize(PaperTopology::kCongestedLinks);
-  auto queue_sampler = simulator.every(sim::TimeDelta::millis(100), [&] {
-    for (std::size_t i = 0; i < PaperTopology::kCongestedLinks; ++i) {
-      if (auto* l = topo.congested_link(network, i)) {
-        result.queue_series[i].add(simulator.now().sec(),
-                                   static_cast<double>(l->queued_data_packets()));
+  std::vector<sim::PeriodicHandle> samplers;
+  if (!lp_mode) {
+    samplers.push_back(simulator.every(sim::TimeDelta::millis(100), [&] {
+      for (std::size_t i = 0; i < PaperTopology::kCongestedLinks; ++i) {
+        if (auto* l = topo.congested_link(network, i)) {
+          result.queue_series[i].add(simulator.now().sec(),
+                                     static_cast<double>(l->queued_data_packets()));
+        }
       }
+    }));
+  } else {
+    for (std::size_t lp = 0; lp < plan.lp_count; ++lp) {
+      std::vector<std::size_t> owned;
+      for (std::size_t i = 0; i < PaperTopology::kCongestedLinks; ++i) {
+        if (network.lp_of(topo.core(i)) == lp) owned.push_back(i);
+      }
+      if (owned.empty()) continue;
+      sim::Simulator& lsim = lp_rt.lp_sim(lp);
+      samplers.push_back(lsim.every(
+          sim::TimeDelta::millis(100), [&result, &topo, &network, &lsim, owned] {
+            for (std::size_t i : owned) {
+              if (auto* l = topo.congested_link(network, i)) {
+                result.queue_series[i].add(lsim.now().sec(),
+                                           static_cast<double>(l->queued_data_packets()));
+              }
+            }
+          }));
     }
-  });
-
-  // Periodic cumulative-service sampling (Figure 4's series).
-  tracker.sample_cumulative(simulator.now());
-  auto sampler = simulator.every(spec.cumulative_sample_period,
-                                 [&tracker, &simulator] { tracker.sample_cumulative(simulator.now()); });
-
-  // Telemetry hook last, so collectors see the fully wired network.
-  if (spec.instrument) {
-    std::vector<net::Link*> congested;
-    for (std::size_t i = 0; i < PaperTopology::kCongestedLinks; ++i) {
-      if (auto* l = topo.congested_link(network, i)) congested.push_back(l);
-    }
-    spec.instrument(network, congested);
   }
 
-  simulator.run_until(spec.duration);
-  sampler.cancel();
-  queue_sampler.cancel();
+  // Periodic cumulative-service sampling (Figure 4's series).  The LP
+  // variant shards flows by egress LP so each series has one writer —
+  // the same LP that bumps the flow's delivered counter.
   tracker.sample_cumulative(simulator.now());
+  if (!lp_mode) {
+    samplers.push_back(simulator.every(spec.cumulative_sample_period, [&tracker, &simulator] {
+      tracker.sample_cumulative(simulator.now());
+    }));
+  } else {
+    for (std::size_t lp = 0; lp < plan.lp_count; ++lp) {
+      std::vector<net::FlowId> owned;
+      for (std::size_t i = 0; i < spec.num_flows; ++i) {
+        const auto& ep = topo.endpoints(static_cast<net::FlowId>(i + 1));
+        if (network.lp_of(ep.egress) == lp) owned.push_back(static_cast<net::FlowId>(i + 1));
+      }
+      if (owned.empty()) continue;
+      sim::Simulator& lsim = lp_rt.lp_sim(lp);
+      samplers.push_back(lsim.every(
+          spec.cumulative_sample_period, [&tracker, &lsim, owned = std::move(owned)] {
+            tracker.sample_cumulative(lsim.now(), owned);
+          }));
+    }
+  }
+
+  // Telemetry hook last, so collectors see the fully wired network.
+  // Collector callbacks are not thread-safe, so the hook is serial-only.
+  if (spec.instrument) {
+    if (lp_mode) {
+      std::fprintf(stderr,
+                   "corelite: telemetry instrumentation is not supported with --lp > 1; "
+                   "skipping collectors for this run\n");
+    } else {
+      std::vector<net::Link*> congested;
+      for (std::size_t i = 0; i < PaperTopology::kCongestedLinks; ++i) {
+        if (auto* l = topo.congested_link(network, i)) congested.push_back(l);
+      }
+      spec.instrument(network, congested);
+    }
+  }
+
+  lp_rt.run_until(spec.duration);
+  for (auto& s : samplers) s.cancel();
+  tracker.sample_cumulative(simulator.now());
+  if (lp_mode) {
+    for (const auto& sink : lp_drop_sinks) {
+      result.drop_times.insert(result.drop_times.end(), sink.begin(), sink.end());
+    }
+    std::sort(result.drop_times.begin(), result.drop_times.end());
+  }
 
   // Global accounting.
-  result.events_processed = simulator.events_processed();
+  result.events_processed = lp_rt.events_processed();
   result.unrouteable = network.unrouteable_count();
   for (net::NodeId c : topo.cores()) {
     std::size_t state = 0;

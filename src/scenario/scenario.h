@@ -61,6 +61,16 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;
   sim::TimeDelta cumulative_sample_period = sim::TimeDelta::seconds(1);
 
+  /// Logical processes for the conservative parallel engine (1 =
+  /// legacy serial, bit-identical to pre-parallel builds).  Requests
+  /// beyond what the topology supports are clamped by the partitioner
+  /// (and logged).  Digests are a pure function of (spec, effective lp
+  /// count) — NOT of lp_threads, which only changes wall time.
+  std::size_t lp = 1;
+  /// OS threads driving the LPs: 0 = auto (ThreadBudget-clamped to the
+  /// hardware), otherwise honored exactly (capped at the LP count).
+  std::size_t lp_threads = 0;
+
   /// Failure injection: probability that any control packet (marker,
   /// feedback, loss notice, ACK) is lost on each link it crosses.
   double control_loss_rate = 0.0;

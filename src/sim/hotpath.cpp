@@ -16,6 +16,8 @@ constexpr std::uint64_t HotPathCounters::* kFields[] = {
     &HotPathCounters::series_appends,   &HotPathCounters::wheel_inserts,
     &HotPathCounters::wheel_cascades,   &HotPathCounters::heap_inserts,
     &HotPathCounters::batch_drains,     &HotPathCounters::batch_drained,
+    &HotPathCounters::lp_barriers,      &HotPathCounters::cross_lp_events,
+    &HotPathCounters::mailbox_flushes,  &HotPathCounters::lookahead_ns,
 };
 constexpr std::size_t kNumFields = sizeof(kFields) / sizeof(kFields[0]);
 

@@ -35,6 +35,10 @@ struct HotPathCounters {
                                       ///  (every event when CORELITE_NO_WHEEL)
   std::uint64_t batch_drains = 0;     ///< link events that fused >=1 completion
   std::uint64_t batch_drained = 0;    ///< completions fused into batch events
+  std::uint64_t lp_barriers = 0;      ///< barrier crossings in the parallel engine
+  std::uint64_t cross_lp_events = 0;  ///< packets handed between LPs via mailboxes
+  std::uint64_t mailbox_flushes = 0;  ///< non-empty mailbox drains at a barrier
+  std::uint64_t lookahead_ns = 0;     ///< conservative window length (summed per run)
 
   /// Share of scheduled events the wheel tier absorbed.
   [[nodiscard]] double wheel_insert_rate() const {

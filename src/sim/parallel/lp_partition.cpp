@@ -1,0 +1,153 @@
+#include "sim/parallel/lp_partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace corelite::sim::par {
+
+namespace {
+
+/// Deterministic BFS order from node 0; neighbors expand in edge-list
+/// order.  Disconnected leftovers (none in practice — runners assert
+/// connectivity) append in index order.
+std::vector<std::uint32_t> bfs_order(const LpGraph& g) {
+  std::vector<std::vector<std::uint32_t>> adj(g.nodes);
+  for (const LpGraphEdge& e : g.edges) {
+    adj[e.a].push_back(e.b);
+    adj[e.b].push_back(e.a);
+  }
+  std::vector<std::uint32_t> order;
+  order.reserve(g.nodes);
+  std::vector<bool> seen(g.nodes, false);
+  std::queue<std::uint32_t> frontier;
+  for (std::uint32_t root = 0; root < g.nodes; ++root) {
+    if (seen[root]) continue;
+    seen[root] = true;
+    frontier.push(root);
+    while (!frontier.empty()) {
+      const std::uint32_t u = frontier.front();
+      frontier.pop();
+      order.push_back(u);
+      for (std::uint32_t v : adj[u]) {
+        if (!seen[v]) {
+          seen[v] = true;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+struct CutScore {
+  std::size_t non_bottleneck_cuts = 0;
+  std::size_t total_cuts = 0;
+};
+
+/// Cut statistics of a block assignment: block_of[pos[node]] per edge
+/// endpoint.
+CutScore score_cut(const LpGraph& g, const std::vector<std::uint32_t>& block_of_node) {
+  CutScore s;
+  for (const LpGraphEdge& e : g.edges) {
+    if (block_of_node[e.a] != block_of_node[e.b]) {
+      ++s.total_cuts;
+      if (!e.bottleneck) ++s.non_bottleneck_cuts;
+    }
+  }
+  return s;
+}
+
+void assign_blocks(const std::vector<std::uint32_t>& order,
+                   const std::vector<std::size_t>& bounds, std::size_t k,
+                   std::vector<std::uint32_t>& block_of_node) {
+  std::size_t block = 0;
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    while (block + 1 < k && pos >= bounds[block]) ++block;
+    block_of_node[order[pos]] = static_cast<std::uint32_t>(block);
+  }
+}
+
+}  // namespace
+
+LpPlan partition_lp_graph(const LpGraph& g, std::size_t lp_request) {
+  LpPlan plan;
+  plan.requested = std::max<std::size_t>(1, lp_request);
+  plan.lp_of_node.assign(g.nodes, 0);
+  const std::size_t k = std::min(plan.requested, g.nodes);
+  if (k <= 1 || g.nodes == 0) return plan;
+
+  const std::vector<std::uint32_t> order = bfs_order(g);
+  const std::size_t n = order.size();
+
+  // bounds[b] = first BFS position of block b+1 (k-1 internal bounds).
+  std::vector<std::size_t> bounds(k - 1);
+  for (std::size_t b = 0; b + 1 < k; ++b) bounds[b] = ((b + 1) * n) / k;
+
+  std::vector<std::uint32_t> block_of(g.nodes, 0);
+  assign_blocks(order, bounds, k, block_of);
+  CutScore best = score_cut(g, block_of);
+
+  // Boundary refinement: greedily shift each boundary within a small
+  // window to (1) minimize non-bottleneck cuts — i.e. land the cut on
+  // designated bottleneck links — then (2) minimize total cuts, with
+  // the smallest |shift| (negative first on ties) as final tie-break.
+  // One left-to-right pass; each boundary is settled with the others
+  // fixed, which is deterministic and good enough for the chain-ish
+  // graphs the generators emit.
+  const std::ptrdiff_t window =
+      static_cast<std::ptrdiff_t>(std::max<std::size_t>(1, n / (2 * k)));
+  for (std::size_t b = 0; b + 1 < k; ++b) {
+    const std::size_t lo = (b == 0) ? 1 : bounds[b - 1] + 1;
+    const std::size_t hi = (b + 2 < k) ? bounds[b + 1] - 1 : n - 1;
+    const std::size_t base = bounds[b];
+    std::size_t best_pos = base;
+    for (std::ptrdiff_t mag = 0; mag <= window; ++mag) {
+      for (const std::ptrdiff_t d : {-mag, mag}) {
+        const std::ptrdiff_t cand = static_cast<std::ptrdiff_t>(base) + d;
+        if (cand < static_cast<std::ptrdiff_t>(lo) ||
+            cand > static_cast<std::ptrdiff_t>(hi)) {
+          continue;
+        }
+        bounds[b] = static_cast<std::size_t>(cand);
+        assign_blocks(order, bounds, k, block_of);
+        const CutScore s = score_cut(g, block_of);
+        if (s.non_bottleneck_cuts < best.non_bottleneck_cuts ||
+            (s.non_bottleneck_cuts == best.non_bottleneck_cuts &&
+             s.total_cuts < best.total_cuts)) {
+          best = s;
+          best_pos = static_cast<std::size_t>(cand);
+        }
+        if (d == 0) break;  // -0 == +0: evaluate once
+      }
+    }
+    bounds[b] = best_pos;
+  }
+  assign_blocks(order, bounds, k, block_of);
+
+  // Lookahead = min delay over cut links; a zero-delay cut link would
+  // make conservative windows empty, so the plan degrades to serial.
+  double min_delay = std::numeric_limits<double>::infinity();
+  std::size_t cuts = 0;
+  std::size_t bottleneck_cuts = 0;
+  for (const LpGraphEdge& e : g.edges) {
+    if (block_of[e.a] == block_of[e.b]) continue;
+    ++cuts;
+    if (e.bottleneck) ++bottleneck_cuts;
+    min_delay = std::min(min_delay, e.delay_sec);
+  }
+  if (cuts == 0 || !(min_delay > 0.0)) {
+    plan.zero_lookahead_fallback = cuts > 0;  // cut exists but gives no lookahead
+    return plan;  // lp_count stays 1, lp_of_node stays all-zero
+  }
+
+  plan.lp_count = k;
+  plan.lp_of_node = std::move(block_of);
+  plan.lookahead = TimeDelta::seconds(min_delay);
+  plan.cut_links = cuts;
+  plan.cut_bottlenecks = bottleneck_cuts;
+  return plan;
+}
+
+}  // namespace corelite::sim::par

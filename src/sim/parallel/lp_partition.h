@@ -1,0 +1,64 @@
+// Topology-aware partitioning of a network graph into logical
+// processes (LPs) for the conservative parallel engine.
+//
+// Input is a topology-agnostic undirected graph: node count, edges with
+// propagation delays, and a `bottleneck` flag marking the links a
+// scenario designates as its congestion points.  The partitioner cuts
+// the graph into `lp_count` contiguous blocks of a deterministic BFS
+// order and then nudges each block boundary so the cut prefers to land
+// ON designated bottleneck links — those are where the workload already
+// serializes, so they are the natural LP frontier — while keeping the
+// total number of cut links low (every cut link turns its packets into
+// cross-LP mailbox messages).
+//
+// The lookahead of the resulting partition is the minimum propagation
+// delay over all cut links: a conservative window of that length can
+// run every LP independently, because no packet sent during the window
+// can arrive at another LP before the window ends (see lp_runtime.h).
+// A partition whose lookahead would be zero (some cut link has zero
+// propagation delay) is rejected: the plan falls back to a single LP
+// and sets `zero_lookahead_fallback` so callers can warn instead of
+// deadlocking or diverging.
+//
+// Everything here is a pure function of its inputs — no RNG, no global
+// state — so a (topology, lp_request) pair always yields the same plan
+// and the same run digest.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/units.h"
+
+namespace corelite::sim::par {
+
+struct LpGraphEdge {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  double delay_sec = 0.0;
+  bool bottleneck = false;  ///< designated congestion link: prefer cutting here
+};
+
+struct LpGraph {
+  std::size_t nodes = 0;
+  std::vector<LpGraphEdge> edges;
+};
+
+struct LpPlan {
+  std::size_t requested = 1;  ///< what the caller asked for (--lp N)
+  std::size_t lp_count = 1;   ///< what the partitioner produced
+  /// lp_of_node[i] in [0, lp_count) for every graph node.
+  std::vector<std::uint32_t> lp_of_node;
+  /// min propagation delay over cut links; zero when lp_count == 1.
+  TimeDelta lookahead = TimeDelta::zero();
+  std::size_t cut_links = 0;        ///< edges crossing an LP boundary
+  std::size_t cut_bottlenecks = 0;  ///< ... of which are designated bottlenecks
+  bool zero_lookahead_fallback = false;  ///< true: request rejected, serial plan
+};
+
+/// Partition `g` into up to `lp_request` LPs (clamped to the node
+/// count).  lp_request <= 1 returns the trivial serial plan.
+[[nodiscard]] LpPlan partition_lp_graph(const LpGraph& g, std::size_t lp_request);
+
+}  // namespace corelite::sim::par

@@ -1,0 +1,30 @@
+#include "sim/parallel/thread_budget.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace corelite::sim::par {
+
+ThreadBudget& ThreadBudget::instance() {
+  static ThreadBudget budget;
+  return budget;
+}
+
+std::size_t ThreadBudget::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::size_t ThreadBudget::acquire(std::size_t want) {
+  const std::size_t total = hardware_threads();
+  std::size_t cur = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::size_t avail = cur < total ? total - cur : 0;
+    const std::size_t grant = std::min(want, avail);
+    if (grant == 0) return 0;
+    if (used_.compare_exchange_weak(cur, cur + grant, std::memory_order_relaxed)) {
+      return grant;
+    }
+  }
+}
+
+}  // namespace corelite::sim::par

@@ -1,0 +1,52 @@
+// Process-wide thread accounting for nested parallelism.
+//
+// Two layers of the harness want threads: the sweep runner's ThreadPool
+// (one worker per concurrent run) and the parallel engine's LP workers
+// (several threads inside ONE run).  Composing them naively
+// oversubscribes the machine — `--jobs 4` x `--lp 4` would spawn 16
+// busy threads on a 4-way box and thrash every cache level.
+//
+// The budget is a single process-wide token counter over the hardware
+// thread count.  Long-lived pools *reserve* their workers up front;
+// each LpRuntime in auto mode (`--lp-threads 0`) *acquires* as many
+// extra tokens as are left and runs the remaining LPs time-sliced on
+// fewer threads.  Because LP-to-thread assignment never affects the
+// event order (see lp_runtime.h), this clamp changes wall time only —
+// digests are identical at any grant, so handing out "whatever is
+// left" is always safe.
+//
+// An explicit `--lp-threads N` bypasses the budget: benchmarks and
+// determinism tests need exact thread counts, oversubscribed or not.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace corelite::sim::par {
+
+class ThreadBudget {
+ public:
+  [[nodiscard]] static ThreadBudget& instance();
+
+  /// max(1, std::thread::hardware_concurrency()).
+  [[nodiscard]] static std::size_t hardware_threads();
+
+  /// Permanently account `n` threads (a pool's workers).  May push the
+  /// total past the hardware count — the budget then simply grants no
+  /// extras to nested engines until release().
+  void reserve(std::size_t n) { used_.fetch_add(n, std::memory_order_relaxed); }
+  void release(std::size_t n) { used_.fetch_sub(n, std::memory_order_relaxed); }
+
+  /// Grab up to `want` extra tokens; returns how many were granted
+  /// (possibly 0).  The caller must release() the grant when done.
+  [[nodiscard]] std::size_t acquire(std::size_t want);
+
+  /// Tokens currently accounted (the main thread counts as 1).
+  [[nodiscard]] std::size_t used() const { return used_.load(std::memory_order_relaxed); }
+
+ private:
+  ThreadBudget() = default;
+  std::atomic<std::size_t> used_{1};  // the main thread
+};
+
+}  // namespace corelite::sim::par

@@ -87,6 +87,19 @@ class FlowTracker {
     }
   }
 
+  /// Subset variant for the parallel engine: each LP samples only the
+  /// flows whose egress it owns (the single writer of their `delivered`
+  /// counters), so concurrent LP samplers never touch the same series.
+  /// Flows must have been declared up front (they are — add_flow runs
+  /// at setup); ids outside the tracker are a bug, not a lazy insert.
+  void sample_cumulative(sim::SimTime t, std::span<const net::FlowId> subset) {
+    if (!series_enabled_) return;
+    for (net::FlowId id : subset) {
+      auto& fs = *index_[id];
+      fs.cumulative_delivered.add(t.sec(), static_cast<double>(fs.delivered));
+    }
+  }
+
   [[nodiscard]] const FlowSeries& series(net::FlowId id) const {
     if (!has(id)) throw std::out_of_range{"FlowTracker::series: unknown flow"};
     return *index_[id];

@@ -22,7 +22,7 @@ TcpSender::TcpSender(net::Network& network, net::NodeId host, net::NodeId destin
 TcpSender::~TcpSender() { rto_event_.cancel(); }
 
 void TcpSender::start(sim::SimTime at) {
-  net_.simulator().at(at, [this] {
+  net_.local_sim(host_).at(at, [this] {
     started_ = true;
     try_send();
   });
@@ -30,14 +30,14 @@ void TcpSender::start(sim::SimTime at) {
 
 void TcpSender::send_segment(std::uint64_t seq, bool retransmit) {
   net::Packet p;
-  p.uid = net_.next_packet_uid();
+  p.uid = net_.next_packet_uid(host_);
   p.kind = net::PacketKind::Data;
   p.flow = flow_;
   p.src = host_;
   p.dst = dst_;
   p.size = cfg_.mss;
   p.seq = seq;
-  p.created = net_.simulator().now();
+  p.created = net_.local_sim(host_).now();
   ++segments_sent_;
   if (retransmit) {
     ++retransmits_;
@@ -65,7 +65,7 @@ void TcpSender::try_send() {
 void TcpSender::arm_rto() {
   rto_event_.cancel();
   if (next_seq_ == highest_acked_) return;  // nothing outstanding
-  rto_event_ = net_.simulator().after(rto_ * rto_backoff_, [this] { on_rto(); });
+  rto_event_ = net_.local_sim(host_).after(rto_ * rto_backoff_, [this] { on_rto(); });
 }
 
 void TcpSender::update_rtt(sim::TimeDelta sample) {
@@ -91,7 +91,7 @@ void TcpSender::on_ack(const net::Packet& ack) {
     rto_backoff_ = 1.0;  // forward progress resets exponential backoff
 
     if (rtt_probe_armed_ && cum > rtt_probe_seq_) {
-      update_rtt(net_.simulator().now() - rtt_probe_sent_);
+      update_rtt(net_.local_sim(host_).now() - rtt_probe_sent_);
       rtt_probe_armed_ = false;
     }
 
@@ -164,14 +164,14 @@ void TcpReceiver::send_ack() {
   delayed_ack_event_.cancel();
   unacked_in_order_ = 0;
   net::Packet ack;
-  ack.uid = net_.next_packet_uid();
+  ack.uid = net_.next_packet_uid(host_);
   ack.kind = net::PacketKind::Ack;
   ack.flow = flow_;
   ack.src = host_;
   ack.dst = sender_;
   ack.size = sim::DataSize::zero();
   ack.seq = next_expected_;
-  ack.created = net_.simulator().now();
+  ack.created = net_.local_sim(host_).now();
   ++acks_sent_;
   net_.inject(host_, std::move(ack));
 }
@@ -204,7 +204,7 @@ void TcpReceiver::on_segment(const net::Packet& segment) {
     return;
   }
   if (!delayed_ack_event_.pending()) {
-    delayed_ack_event_ = net_.simulator().after(cfg_.ack_delay, [this] { send_ack(); });
+    delayed_ack_event_ = net_.local_sim(host_).after(cfg_.ack_delay, [this] { send_ack(); });
   }
 }
 

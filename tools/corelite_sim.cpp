@@ -7,7 +7,9 @@
 //   corelite_sim --csv-rates rates.csv --csv-cum cum.csv
 //   corelite_sim --detector ewma --adaptation aimd --pacing poisson
 //   corelite_sim --sweep 8 --jobs 4 --sweep-mechanisms corelite,csfq --json sweep.json
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -22,6 +24,7 @@
 #include "runner/sweep.h"
 #include "scenario/config_script.h"
 #include "sim/hotpath.h"
+#include "sim/parallel/thread_budget.h"
 #include "stats/aggregate.h"
 #include "stats/csv_writer.h"
 #include "stats/json_writer.h"
@@ -88,6 +91,11 @@ void print_hotpath_profile() {
   std::printf("  batch drains         %12llu  (%llu completions fused, mean %.2f/drain)\n",
               static_cast<unsigned long long>(c.batch_drains),
               static_cast<unsigned long long>(c.batch_drained), c.mean_batch_len());
+  std::printf("  lp barriers          %12llu  (cross-LP events %llu, mailbox flushes %llu)\n",
+              static_cast<unsigned long long>(c.lp_barriers),
+              static_cast<unsigned long long>(c.cross_lp_events),
+              static_cast<unsigned long long>(c.mailbox_flushes));
+  std::printf("  lp lookahead         %12.3f ms\n", c.lookahead_ns / 1e6);
 }
 
 std::vector<std::string> split_list(const std::string& text) {
@@ -115,6 +123,9 @@ int run_sweep(const corelite::cli::ArgParser& parser) {
   grid.repeats = static_cast<std::size_t>(parser.get_int("sweep"));
   grid.base_seed = static_cast<std::uint64_t>(parser.get_int("seed"));
   grid.duration_sec = parser.get_double("duration");
+  grid.lp = static_cast<std::size_t>(std::max<std::int64_t>(0, parser.get_int("lp")));
+  grid.lp_threads =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, parser.get_int("lp-threads")));
 
   grid.scenarios = parser.was_set("sweep-scenarios")
                        ? split_list(parser.get_string("sweep-scenarios"))
@@ -255,6 +266,9 @@ int run_sweep(const corelite::cli::ArgParser& parser) {
     manifest.result_digest = digest;
     manifest.hotpath = corelite::sim::aggregated_hotpath_counters();
     manifest.wall_phases_ms = phases.phases();
+    manifest.extra.emplace_back(
+        "hw_threads", std::to_string(corelite::sim::par::ThreadBudget::hardware_threads()));
+    if (grid.lp > 1) manifest.extra.emplace_back("lp", std::to_string(grid.lp));
     if (!tele.trace_path.empty()) manifest.extra.emplace_back("trace", tele.trace_path);
     if (!tel::write_manifest_file(manifest, tele.manifest_path, std::cerr)) return 1;
   }
@@ -457,6 +471,9 @@ int main(int argc, char** argv) {
     manifest.result_digest = digest;
     manifest.hotpath = corelite::sim::aggregated_hotpath_counters();
     manifest.wall_phases_ms = phases.phases();
+    manifest.extra.emplace_back(
+        "hw_threads", std::to_string(corelite::sim::par::ThreadBudget::hardware_threads()));
+    if (spec->lp > 1) manifest.extra.emplace_back("lp", std::to_string(spec->lp));
     if (!tele.trace_path.empty()) manifest.extra.emplace_back("trace", tele.trace_path);
     if (!tel::write_manifest_file(manifest, tele.manifest_path, std::cerr)) return 1;
   }
