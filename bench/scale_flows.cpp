@@ -77,9 +77,19 @@ struct CurveRow {
   std::size_t flows = 0;
   std::string scenario;
   std::size_t lp = 1;  ///< requested LP count (1 = serial engine)
+  bool fluid = false;  ///< row ran with fluid fast-forward jumps enabled
   double wall_ms = 0.0;
   std::uint64_t events = 0;
   double events_per_sec = 0.0;
+  double events_per_flow = 0.0;
+  /// Fraction of simulated time the convergence detector classified as
+  /// steady (fast-forwardable); packet rows measure it in observe-only
+  /// mode, so fluid-mode wins are attributable row by row.
+  double steady_state_fraction = 0.0;
+  double fluid_ff_sec = 0.0;            ///< simulated seconds skipped by jumps
+  std::uint64_t fluid_jumps = 0;
+  std::uint64_t fluid_events_elided = 0;
+  double speedup_vs_packet = 0.0;  ///< packet-row wall / this row's wall (fluid rows)
   std::uint64_t delivered = 0;
   std::uint64_t drops = 0;
   double jain = 0.0;
@@ -116,6 +126,8 @@ int main(int argc, char** argv) {
   std::string curve_list = "1000,10000,100000";
   std::string lp_list = "1,4";
   double curve_duration = 10.0;
+  bool fluid_axis = true;
+  double fluid_duration = 300.0;
   double heartbeat_sec = 0.0;
   for (int i = 1; i < argc; ++i) {
     const bool more = i + 1 < argc;
@@ -139,6 +151,10 @@ int main(int argc, char** argv) {
       curve_duration = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--lp-list") == 0 && more) {
       lp_list = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-fluid-axis") == 0) {
+      fluid_axis = false;
+    } else if (std::strcmp(argv[i], "--fluid-duration") == 0 && more) {
+      fluid_duration = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && more) {
       trace_path = argv[++i];
       telemetry = true;
@@ -151,7 +167,7 @@ int main(int argc, char** argv) {
                    "usage: %s [--jobs N] [--sweep REPEATS] [--seed S] [--profile] [--telemetry] "
                    "[--trace-out PATH] [--manifest PATH] [--heartbeat SEC] "
                    "[--curve A,B,...] [--curve-topo T] [--curve-duration S] [--lp-list A,B,...] "
-                   "[--stretch]\n",
+                   "[--no-fluid-axis] [--fluid-duration S] [--stretch]\n",
                    argv[0]);
       return 2;
     }
@@ -159,6 +175,54 @@ int main(int argc, char** argv) {
   if (jobs < 1) jobs = 1;
   if (repeats < 1) repeats = 1;
   tel::set_enabled(telemetry);
+
+  // ---- Scaling curve: generated workloads at bench scale ----------------
+  std::vector<std::size_t> curve;
+  {
+    std::stringstream ss{curve_list};
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (item.empty()) continue;
+      char* end = nullptr;
+      // strtoull silently wraps negatives; reject the sign up front so
+      // "-100" fails as non-positive instead of becoming 2^64-100.
+      const unsigned long long n =
+          item[0] == '-' ? 0 : std::strtoull(item.c_str(), &end, 10);
+      if (n == 0 || end == item.c_str() || *end != '\0') {
+        std::fprintf(stderr, "--curve entry '%s': flow counts must be positive integers\n",
+                     item.c_str());
+        return 2;
+      }
+      if (!curve.empty() && n <= curve.back()) {
+        std::fprintf(stderr,
+                     "--curve entry '%llu' after '%zu': flow counts must be strictly "
+                     "increasing (sorted, no duplicates)\n",
+                     n, curve.back());
+        return 2;
+      }
+      curve.push_back(static_cast<std::size_t>(n));
+    }
+  }
+  if (stretch && (curve.empty() || curve.back() < 1000000)) curve.push_back(1000000);
+  if (curve_duration <= 0.0) curve_duration = 10.0;
+
+  std::vector<std::size_t> lps;
+  {
+    std::stringstream ss{lp_list};
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (item.empty()) continue;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(item.c_str(), &end, 10);
+      if (end == item.c_str() || *end != '\0' || v == 0) {
+        std::fprintf(stderr, "malformed --lp-list entry '%s'\n", item.c_str());
+        return 2;
+      }
+      lps.push_back(static_cast<std::size_t>(v));
+    }
+    if (lps.empty()) lps.push_back(1);
+  }
+
 
   std::vector<rn::RunDescriptor> runs;
   for (std::size_t n : {10u, 20u, 40u, 80u}) {
@@ -257,42 +321,6 @@ int main(int argc, char** argv) {
       "stateless schemes at every scale while WFQ's grows with the population\n"
       "— the paper's scalability argument.\n");
 
-  // ---- Scaling curve: generated workloads at bench scale ----------------
-  std::vector<std::size_t> curve;
-  {
-    std::stringstream ss{curve_list};
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      if (item.empty()) continue;
-      char* end = nullptr;
-      const unsigned long long n = std::strtoull(item.c_str(), &end, 10);
-      if (end == item.c_str() || *end != '\0' || n == 0) {
-        std::fprintf(stderr, "malformed --curve entry '%s'\n", item.c_str());
-        return 2;
-      }
-      curve.push_back(static_cast<std::size_t>(n));
-    }
-  }
-  if (stretch) curve.push_back(1000000);
-  if (curve_duration <= 0.0) curve_duration = 10.0;
-
-  std::vector<std::size_t> lps;
-  {
-    std::stringstream ss{lp_list};
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      if (item.empty()) continue;
-      char* end = nullptr;
-      const unsigned long long v = std::strtoull(item.c_str(), &end, 10);
-      if (end == item.c_str() || *end != '\0' || v == 0) {
-        std::fprintf(stderr, "malformed --lp-list entry '%s'\n", item.c_str());
-        return 2;
-      }
-      lps.push_back(static_cast<std::size_t>(v));
-    }
-    if (lps.empty()) lps.push_back(1);
-  }
-
   const std::size_t hw_threads = corelite::sim::par::ThreadBudget::hardware_threads();
   if (!curve.empty()) {
     phases.start("curve");
@@ -311,6 +339,11 @@ int main(int argc, char** argv) {
         d.duration_sec = curve_duration;
         d.seed = rn::derive_seed(base_seed, 0);
         d.lp = lp;
+        // Serial rows carry the convergence detector in observe-only
+        // mode: the packet results stay authoritative while the row
+        // records how much of its simulated time was fast-forwardable.
+        // The detector is serial, so lp > 1 rows skip it.
+        d.fluid_observe = lp <= 1;
         const corelite::sim::HotPathCounters before = corelite::sim::aggregated_hotpath_counters();
         const rn::RunResult r = rn::execute_run(d);
         const corelite::sim::HotPathCounters after = corelite::sim::aggregated_hotpath_counters();
@@ -328,6 +361,11 @@ int main(int argc, char** argv) {
         row.events = r.events;
         row.events_per_sec =
             r.wall_ms > 0.0 ? static_cast<double>(r.events) / (r.wall_ms / 1e3) : 0.0;
+        row.events_per_flow = static_cast<double>(r.events) / static_cast<double>(n);
+        row.steady_state_fraction =
+            curve_duration > 0.0
+                ? (r.fluid_steady_sec + r.fluid_ff_sec) / curve_duration
+                : 0.0;
         row.delivered = r.delivered;
         row.drops = r.total_drops;
         row.jain = r.jain;
@@ -376,6 +414,80 @@ int main(int argc, char** argv) {
       }
     }
 
+    // ---- Fluid fast-forward axis -------------------------------------
+    // Same flow counts on the steady variant of the generated scenario
+    // (no churn, arrivals compressed into the first 5%), long enough
+    // that converged cruise dominates — the regime the hybrid engine is
+    // for.  Each count runs twice: a packet baseline with the detector
+    // in observe-only mode (so the row's steady fraction is measured by
+    // the identical detector workload the fluid row carries — the
+    // speedup isolates event elision, not detector overhead), then the
+    // same scenario with jumps enabled.
+    if (fluid_axis) {
+      phases.start("fluid");
+      std::printf(
+          "\nFluid fast-forward axis: gen-%s-*-steady, corelite, %.1f s per row\n",
+          curve_topo.c_str(), fluid_duration);
+      std::printf("%-10s %-7s %-12s %-12s %-9s %-8s %-9s %-8s %-12s\n", "flows", "mode",
+                  "wall[ms]", "events", "ff[s]", "jumps", "steady%", "jain", "speedup");
+      for (const std::size_t n : curve) {
+        rn::RunDescriptor d;
+        d.scenario = "gen-" + curve_topo + "-" + std::to_string(n) + "-steady";
+        d.mechanism = sc::Mechanism::Corelite;
+        d.duration_sec = fluid_duration;
+        d.seed = rn::derive_seed(base_seed, 0);
+        d.lp = 1;
+        double packet_wall_ms = 0.0;
+        for (const bool fluid_on : {false, true}) {
+          rn::RunDescriptor df = d;
+          df.fluid = fluid_on;
+          df.fluid_observe = !fluid_on;
+          const rn::RunResult r = rn::execute_run(df);
+          CurveRow row;
+          row.flows = n;
+          row.scenario = df.scenario;
+          row.lp = 1;
+          row.fluid = fluid_on;
+          row.ok = r.ok;
+          if (!r.ok) {
+            std::printf("%-10zu %-7s run failed (scenario '%s')\n", n,
+                        fluid_on ? "fluid" : "packet", df.scenario.c_str());
+            rows.push_back(std::move(row));
+            continue;
+          }
+          row.wall_ms = r.wall_ms;
+          row.events = r.events;
+          row.events_per_sec =
+              r.wall_ms > 0.0 ? static_cast<double>(r.events) / (r.wall_ms / 1e3) : 0.0;
+          row.events_per_flow = static_cast<double>(r.events) / static_cast<double>(n);
+          row.steady_state_fraction =
+              fluid_duration > 0.0
+                  ? (r.fluid_steady_sec + r.fluid_ff_sec) / fluid_duration
+                  : 0.0;
+          row.fluid_ff_sec = r.fluid_ff_sec;
+          row.fluid_jumps = r.fluid_jumps;
+          row.fluid_events_elided = r.fluid_events_elided;
+          row.delivered = r.delivered;
+          row.drops = r.total_drops;
+          row.jain = r.jain;
+          row.digest_match_serial_stepped = true;
+          row.rss_kb = current_rss_kb();
+          row.peak_kb = peak_rss_kb();
+          row.digest = r.digest;
+          if (!fluid_on) packet_wall_ms = r.wall_ms;
+          row.speedup_vs_packet = fluid_on && packet_wall_ms > 0.0 && row.wall_ms > 0.0
+                                      ? packet_wall_ms / row.wall_ms
+                                      : 0.0;
+          std::printf("%-10zu %-7s %-12.1f %-12llu %-9.1f %-8llu %-9.1f %-8.4f %-12.2f\n", n,
+                      fluid_on ? "fluid" : "packet", row.wall_ms,
+                      static_cast<unsigned long long>(row.events), row.fluid_ff_sec,
+                      static_cast<unsigned long long>(row.fluid_jumps),
+                      row.steady_state_fraction * 100.0, row.jain, row.speedup_vs_packet);
+          rows.push_back(std::move(row));
+        }
+      }
+    }
+
     std::FILE* f = std::fopen("BENCH_scale.json", "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write BENCH_scale.json\n");
@@ -393,8 +505,11 @@ int main(int argc, char** argv) {
       const CurveRow& row = rows[i];
       std::fprintf(f,
                    "    {\"flows\": %zu, \"scenario\": \"%s\", \"lp\": %zu, \"hw_threads\": %zu, "
-                   "\"ok\": %s, \"wall_ms\": %.3f, "
-                   "\"events\": %llu, \"events_per_sec\": %.6g, \"delivered\": %llu, "
+                   "\"fluid\": %s, \"ok\": %s, \"wall_ms\": %.3f, "
+                   "\"events\": %llu, \"events_per_sec\": %.6g, \"events_per_flow\": %.6g, "
+                   "\"steady_state_fraction\": %.6g, \"fluid_ff_sec\": %.6g, "
+                   "\"fluid_jumps\": %llu, \"fluid_events_elided\": %llu, "
+                   "\"speedup_vs_packet\": %.3f, \"delivered\": %llu, "
                    "\"drops\": %llu, \"jain\": %.6f, \"rng_draws\": %llu, "
                    "\"wheel_inserts\": %llu, \"series_appends\": %llu, "
                    "\"lp_barriers\": %llu, \"cross_lp_events\": %llu, "
@@ -403,8 +518,12 @@ int main(int argc, char** argv) {
                    "\"digest_match_serial_stepped\": %s, \"rss_kb\": %ld, "
                    "\"peak_rss_kb\": %ld, \"digest\": \"%s\"}%s\n",
                    row.flows, row.scenario.c_str(), row.lp, hw_threads,
-                   row.ok ? "true" : "false", row.wall_ms,
+                   row.fluid ? "true" : "false", row.ok ? "true" : "false", row.wall_ms,
                    static_cast<unsigned long long>(row.events), row.events_per_sec,
+                   row.events_per_flow, row.steady_state_fraction, row.fluid_ff_sec,
+                   static_cast<unsigned long long>(row.fluid_jumps),
+                   static_cast<unsigned long long>(row.fluid_events_elided),
+                   row.speedup_vs_packet,
                    static_cast<unsigned long long>(row.delivered),
                    static_cast<unsigned long long>(row.drops), row.jain,
                    static_cast<unsigned long long>(row.rng_draws),

@@ -13,7 +13,8 @@ void register_scenario_options(ArgParser& parser) {
   parser.add_string("scenario", "fig5",
                     "paper scenario: fig3 (network dynamics), fig5 (simultaneous start), "
                     "fig7 (staggered), fig9 (churn); or a generated workload "
-                    "gen-{pl<stages>|ft<k>|isp<routers>}-<flows>, e.g. gen-pl8-1000");
+                    "gen-{pl<stages>|ft<k>|isp<routers>}-<flows>, e.g. gen-pl8-1000 "
+                    "(append -steady for a churn-free steady-state population)");
   parser.add_string("mechanism", "corelite",
                     "in-network mechanism: corelite, csfq, droptail, red, fred, wfq, ecnbit, choke, sfq");
   parser.add_string("selector", "stateless",
@@ -32,6 +33,15 @@ void register_scenario_options(ArgParser& parser) {
   parser.add_int("lp-threads", 0,
                  "OS threads driving the LPs (0 = auto, budget-clamped to the hardware; "
                  "thread count never changes results)");
+  parser.add_flag("fluid",
+                  "hybrid fluid fast-forward: skip converged steady-state phases "
+                  "analytically (serial only; results stay within the cross-check "
+                  "tolerance of pure packet mode, but are not bit-identical)");
+  parser.add_double("fluid-band", 0.12,
+                    "fluid convergence band: per-flow rate EWMAs must stay within this "
+                    "relative band for the dwell window before a fast-forward");
+  parser.add_int("fluid-dwell", 6,
+                 "consecutive in-band convergence checks required before a fast-forward");
   parser.add_double("epoch-ms", 100.0, "core congestion epoch [ms]");
   parser.add_double("k1", 1.0, "marker spacing constant K1");
   parser.add_double("qthresh", 8.0, "congestion threshold [packets]");
@@ -152,6 +162,22 @@ std::optional<scenario::ScenarioSpec> spec_from_args(const ArgParser& parser,
   spec.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
   spec.lp = static_cast<std::size_t>(std::max<std::int64_t>(1, parser.get_int("lp")));
   spec.lp_threads = static_cast<std::size_t>(std::max<std::int64_t>(0, parser.get_int("lp-threads")));
+  spec.fluid.enabled = parser.get_flag("fluid");
+  if (parser.was_set("fluid-band")) {
+    const double band = parser.get_double("fluid-band");
+    if (!std::isfinite(band) || band <= 0.0 || band >= 1.0) {
+      err << "--fluid-band must be in (0, 1), got " << parser.get_double("fluid-band") << "\n";
+      return std::nullopt;
+    }
+    spec.fluid.band = band;
+  }
+  if (parser.was_set("fluid-dwell")) {
+    if (parser.get_int("fluid-dwell") < 1) {
+      err << "--fluid-dwell must be >= 1, got " << parser.get_int("fluid-dwell") << "\n";
+      return std::nullopt;
+    }
+    spec.fluid.dwell_checks = static_cast<std::size_t>(parser.get_int("fluid-dwell"));
+  }
   spec.corelite.core_epoch = sim::TimeDelta::millis(parser.get_double("epoch-ms"));
   spec.corelite.k1 = parser.get_double("k1");
   spec.corelite.q_thresh_pkts = parser.get_double("qthresh");

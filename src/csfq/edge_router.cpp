@@ -36,6 +36,27 @@ void CsfqEdgeRouter::add_flow(const net::FlowSpec& spec) {
 // start and one finite-stop event, matching the eager schedule.
 void CsfqEdgeRouter::schedule_window(FlowState& fs, std::size_t window) {
   auto& sim = net_.local_sim(node_);
+  if (warp_ != nullptr) {
+    // Fluid fast-forward: transitions are pinned to absolute
+    // *experiment* time in the warp registry, whose heap top also caps
+    // how far a fast-forward jump may reach.
+    while (window < fs.spec.active.size() && fs.spec.active[window].stop <= sim.exp_now()) {
+      ++window;
+    }
+    if (window >= fs.spec.active.size()) return;
+    const sim::SimTime start = std::max(fs.spec.active[window].start, sim.exp_now());
+    warp_->at_exp(start, [this, &fs, window] {
+      start_flow(fs);
+      const sim::SimTime stop = fs.spec.active[window].stop;
+      if (stop < sim::SimTime::infinite()) {
+        warp_->at_exp(stop, [this, &fs, window] {
+          stop_flow(fs);
+          schedule_window(fs, window + 1);
+        });
+      }
+    });
+    return;
+  }
   while (window < fs.spec.active.size() && fs.spec.active[window].stop <= sim.now()) {
     ++window;  // window already wholly in the past
   }
@@ -62,7 +83,9 @@ void CsfqEdgeRouter::start_flow(FlowState& fs) {
   fs.estimator.reset();
   fs.ctrl->reset(net_.local_sim(node_).now());
   if (tracker_ != nullptr) {
-    tracker_->record_rate(fs.spec.id, net_.local_sim(node_).now(), fs.ctrl->rate_pps());
+    // Rate samples live on the experiment-time axis (identical to the
+    // engine clock whenever fluid fast-forward is off).
+    tracker_->record_rate(fs.spec.id, net_.local_sim(node_).exp_now(), fs.ctrl->rate_pps());
   }
   emit_packet(fs);
 }
@@ -77,7 +100,7 @@ void CsfqEdgeRouter::stop_flow(FlowState& fs) {
   fs.active_slot = kNoSlot;
   ++fs.emit_gen;  // orphan any in-flight emission event
   fs.losses_this_epoch = 0;
-  if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, net_.local_sim(node_).now(), 0.0);
+  if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, net_.local_sim(node_).exp_now(), 0.0);
 }
 
 void CsfqEdgeRouter::emit_packet(FlowState& fs) {
@@ -107,12 +130,13 @@ void CsfqEdgeRouter::emit_packet(FlowState& fs) {
 
 void CsfqEdgeRouter::on_epoch() {
   const sim::SimTime now = net_.local_sim(node_).now();
+  const sim::SimTime exp_now = net_.local_sim(node_).exp_now();
   for (FlowState* fsp : active_) {
     FlowState& fs = *fsp;
     const int losses = fs.losses_this_epoch;
     fs.losses_this_epoch = 0;
     fs.ctrl->on_epoch(losses, now);
-    if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, now, fs.ctrl->rate_pps());
+    if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, exp_now, fs.ctrl->rate_pps());
   }
 }
 

@@ -25,6 +25,7 @@
 #include "net/network.h"
 #include "net/packet.h"
 #include "qos/rate_controller.h"
+#include "sim/fluid/warp.h"
 #include "stats/flow_tracker.h"
 
 namespace corelite::csfq {
@@ -43,6 +44,12 @@ class CsfqEdgeRouter {
   [[nodiscard]] double current_rate_pps(net::FlowId flow) const;
   [[nodiscard]] net::NodeId node() const { return node_; }
   [[nodiscard]] std::uint64_t loss_notices_received() const { return losses_received_; }
+
+  /// Fluid fast-forward: route activity-window transitions through the
+  /// experiment-time warp registry (see CoreliteEdgeRouter::
+  /// set_fluid_warp).  Must be set before any add_flow; nullptr keeps
+  /// the legacy engine-time scheduling bit for bit.
+  void set_fluid_warp(sim::fluid::TimeWarp* warp) { warp_ = warp; }
 
  private:
   static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
@@ -82,6 +89,7 @@ class CsfqEdgeRouter {
   net::NodeId node_;
   CsfqConfig cfg_;
   stats::FlowTracker* tracker_;
+  sim::fluid::TimeWarp* warp_ = nullptr;
   /// Owner (insertion order, address-stable via unique_ptr: emission
   /// events capture FlowState&), dense id index, and the set of
   /// currently active flows — per-epoch bookkeeping is O(active), and

@@ -121,6 +121,27 @@ void CoreliteEdgeRouter::drain_transit(FlowState& fs) {
 // start and one finite-stop event, matching the eager schedule.
 void CoreliteEdgeRouter::schedule_window(FlowState& fs, std::size_t window) {
   auto& sim = net_.local_sim(node_);
+  if (warp_ != nullptr) {
+    // Fluid fast-forward: transitions are pinned to absolute
+    // *experiment* time in the warp registry, whose heap top also caps
+    // how far a fast-forward jump may reach.
+    while (window < fs.spec.active.size() && fs.spec.active[window].stop <= sim.exp_now()) {
+      ++window;
+    }
+    if (window >= fs.spec.active.size()) return;
+    const sim::SimTime start = std::max(fs.spec.active[window].start, sim.exp_now());
+    warp_->at_exp(start, [this, &fs, window] {
+      start_flow(fs);
+      const sim::SimTime stop = fs.spec.active[window].stop;
+      if (stop < sim::SimTime::infinite()) {
+        warp_->at_exp(stop, [this, &fs, window] {
+          stop_flow(fs);
+          schedule_window(fs, window + 1);
+        });
+      }
+    });
+    return;
+  }
   while (window < fs.spec.active.size() && fs.spec.active[window].stop <= sim.now()) {
     ++window;  // window already wholly in the past
   }
@@ -148,7 +169,9 @@ void CoreliteEdgeRouter::start_flow(FlowState& fs) {
   fs.ctrl->reset(net_.local_sim(node_).now());
   fs.pacing_anchor = net_.local_sim(node_).now();
   if (tracker_ != nullptr) {
-    tracker_->record_rate(fs.spec.id, net_.local_sim(node_).now(), fs.ctrl->rate_pps());
+    // Rate samples live on the experiment-time axis (identical to the
+    // engine clock whenever fluid fast-forward is off).
+    tracker_->record_rate(fs.spec.id, net_.local_sim(node_).exp_now(), fs.ctrl->rate_pps());
   }
   if (fs.transit) {
     // Fresh admission: no banked burst credit from the idle period.
@@ -174,7 +197,7 @@ void CoreliteEdgeRouter::stop_flow(FlowState& fs) {
   fs.draining = false;
   fs.shaping_queue.clear();
   fs.feedback_per_core.clear();
-  if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, net_.local_sim(node_).now(), 0.0);
+  if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, net_.local_sim(node_).exp_now(), 0.0);
 }
 
 void CoreliteEdgeRouter::emit_packet(FlowState& fs) {
@@ -266,6 +289,7 @@ void CoreliteEdgeRouter::inject_marker(FlowState& fs) {
 
 void CoreliteEdgeRouter::on_epoch() {
   const sim::SimTime now = net_.local_sim(node_).now();
+  const sim::SimTime exp_now = net_.local_sim(node_).exp_now();
   for (FlowState* fsp : active_) {
     FlowState& fs = *fsp;
     // React to the bottleneck: max over core routers, not the sum
@@ -274,7 +298,7 @@ void CoreliteEdgeRouter::on_epoch() {
     for (const auto& [core, count] : fs.feedback_per_core) m = std::max(m, count);
     fs.feedback_per_core.clear();
     fs.ctrl->on_epoch(m, now);
-    if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, now, fs.ctrl->rate_pps());
+    if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, exp_now, fs.ctrl->rate_pps());
   }
 }
 

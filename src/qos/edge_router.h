@@ -29,6 +29,7 @@
 #include "qos/config.h"
 #include "qos/rate_controller.h"
 #include "qos/token_bucket.h"
+#include "sim/fluid/warp.h"
 #include "stats/flow_tracker.h"
 
 namespace corelite::qos {
@@ -56,6 +57,14 @@ class CoreliteEdgeRouter {
   void add_transit_flow(const net::FlowSpec& spec);
 
   [[nodiscard]] std::uint64_t transit_drops() const { return transit_drops_; }
+
+  /// Fluid fast-forward: route activity-window transitions through the
+  /// experiment-time warp registry instead of fixed engine timestamps,
+  /// so a fast-forward jump pulls them earlier rather than stranding
+  /// them in the compressed-out span.  Must be set before any add_flow;
+  /// nullptr (the default) keeps the legacy engine-time scheduling
+  /// bit for bit.
+  void set_fluid_warp(sim::fluid::TimeWarp* warp) { warp_ = warp; }
 
   /// Current allowed transmission rate b_g(f) in pkt/s (0 if unknown/idle).
   [[nodiscard]] double current_rate_pps(net::FlowId flow) const;
@@ -131,6 +140,7 @@ class CoreliteEdgeRouter {
   net::NodeId node_;
   CoreliteConfig cfg_;
   stats::FlowTracker* tracker_;
+  sim::fluid::TimeWarp* warp_ = nullptr;
   /// Owner (insertion order, address-stable via unique_ptr: emission
   /// events capture FlowState&), dense id index, and the set of
   /// currently active flows — per-epoch bookkeeping is O(active), and

@@ -21,6 +21,10 @@ std::string cell_key(const RunDescriptor& d) {
   // The LP count changes the digest (per-LP RNG streams), so LP cells
   // aggregate separately; lp_threads does not and is omitted.
   if (d.lp > 1) key += "/lp" + std::to_string(d.lp);
+  // Fluid runs trade bit-identity for wall clock; keep their digests in
+  // a separate cell from packet-mode runs of the same scenario.
+  if (d.fluid) key += "/fluid";
+  if (d.fluid_observe) key += "/observe";
   return key;
 }
 
@@ -50,6 +54,7 @@ std::vector<RunDescriptor> expand_grid(const SweepGrid& grid) {
         d.control_loss_rate = grid.control_loss_rate;
         d.lp = grid.lp;
         d.lp_threads = grid.lp_threads;
+        d.fluid = grid.fluid;
         runs.push_back(std::move(d));
       }
     }
@@ -91,6 +96,8 @@ std::optional<scenario::ScenarioSpec> build_spec(const RunDescriptor& d) {
   if (d.control_loss_rate > 0.0) spec->control_loss_rate = d.control_loss_rate;
   if (d.lp > 0) spec->lp = d.lp;
   if (d.lp_threads > 0) spec->lp_threads = d.lp_threads;
+  spec->fluid.enabled = d.fluid || d.fluid_observe;
+  spec->fluid.observe_only = d.fluid_observe && !d.fluid;
   spec->seed = d.seed;
   return spec;
 }
@@ -191,6 +198,10 @@ RunResult execute_run(const RunDescriptor& desc,
   res.delivered = r.tracker.total_delivered();
   res.feedback = r.feedback_messages;
   res.core_flow_state = r.core_flow_state;
+  res.fluid_ff_sec = r.fluid_stats.fast_forwarded_sec;
+  res.fluid_steady_sec = r.fluid_stats.steady_detected_sec;
+  res.fluid_jumps = r.fluid_stats.jumps;
+  res.fluid_events_elided = r.fluid_stats.events_elided_est;
   res.digest = result_digest(r);
   res.ok = true;
   return res;
@@ -205,6 +216,10 @@ void record_metrics(stats::SweepAggregator& agg, const RunResult& r) {
   agg.add(cell, idx, "delivered", static_cast<double>(r.delivered));
   agg.add(cell, idx, "feedback", static_cast<double>(r.feedback));
   agg.add(cell, idx, "core_flow_state", static_cast<double>(r.core_flow_state));
+  if (r.desc.fluid) {
+    agg.add(cell, idx, "fluid_ff_sec", r.fluid_ff_sec);
+    agg.add(cell, idx, "fluid_jumps", static_cast<double>(r.fluid_jumps));
+  }
 }
 
 namespace {

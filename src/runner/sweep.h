@@ -49,6 +49,15 @@ struct RunDescriptor {
   /// digest depends on the effective LP count); lp_threads is not.
   std::size_t lp = 0;
   std::size_t lp_threads = 0;
+  /// Hybrid fluid fast-forward (serial runs only).  Part of the cell
+  /// key: fluid runs are not bit-identical to packet runs, so their
+  /// digests must never aggregate into the same cell.
+  bool fluid = false;
+  /// Run the fluid convergence detector without ever jumping — the
+  /// packet results are authoritative but fluid_steady_sec attributes
+  /// how much of the run sat in fast-forwardable state.  Also part of
+  /// the cell key (detector ticks change the event count).
+  bool fluid_observe = false;
 };
 
 /// Aggregation key: runs differing only in seed/repeat share a cell.
@@ -72,6 +81,7 @@ struct SweepGrid {
   double control_loss_rate = 0.0;
   std::size_t lp = 0;          ///< see RunDescriptor::lp
   std::size_t lp_threads = 0;  ///< see RunDescriptor::lp_threads
+  bool fluid = false;          ///< see RunDescriptor::fluid
 };
 
 [[nodiscard]] std::vector<RunDescriptor> expand_grid(const SweepGrid& grid);
@@ -94,6 +104,13 @@ struct RunResult {
   std::uint64_t delivered = 0;
   std::uint64_t feedback = 0;
   std::size_t core_flow_state = 0;
+  /// Fluid fast-forward outcome (zeros for packet-mode runs).  Excluded
+  /// from the digest — the digest witnesses the simulated results, not
+  /// how much wall clock the engine skipped to produce them.
+  double fluid_ff_sec = 0.0;       ///< experiment seconds fast-forwarded
+  double fluid_steady_sec = 0.0;   ///< seconds spent in detected steady state
+  std::uint64_t fluid_jumps = 0;   ///< number of fast-forward jumps taken
+  std::uint64_t fluid_events_elided = 0;  ///< estimated events skipped
   double wall_ms = 0.0;  ///< worker wall-clock; excluded from the digest
   /// Wall-clock offset of this run's start from SweepRunner::run()'s
   /// epoch, and the pool worker that ran it.  Telemetry only (Chrome

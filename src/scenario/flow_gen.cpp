@@ -37,7 +37,7 @@ std::vector<GenFlow> generate_flows(const GeneratedTopology& topo, const FlowGen
                               ? cfg.mean_arrival_gap_sec
                               : duration_sec * 0.5 / static_cast<double>(cfg.num_flows);
   // Arrivals from an explicit (oversized) gap wrap back into the run.
-  const double arrival_span = std::max(1e-9, duration_sec * 0.8);
+  const double arrival_span = std::max(1e-9, duration_sec * cfg.arrival_span_frac);
 
   std::vector<GenFlow> flows;
   flows.reserve(cfg.num_flows);

@@ -32,6 +32,13 @@ struct FlowGenConfig {
   /// by exponential gaps with this mean.
   double mean_arrival_gap_sec = 0.02;
 
+  /// Arrivals wrap into the first arrival_span_frac of the run.  The
+  /// default matches the historical hard-coded 0.8 (bit-identical
+  /// populations); steady-state workloads ("-steady" scenario names)
+  /// compress it so the run is one long converged phase after a short
+  /// ramp — the regime the fluid fast-forward engine exploits.
+  double arrival_span_frac = 0.8;
+
   /// Bounded-Pareto on-duration (seconds): heavy-tailed, truncated to
   /// [on_min_sec, on_max_sec].
   double pareto_alpha = 1.3;

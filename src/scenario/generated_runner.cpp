@@ -24,6 +24,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -34,6 +35,8 @@
 #include "qos/ecn.h"
 #include "qos/edge_router.h"
 #include "scenario/scenario.h"
+#include "sim/fluid/controller.h"
+#include "sim/fluid/warp.h"
 #include "sim/hotpath.h"
 #include "sim/parallel/lp_partition.h"
 #include "sim/parallel/lp_runtime.h"
@@ -150,8 +153,22 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
   }
   const bool lp_mode = plan.lp_count > 1;
 
+  // Fluid fast-forward is serial-only (see scenario.cpp): lp > 1 falls
+  // back to pure packet mode with a warning.
+  sim::fluid::FluidConfig fluid_cfg = spec.fluid;
+  if (fluid_cfg.enabled && lp_mode) {
+    std::fprintf(stderr,
+                 "corelite: fluid fast-forward is serial-only; running --lp %zu in pure "
+                 "packet mode\n",
+                 spec.lp);
+    fluid_cfg.enabled = false;
+  }
+  const bool fluid_on = fluid_cfg.enabled;
+
   sim::par::LpRuntime lp_rt{plan.lp_count, spec.seed, plan.lookahead, spec.lp_threads};
   sim::Simulator& simulator = lp_rt.lp_sim(0);
+  std::unique_ptr<sim::fluid::TimeWarp> warp;
+  if (fluid_on) warp = std::make_unique<sim::fluid::TimeWarp>(simulator);
   net::Network network{lp_rt};
 
   // Queue parameters: the generator's link knobs layered over the
@@ -307,10 +324,12 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
       edge_of[r] = cl_edges.size();
       cl_edges.push_back(std::make_unique<qos::CoreliteEdgeRouter>(network, src_node[r],
                                                                    spec.corelite, &tracker));
+      if (warp) cl_edges.back()->set_fluid_warp(warp.get());
     } else {
       edge_of[r] = csfq_edges.size();
       csfq_edges.push_back(
           std::make_unique<csfq::CsfqEdgeRouter>(network, src_node[r], spec.csfq, &tracker));
+      if (warp) csfq_edges.back()->set_fluid_warp(warp.get());
     }
   }
   for (const GenFlow& f : flows) {
@@ -336,6 +355,39 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
     }
   }
 
+  // Fluid fast-forward controller.  Unlike the paper runner (whose three
+  // congested links are fixed), each generated flow's constraint set is
+  // its routed path: walk the FIB path once per flow and dense-index
+  // every link encountered, with capacities in pkt/s of the generated
+  // packet size.  Access links participate too — they are fat by
+  // construction, so they simply never bind in the water-filling.
+  std::unique_ptr<sim::fluid::FluidController> fluid_ctl;
+  if (fluid_on) {
+    fluid_cfg.synth_sample_period = spec.cumulative_sample_period;
+    fluid_ctl = std::make_unique<sim::fluid::FluidController>(simulator, *warp, tracker,
+                                                              fluid_cfg, spec.duration);
+    std::unordered_map<const net::Link*, std::uint32_t> link_index;
+    std::vector<double> caps;
+    std::vector<std::vector<std::uint32_t>> flow_links(flows.size());
+    for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+      const GenFlow& f = flows[fi];
+      const std::vector<net::NodeId> hops =
+          network.path(src_node[f.src_router], dst_node[f.dst_router]);
+      for (std::size_t h = 0; h + 1 < hops.size(); ++h) {
+        const net::Link* l = network.find_link(hops[h], hops[h + 1]);
+        if (l == nullptr) continue;
+        auto [it, inserted] = link_index.emplace(l, static_cast<std::uint32_t>(caps.size()));
+        if (inserted) caps.push_back(l->rate().pps(topo.cfg.packet_size));
+        flow_links[fi].push_back(it->second);
+      }
+    }
+    fluid_ctl->set_link_capacities(std::move(caps));
+    for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+      fluid_ctl->add_flow(flows[fi].id, flows[fi].weight, std::move(flow_links[fi]));
+    }
+    fluid_ctl->start();
+  }
+
   // Queue-length sampling on the bottleneck links.  Serially one timer
   // samples them all; in LP mode each link is sampled by a timer on its
   // from-router's LP (the link's single-threaded owner).
@@ -346,7 +398,7 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
       for (std::size_t i = 0; i < bottleneck_links.size(); ++i) {
         if (bottleneck_links[i] != nullptr) {
           result.queue_series[i].add(
-              simulator.now().sec(),
+              simulator.exp_now().sec(),
               static_cast<double>(bottleneck_links[i]->queued_data_packets()));
         }
       }
@@ -374,10 +426,10 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
 
   // Cumulative-service sampling, sharded by egress (sink-router) LP in
   // LP mode so each flow's series keeps a single writer.
-  tracker.sample_cumulative(simulator.now());
+  tracker.sample_cumulative(simulator.exp_now());
   if (!lp_mode) {
     samplers.push_back(simulator.every(spec.cumulative_sample_period, [&tracker, &simulator] {
-      tracker.sample_cumulative(simulator.now());
+      tracker.sample_cumulative(simulator.exp_now());
     }));
   } else {
     for (std::size_t lp = 0; lp < plan.lp_count; ++lp) {
@@ -407,9 +459,18 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
     }
   }
 
-  lp_rt.run_until(spec.duration);
+  if (fluid_on) {
+    // Each fast-forward jump stop()s the engine so the offset bump takes
+    // effect between events; resume until experiment time reaches the
+    // requested duration.
+    while (simulator.now() < spec.duration - simulator.exp_offset()) {
+      simulator.run_until(spec.duration - simulator.exp_offset());
+    }
+  } else {
+    lp_rt.run_until(spec.duration);
+  }
   for (auto& s : samplers) s.cancel();
-  tracker.sample_cumulative(simulator.now());
+  tracker.sample_cumulative(simulator.exp_now());
   if (lp_mode) {
     for (const auto& sink : lp_drop_sinks) {
       result.drop_times.insert(result.drop_times.end(), sink.begin(), sink.end());
@@ -420,6 +481,7 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
   // Global accounting — same fields the paper runner fills, so the
   // sweep's result digest covers generated runs identically.
   result.events_processed = lp_rt.events_processed();
+  if (fluid_ctl) result.fluid_stats = fluid_ctl->stats();
   result.unrouteable = network.unrouteable_count();
   for (net::NodeId r : routers) {
     std::size_t state = 0;
@@ -429,6 +491,8 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
     result.core_flow_state = std::max(result.core_flow_state, state);
   }
   for (const auto& link : network.links()) result.total_data_drops += link->stats().dropped;
+  // Synthesized drops never crossed a link (see scenario.cpp).
+  result.total_data_drops += result.fluid_stats.synth_dropped;
   for (net::Link* l : bottleneck_links) {
     if (l != nullptr) result.congested_link_drops += l->stats().dropped;
   }

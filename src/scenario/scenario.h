@@ -23,6 +23,7 @@
 #include "qos/config.h"
 #include "scenario/flow_gen.h"
 #include "scenario/paper_topology.h"
+#include "sim/fluid/config.h"
 #include "sim/units.h"
 #include "stats/flow_tracker.h"
 
@@ -75,6 +76,13 @@ struct ScenarioSpec {
   /// feedback, loss notice, ACK) is lost on each link it crosses.
   double control_loss_rate = 0.0;
 
+  /// Hybrid fluid fast-forward (serial runs only; lp > 1 warns and
+  /// falls back to pure packet mode).  Disabled (the default) is
+  /// bit-identical to pure packet mode; enabled trades bit-identity for
+  /// wall clock, with per-flow mean rates held within the cross-check
+  /// tolerance (tests/fluid_crosscheck_test.cpp).
+  sim::fluid::FluidConfig fluid{};
+
   qos::CoreliteConfig corelite{};
   csfq::CsfqConfig csfq{};
   PaperTopologyConfig topology{};
@@ -122,6 +130,8 @@ struct ScenarioResult {
   /// Instantaneous data-queue length of each congested link, sampled
   /// every 100 ms (index matches PaperTopology's congested links).
   std::vector<stats::TimeSeries> queue_series;
+  /// Fluid fast-forward outcome (all-zero when spec.fluid is off).
+  sim::fluid::FluidStats fluid_stats{};
 };
 
 /// Build, run and measure one scenario.  Dispatches to the generated-
@@ -166,6 +176,9 @@ struct ScenarioResult {
 /// "pl<stages>" (parking lot), "ft<k>" (fat tree) or "isp<routers>"
 /// (random ISP, fixed topology seed) and <flows> is the population
 /// size, e.g. "gen-pl8-1000", "gen-ft4-1000", "gen-isp32-10000".
+/// A "-steady" suffix (e.g. "gen-pl8-100000-steady") disables churn and
+/// compresses arrivals into the first 5% of the run — the long
+/// converged phase the fluid fast-forward engine targets.
 /// nullopt for an unknown name.  Pure function of its arguments (no
 /// shared state), so sweep workers can build specs concurrently.
 [[nodiscard]] std::optional<ScenarioSpec> scenario_by_name(const std::string& name, Mechanism m);

@@ -1,0 +1,36 @@
+// Analytic weighted max-min allocation by water-filling.
+//
+// Given directed link capacities and flows with (weight, demand, link
+// set), computes the unique weighted max-min fair rate vector: the
+// normalized level rate/weight is raised uniformly until either a link
+// saturates (freezing every flow crossing it) or a flow hits its demand
+// cap (freezing just that flow), and the freed capacity is re-filled
+// among the rest.  This is the fixed point Corelite/CSFQ converge to in
+// steady state (paper Section 2), which makes it the fluid engine's
+// oracle: a measured rate vector that matches this allocation is
+// converged to the *right* place, not just to *a* place.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace corelite::sim::fluid {
+
+/// One flow as the allocator sees it.  `links` are indices into the
+/// capacity vector handed to water_fill(); a flow may cross any number
+/// of them (including none, in which case only its demand binds).
+struct AllocFlow {
+  double weight = 1.0;
+  double demand = std::numeric_limits<double>::infinity();  ///< rate cap, same unit as capacities
+  std::vector<std::uint32_t> links;
+};
+
+/// Weighted max-min rates, one per input flow (same order).  Capacities
+/// and demands share one unit (the engine uses packets/s).  Weights
+/// must be positive; demands non-negative (0 ⇒ the flow gets 0 and
+/// consumes nothing).
+std::vector<double> water_fill(const std::vector<double>& link_capacities,
+                               const std::vector<AllocFlow>& flows);
+
+}  // namespace corelite::sim::fluid

@@ -1,0 +1,128 @@
+// Tuning knobs and result counters for the hybrid fluid fast-forward
+// engine (see docs/architecture.md, "Fluid fast-forward").
+//
+// The engine watches per-flow delivery rates while the packet-level
+// simulation runs; once every tracked rate has sat inside a relative
+// band for a dwell window AND the measured rates agree with the
+// analytic weighted max-min allocation, the remainder of the phase is
+// compressed into one experiment-time jump with synthesized accounting.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/units.h"
+
+namespace corelite::sim::fluid {
+
+struct FluidConfig {
+  /// Master switch.  Off means the controller is never constructed and
+  /// every code path is bit-identical to the pure packet engine.
+  bool enabled = false;
+
+  /// Detect and report steady phases but never jump.  Used by the
+  /// scale bench to attribute how much of a packet-mode row was spent
+  /// in fast-forwardable state.
+  bool observe_only = false;
+
+  /// Cadence of the convergence detector.  Deliberately not a round
+  /// multiple of the 100 ms epoch/sampler periods so the check tick
+  /// never ties with existing periodic events.  Long enough that a
+  /// moderate-rate flow delivers tens of packets per tick — the band
+  /// test reads counter deltas, so the tick must integrate enough
+  /// packets for a rate to be meaningful at all.
+  TimeDelta check_period = TimeDelta::millis(213);
+
+  /// Smoothing factor for the per-flow delivery-rate EWMAs.
+  double ewma_alpha = 0.25;
+
+  /// Relative band: a flow is "steady" when its instantaneous rate sits
+  /// within band * max(ewma, rate_floor_pps) of its EWMA.
+  double band = 0.12;
+
+  /// Consecutive in-band checks required before a phase counts as
+  /// converged.
+  int dwell_checks = 6;
+
+  /// Minimum span of in-band measurement before a jump (isolated
+  /// single-tick band excursions don't reset the window; two in a row
+  /// do).  The synthesized fluid rates are counter means over this
+  /// window, so it must integrate several control-loop oscillation
+  /// periods — the window mean is what the packet engine would have
+  /// delivered, while an instantaneous EWMA samples one oscillation
+  /// phase.
+  TimeDelta measure_window = TimeDelta::seconds(25.6);
+
+  /// Jumps shorter than this are not worth the synthesis bookkeeping;
+  /// the packet engine just runs through them.
+  TimeDelta min_skip = TimeDelta::seconds(1.0);
+
+  /// The jump lands this far before the next workload boundary so the
+  /// packet engine re-materializes and absorbs the transient with real
+  /// packets in flight.
+  TimeDelta margin = TimeDelta::millis(250);
+
+  /// Flows whose delivery EWMA is below this (packets/s) are too sparse
+  /// for a per-flow band test; they are covered by the aggregate check.
+  double rate_floor_pps = 2.0;
+
+  /// Counter-quantization allowance: a tick that delivers N packets can
+  /// only ever measure a rate on a 1/dt grid, so every band tolerance
+  /// gets this many packets per tick of slack on top of the relative
+  /// band.  Without it a low-rate flow (a handful of packets per tick)
+  /// could never test as steady no matter how converged it is.  The
+  /// per-flow band test scales this by sqrt(2 ln n_flows) — the
+  /// expected maximum of n noise draws — so large populations don't
+  /// trip on one unlucky flow every tick.
+  double quant_slack_pkts = 2.0;
+
+  /// Absolute rate scale (packets/s) separating "major" from "minor"
+  /// flows in the half-window drift gate.  Matches the fidelity
+  /// cross-check's denominator floor: per-flow error is judged relative
+  /// to max(rate, 25 pps), so below this scale the gate's absolute
+  /// resolution (2% of 25 pps = 0.5 pps whole-run) exceeds the bias a
+  /// capped jump can inject from a minor flow's control-loop
+  /// oscillation.  Major flows keep the tight noise-only tolerance.
+  double drift_major_pps = 25.0;
+
+  /// Extra relative drift tolerance for minor flows: their half-window
+  /// means may differ by this fraction of max(mean, rate_floor_pps) on
+  /// top of the noise tolerance.  Adaptive (LIMD) flows near the rate
+  /// floor oscillate with amplitude comparable to their mean — a real,
+  /// steady property, not a transient — and with thousands of such
+  /// flows the AND-over-flows gate would otherwise see a fresh
+  /// first-time excursion every round and never pass.  Sign persistence
+  /// still catches minor flows in a sustained monotone ramp beyond this
+  /// fraction per window.
+  double drift_minor_frac = 0.5;
+
+  /// The measured rates must match the analytic water-filling
+  /// allocation within this relative band before a jump is taken —
+  /// the "converged to the *right* fixed point" oracle.  0 disables.
+  double agreement_band = 0.35;
+
+  /// A single jump extrapolates at most this many measurement windows
+  /// of experiment time; longer steady spans become several jumps with
+  /// fresh measurement between them, re-anchoring the fluid rates to
+  /// the packet engine and bounding accumulated bias.  0 = unlimited.
+  double max_extrapolation_windows = 3.0;
+
+  /// Grid for the cumulative-service samples synthesized across a jump
+  /// (the samples the periodic tracker sampler would have recorded).
+  /// Runners overwrite this with the spec's cumulative_sample_period.
+  /// Ignored when the tracker runs counters-only.
+  TimeDelta synth_sample_period = TimeDelta::seconds(1.0);
+};
+
+/// Per-run outcome counters, surfaced through ScenarioResult.
+struct FluidStats {
+  bool enabled = false;
+  double fast_forwarded_sec = 0.0;   ///< experiment time skipped by jumps
+  double steady_detected_sec = 0.0;  ///< packet-mode time spent converged
+  std::uint64_t jumps = 0;
+  std::uint64_t events_elided_est = 0;  ///< measured-event-rate * skipped time
+  std::uint64_t synth_delivered = 0;
+  std::uint64_t synth_sent = 0;
+  std::uint64_t synth_dropped = 0;
+};
+
+}  // namespace corelite::sim::fluid

@@ -1,0 +1,39 @@
+#include "sim/fluid/warp.h"
+
+#include <cassert>
+#include <utility>
+
+namespace corelite::sim::fluid {
+
+void TimeWarp::at_exp(SimTime t_exp, std::function<void()> fn) {
+  assert(t_exp >= sim_.exp_now() && "TimeWarp: cannot schedule in the experiment past");
+  heap_.push_back(Entry{t_exp, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  arm();
+}
+
+void TimeWarp::arm() {
+  const SimTime want = heap_.empty() ? SimTime::infinite() : engine_due(heap_.front());
+  if (want == armed_at_ && armed_.pending()) return;
+  armed_.cancel();
+  armed_at_ = want;
+  if (!want.is_finite()) return;
+  armed_ = sim_.at(want, [this] { fire_due(); });
+}
+
+void TimeWarp::fire_due() {
+  armed_at_ = SimTime::infinite();
+  // Callbacks may register follow-up entries (a window start schedules
+  // its stop); the loop re-checks the top after every invocation, so a
+  // follow-up due at this same instant still fires inside this event.
+  while (!heap_.empty() && engine_due(heap_.front()) <= sim_.now()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    ++fired_;
+    e.fn();
+  }
+  arm();
+}
+
+}  // namespace corelite::sim::fluid

@@ -1,0 +1,87 @@
+// Experiment-time event registry for the fluid fast-forward engine.
+//
+// Under fast-forward the engine clock stays continuous and the skipped
+// time accumulates in Simulator::exp_offset(), so anything pinned to an
+// absolute *experiment* time (workload activity-window starts/stops)
+// cannot sit in the engine queue at a fixed engine timestamp — a jump
+// would leave it stranded in the compressed-out span.  TimeWarp keeps
+// those callbacks in its own (experiment-time, seq) min-heap and mirrors
+// only the earliest one into the engine queue as a cancellable event,
+// re-aimed whenever the controller advances the offset.  The heap top
+// doubles as the controller's "next workload boundary": no jump ever
+// crosses it, so registered callbacks fire exactly once at their
+// experiment time (translated to the engine clock of that moment).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/units.h"
+
+namespace corelite::sim::fluid {
+
+class TimeWarp {
+ public:
+  explicit TimeWarp(Simulator& sim) : sim_{sim} {}
+
+  TimeWarp(const TimeWarp&) = delete;
+  TimeWarp& operator=(const TimeWarp&) = delete;
+
+  /// Schedule `fn` at absolute experiment time `t_exp` (not in the
+  /// past).  Entries registered at the same experiment time fire in
+  /// registration order.
+  void at_exp(SimTime t_exp, std::function<void()> fn);
+
+  /// Earliest registered experiment time; infinite when none.  This is
+  /// the boundary the fluid controller must not jump across.
+  [[nodiscard]] SimTime next_boundary() const {
+    return heap_.empty() ? SimTime::infinite() : heap_.front().at;
+  }
+
+  /// Re-aim the mirrored engine event after the controller advanced the
+  /// experiment-time offset.
+  void on_offset_advanced() { arm(); }
+
+  /// Monotonic count of entries fired so far.  The fluid controller
+  /// compares it between checks: any workload boundary firing
+  /// invalidates the measurement window in progress (a window must
+  /// never straddle a workload change — a freshly started flow still
+  /// ramping below the quantization slack would otherwise be
+  /// extrapolated at near-zero).
+  [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
+
+ private:
+  struct Entry {
+    SimTime at;         ///< experiment time
+    std::uint64_t seq;  ///< registration order tie-break
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+    }
+  };
+
+  /// Engine time at which the heap-top entry is due, given the current
+  /// offset.  Used identically by arm() and fire_due() so the due test
+  /// at fire time cannot disagree with the scheduled time by a rounding
+  /// ulp.
+  [[nodiscard]] SimTime engine_due(const Entry& e) const {
+    return std::max(sim_.now(), e.at - sim_.exp_offset());
+  }
+
+  void arm();
+  void fire_due();
+
+  Simulator& sim_;
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  EventHandle armed_;
+  SimTime armed_at_ = SimTime::infinite();  ///< engine time of armed_
+};
+
+}  // namespace corelite::sim::fluid

@@ -120,6 +120,19 @@ class Simulator {
   /// Request that the current run stops after the in-flight event returns.
   void stop() { stopped_ = true; }
 
+  /// Experiment-time view used by the fluid fast-forward engine.  The
+  /// engine clock (now()) stays continuous across a fast-forward; the
+  /// skipped span accumulates here, so exp_now() = now() + exp_offset()
+  /// is the position on the experiment's time axis.  With the offset at
+  /// zero (fluid off) exp_now() is exactly now() — adding +0.0 leaves
+  /// every double bit pattern this clock produces unchanged.
+  [[nodiscard]] SimTime exp_now() const { return now_ + exp_offset_; }
+  [[nodiscard]] TimeDelta exp_offset() const { return exp_offset_; }
+  void advance_exp_offset(TimeDelta skipped) {
+    assert(skipped >= TimeDelta::zero() && "experiment time cannot run backwards");
+    exp_offset_ += skipped;
+  }
+
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] Rng& rng() { return rng_; }
 
@@ -163,6 +176,7 @@ class Simulator {
   EventQueue queue_;
   Rng rng_;
   SimTime now_ = SimTime::zero();
+  TimeDelta exp_offset_ = TimeDelta::zero();  ///< experiment time skipped by fast-forwards
   SimTime run_deadline_ = kNotRunning;  ///< deadline of the active run loop
   std::uint64_t processed_ = 0;
   bool stopped_ = false;

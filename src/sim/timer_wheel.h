@@ -102,21 +102,25 @@ class TimerWheel {
       // Scanned from the cursor's own index inclusive: cascades file
       // tick == cursor entries right there.
       Level& l0 = levels_[0];
-      const int j0 = scan_from(l0.occupied, cursor_ & (kSlots - 1));
+      const int j0 = l0.entries == 0 ? -1 : scan_from(l0.occupied, cursor_ & (kSlots - 1));
       if (j0 >= 0) {
         cursor_ = (cursor_ & ~kIndexMask) | static_cast<std::uint64_t>(j0);
         auto& slot = l0.slots[static_cast<std::size_t>(j0)];
         count_ -= slot.size();
+        l0.entries -= slot.size();
         out.insert(out.end(), slot.begin(), slot.end());
         slot.clear();
         clear_bit(l0.occupied, static_cast<std::size_t>(j0));
         return;
       }
       // Level-0 window exhausted: enter the nearest occupied slot of the
-      // lowest level that has one ahead, and spill it downward.
+      // lowest level that has one ahead, and spill it downward.  Empty
+      // levels (the common case above level 0) are skipped by their
+      // entry count before any bitmap word is touched.
       unsigned level = 1;
       for (; level < kLevels; ++level) {
         Level& lv = levels_[level];
+        if (lv.entries == 0) continue;
         const unsigned shift = kLevelBits * level;
         const std::size_t cur = (cursor_ >> shift) & (kSlots - 1);
         const int j = scan_from(lv.occupied, cur + 1);
@@ -127,6 +131,7 @@ class TimerWheel {
                   << shift;
         auto& slot = lv.slots[static_cast<std::size_t>(j)];
         clear_bit(lv.occupied, static_cast<std::size_t>(j));
+        lv.entries -= slot.size();
         hotpath_counters().wheel_cascades += slot.size();
         for (const WheelEntry& e : slot) {
           const std::uint64_t tick =
@@ -154,6 +159,7 @@ class TimerWheel {
         slot.clear();
       }
       for (std::uint64_t& w : lv.occupied) w = 0;
+      lv.entries = 0;
     }
     count_ = 0;
   }
@@ -167,6 +173,11 @@ class TimerWheel {
   struct Level {
     std::array<std::vector<WheelEntry>, kSlots> slots;
     std::uint64_t occupied[kSlots / 64] = {};
+    /// Entries filed at this level.  Steady-state traffic concentrates
+    /// in level 0, so the upper levels are empty most of the time; the
+    /// count lets collect_next() skip their occupancy scans outright
+    /// instead of walking four empty bitmap words per level per call.
+    std::size_t entries = 0;
   };
 
   void place(unsigned level, std::uint64_t tick, WheelEntry e) {
@@ -174,6 +185,7 @@ class TimerWheel {
     Level& lv = levels_[level];
     lv.slots[idx].push_back(e);
     lv.occupied[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    ++lv.entries;
   }
 
   static void clear_bit(std::uint64_t* words, std::size_t idx) {

@@ -74,6 +74,17 @@ class FlowTracker {
     }
   }
   void on_dropped(net::FlowId id) { ++slot(id).dropped; }
+
+  /// Fluid fast-forward synthesis: bulk-bump a flow's packet counters
+  /// by whole packets in O(1), with no per-packet events behind them.
+  /// No delay samples — the fluid model has no per-packet latencies.
+  void add_synthesized(net::FlowId id, std::uint64_t delivered_n, std::uint64_t sent_n,
+                       std::uint64_t dropped_n) {
+    auto& fs = slot(id);
+    fs.delivered += delivered_n;
+    fs.sent += sent_n;
+    fs.dropped += dropped_n;
+  }
   void on_feedback(net::FlowId id, std::uint64_t count = 1) {
     slot(id).feedback_received += count;
   }

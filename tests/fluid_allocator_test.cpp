@@ -1,0 +1,146 @@
+// Water-filling allocator (sim/fluid/allocator.h) against closed-form
+// weighted max-min solutions.
+//
+// The allocator is the fluid engine's convergence oracle, so its own
+// correctness has to come from somewhere *other* than the simulation it
+// gates: every expectation here is a hand-derivable fixed point — the
+// single-bottleneck proportional split, the parking-lot topology's
+// textbook allocation, demand caps redistributing freed capacity — with
+// exact arithmetic chosen so EXPECT_NEAR tolerances are pure
+// floating-point slack, not model slack.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "sim/fluid/allocator.h"
+
+namespace corelite::sim::fluid {
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+AllocFlow flow(double weight, double demand, std::vector<std::uint32_t> links) {
+  AllocFlow f;
+  f.weight = weight;
+  f.demand = demand;
+  f.links = std::move(links);
+  return f;
+}
+
+TEST(WaterFill, SingleBottleneckEqualWeights) {
+  // Four unit-weight flows on one link of capacity 100: 25 each.
+  const std::vector<double> caps{100.0};
+  std::vector<AllocFlow> flows(4, flow(1.0, kInf, {0}));
+  const auto r = water_fill(caps, flows);
+  ASSERT_EQ(r.size(), 4u);
+  for (double v : r) EXPECT_NEAR(v, 25.0, kEps);
+}
+
+TEST(WaterFill, SingleBottleneckWeighted) {
+  // Weights 1:2:3:4 on capacity 100 split proportionally: 10/20/30/40.
+  const std::vector<double> caps{100.0};
+  std::vector<AllocFlow> flows{flow(1.0, kInf, {0}), flow(2.0, kInf, {0}),
+                               flow(3.0, kInf, {0}), flow(4.0, kInf, {0})};
+  const auto r = water_fill(caps, flows);
+  EXPECT_NEAR(r[0], 10.0, kEps);
+  EXPECT_NEAR(r[1], 20.0, kEps);
+  EXPECT_NEAR(r[2], 30.0, kEps);
+  EXPECT_NEAR(r[3], 40.0, kEps);
+}
+
+TEST(WaterFill, ParkingLot) {
+  // The classic two-link parking lot: A crosses both links, B only link
+  // 0, C only link 1, caps {12, 6}.  Link 1 saturates first at level 3
+  // (A and C frozen at 3); B then fills link 0's remainder: 12 - 3 = 9.
+  const std::vector<double> caps{12.0, 6.0};
+  std::vector<AllocFlow> flows{flow(1.0, kInf, {0, 1}), flow(1.0, kInf, {0}),
+                               flow(1.0, kInf, {1})};
+  const auto r = water_fill(caps, flows);
+  EXPECT_NEAR(r[0], 3.0, kEps);
+  EXPECT_NEAR(r[1], 9.0, kEps);
+  EXPECT_NEAR(r[2], 3.0, kEps);
+}
+
+TEST(WaterFill, DemandCapRedistributes) {
+  // Three unit-weight flows on capacity 90, one capped at 10: the cap
+  // binds below the fair share (30), and the freed 20 re-fills the
+  // other two up to 40 each.
+  const std::vector<double> caps{90.0};
+  std::vector<AllocFlow> flows{flow(1.0, 10.0, {0}), flow(1.0, kInf, {0}),
+                               flow(1.0, kInf, {0})};
+  const auto r = water_fill(caps, flows);
+  EXPECT_NEAR(r[0], 10.0, kEps);
+  EXPECT_NEAR(r[1], 40.0, kEps);
+  EXPECT_NEAR(r[2], 40.0, kEps);
+}
+
+TEST(WaterFill, ZeroDemandGetsZeroAndConsumesNothing) {
+  // A zero-demand flow neither receives rate nor occupies the link.
+  const std::vector<double> caps{50.0};
+  std::vector<AllocFlow> flows{flow(1.0, 0.0, {0}), flow(1.0, kInf, {0})};
+  const auto r = water_fill(caps, flows);
+  EXPECT_NEAR(r[0], 0.0, kEps);
+  EXPECT_NEAR(r[1], 50.0, kEps);
+}
+
+TEST(WaterFill, UnconstrainedFlowGetsItsDemand) {
+  // No links: only the demand cap binds; infinite demand would be
+  // unbounded, so the allocator must return the demand for finite ones.
+  const std::vector<double> caps{};
+  std::vector<AllocFlow> flows{flow(1.0, 7.5, {})};
+  const auto r = water_fill(caps, flows);
+  EXPECT_NEAR(r[0], 7.5, kEps);
+}
+
+TEST(WaterFill, WeightedParkingLot) {
+  // Parking lot with weight 2 on the long flow, caps {12, 6}.  Link 1:
+  // levels 2w vs 1w saturate at normalized level 2 (A = 4, C = 2); B
+  // then takes link 0's remainder 12 - 4 = 8.
+  const std::vector<double> caps{12.0, 6.0};
+  std::vector<AllocFlow> flows{flow(2.0, kInf, {0, 1}), flow(1.0, kInf, {0}),
+                               flow(1.0, kInf, {1})};
+  const auto r = water_fill(caps, flows);
+  EXPECT_NEAR(r[0], 4.0, kEps);
+  EXPECT_NEAR(r[1], 8.0, kEps);
+  EXPECT_NEAR(r[2], 2.0, kEps);
+}
+
+TEST(WaterFill, UncongestedLinkLeavesDemandsBinding) {
+  // Total demand below capacity: everyone simply gets their demand.
+  const std::vector<double> caps{1000.0};
+  std::vector<AllocFlow> flows{flow(1.0, 30.0, {0}), flow(3.0, 70.0, {0}),
+                               flow(2.0, 50.0, {0})};
+  const auto r = water_fill(caps, flows);
+  EXPECT_NEAR(r[0], 30.0, kEps);
+  EXPECT_NEAR(r[1], 70.0, kEps);
+  EXPECT_NEAR(r[2], 50.0, kEps);
+}
+
+TEST(WaterFill, EmptyInputs) {
+  EXPECT_TRUE(water_fill({}, {}).empty());
+  const auto r = water_fill({10.0}, {});
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(WaterFill, ConservationAndFeasibility) {
+  // Structural invariants on a mixed case: no link over capacity, no
+  // flow over demand, and every saturated link's capacity fully used.
+  const std::vector<double> caps{40.0, 25.0, 60.0};
+  std::vector<AllocFlow> flows{
+      flow(1.0, kInf, {0, 1}),  flow(2.0, kInf, {1, 2}), flow(1.0, 12.0, {0}),
+      flow(1.5, kInf, {2}),     flow(0.5, kInf, {0, 2})};
+  const auto r = water_fill(caps, flows);
+  ASSERT_EQ(r.size(), flows.size());
+  std::vector<double> load(caps.size(), 0.0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_LE(r[i], flows[i].demand + kEps);
+    EXPECT_GE(r[i], 0.0);
+    for (auto l : flows[i].links) load[l] += r[i];
+  }
+  for (std::size_t l = 0; l < caps.size(); ++l) EXPECT_LE(load[l], caps[l] + 1e-6);
+}
+
+}  // namespace
+}  // namespace corelite::sim::fluid

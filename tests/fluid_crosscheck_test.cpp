@@ -1,0 +1,100 @@
+// Fluid fast-forward fidelity and bit-identity contracts.
+//
+// Two promises gate the --fluid flag (see docs/architecture.md, "Fluid
+// fast-forward"):
+//   1. fluid OFF is not a mode — the controller is never constructed,
+//      and results are bit-identical to the packet engine (the golden
+//      determinism suite pins the digests; here we pin fluid-off ==
+//      default-off at the digest level).
+//   2. fluid ON actually jumps on a steady scenario AND stays within
+//      the cross-check tolerance of the packet run: per-flow [T/2, T]
+//      mean rates within 2% of packet mode relative to
+//      max(packet_rate, 25 pps), Jain within 2% relative.
+// The same tolerance, on whole-run means over a wider grid, is
+// enforced by the release-perf CI job via tools/fluid_crosscheck.py.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "runner/sweep.h"
+
+namespace rn = corelite::runner;
+namespace sc = corelite::scenario;
+
+namespace {
+
+// The cross-check judges rates relative to this floor: below ~25 pps a
+// 2% relative gate would demand sub-packet-per-minute agreement from
+// counters that only move in whole packets.
+constexpr double kRateFloorPps = 25.0;
+constexpr double kTol = 0.02;
+
+rn::RunResult run_fig5(bool fluid) {
+  rn::RunDescriptor d;
+  d.scenario = "fig5";
+  d.mechanism = sc::Mechanism::Corelite;
+  d.fluid = fluid;
+  rn::RunResult r = rn::execute_run(d);
+  EXPECT_TRUE(r.ok);
+  return r;
+}
+
+TEST(FluidCrosscheck, Fig5WithinToleranceAndActuallyJumps) {
+  const rn::RunResult pkt = run_fig5(false);
+  const rn::RunResult fld = run_fig5(true);
+
+  // A fast-forward that never fires would make this test vacuous: fig5
+  // converges well before T/2, so the fluid run must compress part of
+  // the steady tail.
+  EXPECT_GE(fld.fluid_jumps, 1u);
+  EXPECT_GT(fld.fluid_ff_sec, 0.0);
+  EXPECT_GT(fld.fluid_events_elided, 0u);
+  EXPECT_LT(fld.events, pkt.events);
+
+  ASSERT_EQ(fld.avg_rate_pps.size(), pkt.avg_rate_pps.size());
+  for (std::size_t i = 0; i < pkt.avg_rate_pps.size(); ++i) {
+    const double rel = std::abs(fld.avg_rate_pps[i] - pkt.avg_rate_pps[i]) /
+                       std::max(pkt.avg_rate_pps[i], kRateFloorPps);
+    EXPECT_LE(rel, kTol) << "flow " << i << ": packet " << pkt.avg_rate_pps[i] << " pps, fluid "
+                         << fld.avg_rate_pps[i] << " pps";
+  }
+  EXPECT_LE(std::abs(fld.jain - pkt.jain) / pkt.jain, kTol);
+}
+
+TEST(FluidCrosscheck, FluidOffIsBitIdenticalToDefault) {
+  rn::RunDescriptor d;
+  d.scenario = "fig5";
+  d.mechanism = sc::Mechanism::Csfq;
+  const rn::RunResult base = rn::execute_run(d);
+  d.fluid = false;  // explicit off must be the same non-mode as default
+  const rn::RunResult off = rn::execute_run(d);
+  EXPECT_EQ(base.digest, off.digest);
+  EXPECT_EQ(base.events, off.events);
+  EXPECT_EQ(off.fluid_jumps, 0u);
+  EXPECT_EQ(off.fluid_ff_sec, 0.0);
+}
+
+TEST(FluidCrosscheck, ObserveModeNeverJumpsButAttributesSteadyTime) {
+  rn::RunDescriptor d;
+  d.scenario = "fig5";
+  d.mechanism = sc::Mechanism::Corelite;
+  d.fluid_observe = true;
+  const rn::RunResult r = rn::execute_run(d);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.fluid_jumps, 0u);
+  EXPECT_EQ(r.fluid_ff_sec, 0.0);
+  // fig5 is steady from a few seconds in; the detector must attribute
+  // a substantial steady fraction without ever touching the results.
+  EXPECT_GT(r.fluid_steady_sec, 10.0);
+}
+
+TEST(FluidCrosscheck, FluidIsDeterministic) {
+  const rn::RunResult a = run_fig5(true);
+  const rn::RunResult b = run_fig5(true);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.fluid_jumps, b.fluid_jumps);
+  EXPECT_EQ(a.fluid_ff_sec, b.fluid_ff_sec);
+}
+
+}  // namespace

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fluid-off golden digest gate.
+
+Runs every paper scenario (fig3/fig5/fig7/fig9 x corelite/csfq) through
+corelite_sim WITHOUT --fluid and compares the result digest against the
+committed manifest (tools/golden_digests.json).  The fluid machinery is
+compiled into the binary but disabled by default; any digest drift here
+means fluid-off is no longer bit-identical to the pure packet engine —
+the single most important invariant of the hybrid design.
+
+Digests depend on the scenarios' default seeds and durations and on the
+serial engine's event ordering.  After an INTENTIONAL behaviour change
+(new default, scheduler fix, ...) regenerate with --update and commit
+the new manifest alongside the change that explains it.
+
+Exit status: 0 = all digests match, 1 = any drift (or missing digest).
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+MANIFEST = Path(__file__).resolve().parent / "golden_digests.json"
+
+SCENARIOS = ["fig3", "fig5", "fig7", "fig9"]
+MECHANISMS = ["corelite", "csfq"]
+
+
+def run_digest(binary, scenario, mechanism):
+    # The digest line only prints under --telemetry.
+    out = subprocess.run(
+        [binary, "--scenario", scenario, "--mechanism", mechanism, "--telemetry"],
+        check=True, capture_output=True, text=True).stdout
+    m = re.search(r"result digest: ([0-9a-f]+)", out)
+    if not m:
+        raise SystemExit(f"{scenario}/{mechanism}: no 'result digest:' line in output")
+    return m.group(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("binary", help="path to the corelite_sim binary")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the manifest with freshly measured digests")
+    args = ap.parse_args()
+
+    manifest = json.loads(MANIFEST.read_text())
+    failed = False
+    for scenario in SCENARIOS:
+        for mechanism in MECHANISMS:
+            key = f"{scenario}/{mechanism}"
+            got = run_digest(args.binary, scenario, mechanism)
+            if args.update:
+                manifest[key] = got
+                print(f"{key:16s} {got}")
+                continue
+            want = manifest.get(key)
+            ok = got == want
+            print(f"{key:16s} {got}  {'PASS' if ok else f'FAIL (expected {want})'}")
+            failed = failed or not ok
+
+    if args.update:
+        MANIFEST.write_text(json.dumps(manifest, indent=2) + "\n")
+        print(f"updated {MANIFEST}")
+        return
+    if failed:
+        raise SystemExit(1)
+    print("golden digests: fluid-off is bit-identical on the full scenario matrix")
+
+
+if __name__ == "__main__":
+    main()

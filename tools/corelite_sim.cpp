@@ -126,6 +126,7 @@ int run_sweep(const corelite::cli::ArgParser& parser) {
   grid.lp = static_cast<std::size_t>(std::max<std::int64_t>(0, parser.get_int("lp")));
   grid.lp_threads =
       static_cast<std::size_t>(std::max<std::int64_t>(0, parser.get_int("lp-threads")));
+  grid.fluid = parser.get_flag("fluid");
 
   grid.scenarios = parser.was_set("sweep-scenarios")
                        ? split_list(parser.get_string("sweep-scenarios"))
@@ -391,6 +392,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.total_data_drops),
                 static_cast<unsigned long long>(result.feedback_messages),
                 static_cast<unsigned long long>(result.events_processed));
+    if (result.fluid_stats.enabled) {
+      std::printf("fluid: fast-forwarded %.1f s of %.1f s (%.1f%%) in %llu jump(s), "
+                  "~%llu events elided\n",
+                  result.fluid_stats.fast_forwarded_sec, t_end,
+                  100.0 * result.fluid_stats.fast_forwarded_sec / t_end,
+                  static_cast<unsigned long long>(result.fluid_stats.jumps),
+                  static_cast<unsigned long long>(result.fluid_stats.events_elided_est));
+    }
   }
 
   if (parser.get_flag("table")) {
@@ -474,6 +483,12 @@ int main(int argc, char** argv) {
     manifest.extra.emplace_back(
         "hw_threads", std::to_string(corelite::sim::par::ThreadBudget::hardware_threads()));
     if (spec->lp > 1) manifest.extra.emplace_back("lp", std::to_string(spec->lp));
+    if (result.fluid_stats.enabled) {
+      manifest.extra.emplace_back("fluid", "1");
+      manifest.extra.emplace_back("fluid_ff_sec",
+                                  std::to_string(result.fluid_stats.fast_forwarded_sec));
+      manifest.extra.emplace_back("fluid_jumps", std::to_string(result.fluid_stats.jumps));
+    }
     if (!tele.trace_path.empty()) manifest.extra.emplace_back("trace", tele.trace_path);
     if (!tel::write_manifest_file(manifest, tele.manifest_path, std::cerr)) return 1;
   }

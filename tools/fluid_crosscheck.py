@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Fluid fast-forward cross-check gate.
+
+Runs each grid cell twice through corelite_sim — packet mode and
+--fluid — and compares whole-run per-flow mean rates (final cumulative
+CSV row divided by the run duration) and the Jain index.  A cell passes
+when every flow's rate error is within --tol relative to
+max(packet_rate, 25 pps) and the Jain indices agree within --tol
+relative.  Cells marked "jump" must also take at least one fast-forward
+jump, otherwise the comparison is vacuously packet-vs-packet.
+
+The 25 pps denominator floor mirrors the fidelity contract documented
+in docs/architecture.md: counters move in whole packets, so below a few
+packets per second a relative gate would be testing quantization noise,
+not model fidelity.
+
+Exit status: 0 = every cell passed, 1 = any gate failed.
+"""
+
+import argparse
+import csv
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+RATE_FLOOR_PPS = 25.0
+
+# (name, scenario, mechanism, duration ["" = scenario default], expect_jump)
+GRID = [
+    ("fig5/corelite", "fig5", "corelite", "", True),
+    ("fig5/csfq", "fig5", "csfq", "", True),
+    ("fig3/corelite", "fig3", "corelite", "", True),
+    ("fig3/csfq", "fig3", "csfq", "", True),
+    ("gen40/corelite", "gen-pl4-40-steady", "corelite", "200", True),
+    ("gen40/csfq", "gen-pl4-40-steady", "csfq", "200", True),
+]
+
+
+def run_cell(binary, scenario, mechanism, duration, fluid, csv_path):
+    cmd = [binary, "--scenario", scenario, "--mechanism", mechanism,
+           "--csv-cum", str(csv_path)]
+    if duration:
+        cmd += ["--duration", duration]
+    if fluid:
+        cmd += ["--fluid"]
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True).stdout
+    jumps = 0
+    m = re.search(r"in (\d+) jump", out)
+    if m:
+        jumps = int(m.group(1))
+    return jumps
+
+
+def whole_run_means(csv_path, duration):
+    rows = list(csv.reader(open(csv_path)))
+    header, last = rows[0][1:], rows[-1]
+    t = float(last[0])
+    dur = duration if duration > 0 else t
+    if dur <= 0:
+        raise SystemExit(f"{csv_path}: zero-duration cumulative CSV")
+    return dict(zip(header, (float(v) / dur for v in last[1:])))
+
+
+def jain(rates):
+    vals = list(rates.values())
+    return sum(vals) ** 2 / (len(vals) * sum(v * v for v in vals))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("binary", help="path to the corelite_sim binary")
+    ap.add_argument("--tol", type=float, default=0.02,
+                    help="relative tolerance (default 0.02)")
+    args = ap.parse_args()
+
+    failed = False
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        for name, scenario, mechanism, duration, expect_jump in GRID:
+            pkt_csv = tmp / f"{name.replace('/', '_')}_pkt.csv"
+            fld_csv = tmp / f"{name.replace('/', '_')}_fld.csv"
+            run_cell(args.binary, scenario, mechanism, duration, False, pkt_csv)
+            jumps = run_cell(args.binary, scenario, mechanism, duration, True, fld_csv)
+
+            dur = float(duration) if duration else 0.0
+            pkt = whole_run_means(pkt_csv, dur)
+            fld = whole_run_means(fld_csv, dur)
+            worst_flow, worst = max(
+                ((k, abs(fld[k] - pkt[k]) / max(pkt[k], RATE_FLOOR_PPS)) for k in pkt),
+                key=lambda kv: kv[1])
+            jp, jf = jain(pkt), jain(fld)
+            jain_rel = abs(jf - jp) / jp
+
+            cell_ok = worst <= args.tol and jain_rel <= args.tol
+            if expect_jump and jumps < 1:
+                cell_ok = False
+            status = "PASS" if cell_ok else "FAIL"
+            print(f"{name:16s} jumps {jumps:2d}  worst {worst * 100:6.2f}% "
+                  f"({worst_flow})  jain rel {jain_rel * 100:5.2f}%  {status}")
+            failed = failed or not cell_ok
+
+    if failed:
+        raise SystemExit(1)
+    print("fluid cross-check grid: all cells within tolerance")
+
+
+if __name__ == "__main__":
+    main()
