@@ -90,6 +90,13 @@ struct CurveRow {
   std::uint64_t fluid_jumps = 0;
   std::uint64_t fluid_events_elided = 0;
   double speedup_vs_packet = 0.0;  ///< packet-row wall / this row's wall (fluid rows)
+  /// Certification-attempt accounting (fluid rows; zeros elsewhere):
+  /// how hard the controller worked for its jumps, and why it balked.
+  std::uint64_t cert_attempts = 0;
+  std::uint64_t cert_rejects_min_skip = 0;
+  std::uint64_t cert_rejects_drift = 0;
+  std::uint64_t cert_rejects_agreement = 0;
+  double cert_mean_dwell_at_accept = 0.0;
   std::uint64_t delivered = 0;
   std::uint64_t drops = 0;
   double jain = 0.0;
@@ -467,6 +474,11 @@ int main(int argc, char** argv) {
           row.fluid_ff_sec = r.fluid_ff_sec;
           row.fluid_jumps = r.fluid_jumps;
           row.fluid_events_elided = r.fluid_events_elided;
+          row.cert_attempts = r.cert_attempts;
+          row.cert_rejects_min_skip = r.cert_rejects_min_skip;
+          row.cert_rejects_drift = r.cert_rejects_drift;
+          row.cert_rejects_agreement = r.cert_rejects_agreement;
+          row.cert_mean_dwell_at_accept = r.cert_mean_dwell_at_accept;
           row.delivered = r.delivered;
           row.drops = r.total_drops;
           row.jain = r.jain;
@@ -509,6 +521,9 @@ int main(int argc, char** argv) {
                    "\"events\": %llu, \"events_per_sec\": %.6g, \"events_per_flow\": %.6g, "
                    "\"steady_state_fraction\": %.6g, \"fluid_ff_sec\": %.6g, "
                    "\"fluid_jumps\": %llu, \"fluid_events_elided\": %llu, "
+                   "\"cert_attempts\": %llu, \"cert_rejects_min_skip\": %llu, "
+                   "\"cert_rejects_drift\": %llu, \"cert_rejects_agreement\": %llu, "
+                   "\"cert_mean_dwell_at_accept\": %.6g, "
                    "\"speedup_vs_packet\": %.3f, \"delivered\": %llu, "
                    "\"drops\": %llu, \"jain\": %.6f, \"rng_draws\": %llu, "
                    "\"wheel_inserts\": %llu, \"series_appends\": %llu, "
@@ -523,6 +538,11 @@ int main(int argc, char** argv) {
                    row.events_per_flow, row.steady_state_fraction, row.fluid_ff_sec,
                    static_cast<unsigned long long>(row.fluid_jumps),
                    static_cast<unsigned long long>(row.fluid_events_elided),
+                   static_cast<unsigned long long>(row.cert_attempts),
+                   static_cast<unsigned long long>(row.cert_rejects_min_skip),
+                   static_cast<unsigned long long>(row.cert_rejects_drift),
+                   static_cast<unsigned long long>(row.cert_rejects_agreement),
+                   row.cert_mean_dwell_at_accept,
                    row.speedup_vs_packet,
                    static_cast<unsigned long long>(row.delivered),
                    static_cast<unsigned long long>(row.drops), row.jain,

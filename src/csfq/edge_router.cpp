@@ -121,7 +121,11 @@ void CsfqEdgeRouter::emit_packet(FlowState& fs) {
   if (tracker_ != nullptr) tracker_->on_sent(fs.spec.id);
   net_.inject(node_, std::move(p));
 
-  const double rate = std::max(fs.ctrl->rate_pps(), 1e-3);
+  // An unresponsive flood paces at its fixed rate regardless of the
+  // controller; the label above still carries its true estimated rate,
+  // so CSFQ cores see exactly what the protocol promises them.
+  const double rate = fs.spec.flood_pps > 0.0 ? fs.spec.flood_pps
+                                              : std::max(fs.ctrl->rate_pps(), 1e-3);
   net_.local_sim(node_).after_detached(sim::TimeDelta::seconds(1.0 / rate),
                                   [this, &fs, gen = fs.emit_gen] {
                                     if (gen == fs.emit_gen) emit_packet(fs);
@@ -135,6 +139,12 @@ void CsfqEdgeRouter::on_epoch() {
     FlowState& fs = *fsp;
     const int losses = fs.losses_this_epoch;
     fs.losses_this_epoch = 0;
+    if (fs.spec.flood_pps > 0.0) {
+      // Unresponsive source: loss feedback is discarded, the rate series
+      // records the flood rate it actually emits at.
+      if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, exp_now, fs.spec.flood_pps);
+      continue;
+    }
     fs.ctrl->on_epoch(losses, now);
     if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, exp_now, fs.ctrl->rate_pps());
   }

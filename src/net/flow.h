@@ -49,12 +49,23 @@ struct FlowSpec {
   /// the edge never throttles the flow below this floor).
   double min_rate_pps = 0.0;
 
+  /// Unresponsive-flood injection: when > 0, the source ignores the
+  /// adaptation protocol entirely and blasts at this fixed rate
+  /// (packets/s).  The edge infrastructure still does its part — CSFQ
+  /// labels the flood's true arrival rate, Corelite's shaper is
+  /// bypassed the way a non-compliant source bypasses it — so this
+  /// models the attack traffic the fairness watchdog must catch, not a
+  /// broken edge.
+  double flood_pps = 0.0;
+
   /// Construction-time validation: finite positive weight, non-negative
-  /// min rate, well-formed activity windows.  Edge routers assert this
-  /// on add_flow; generators and script parsers reject specs failing it.
+  /// min rate and flood rate, well-formed activity windows.  Edge
+  /// routers assert this on add_flow; generators and script parsers
+  /// reject specs failing it.
   [[nodiscard]] bool valid() const {
     return std::isfinite(weight) && weight > 0.0 && std::isfinite(min_rate_pps) &&
-           min_rate_pps >= 0.0 && valid_activity_windows(active);
+           min_rate_pps >= 0.0 && std::isfinite(flood_pps) && flood_pps >= 0.0 &&
+           valid_activity_windows(active);
   }
 
   /// O(log W) over the sorted disjoint windows: locate the last window

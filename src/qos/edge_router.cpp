@@ -214,9 +214,13 @@ void CoreliteEdgeRouter::emit_packet(FlowState& fs) {
   if (tracker_ != nullptr) tracker_->on_sent(fs.spec.id);
   net_.inject(node_, std::move(p));
 
-  count_marker_credit_and_maybe_mark(fs);
+  // An unresponsive flood bypasses the control protocol: no markers (a
+  // non-compliant source doesn't speak it) and a fixed emission rate
+  // the feedback loop never touches.
+  if (fs.spec.flood_pps <= 0.0) count_marker_credit_and_maybe_mark(fs);
 
-  const double rate = std::max(fs.ctrl->rate_pps(), 1e-3);
+  const double rate = fs.spec.flood_pps > 0.0 ? fs.spec.flood_pps
+                                              : std::max(fs.ctrl->rate_pps(), 1e-3);
   net_.local_sim(node_).after_detached(next_emission_gap(fs, rate),
                                   [this, &fs, gen = fs.emit_gen] {
                                     if (gen == fs.emit_gen) emit_packet(fs);
@@ -292,6 +296,13 @@ void CoreliteEdgeRouter::on_epoch() {
   const sim::SimTime exp_now = net_.local_sim(node_).exp_now();
   for (FlowState* fsp : active_) {
     FlowState& fs = *fsp;
+    if (fs.spec.flood_pps > 0.0) {
+      // Unresponsive source: feedback is discarded, the rate series
+      // records the flood rate it actually emits at.
+      fs.feedback_per_core.clear();
+      if (tracker_ != nullptr) tracker_->record_rate(fs.spec.id, exp_now, fs.spec.flood_pps);
+      continue;
+    }
     // React to the bottleneck: max over core routers, not the sum
     // (paper §2.2 step 3).
     int m = 0;

@@ -152,15 +152,17 @@ std::uint64_t combined_digest(const std::vector<RunResult>& results) {
 }
 
 RunResult execute_run(const RunDescriptor& desc,
-                      const scenario::ScenarioSpec::InstrumentFn& instrument) {
+                      const scenario::ScenarioSpec::InstrumentFn& instrument,
+                      const SpecHook& spec_hook) {
   RunResult res;
   res.desc = desc;
   auto spec = build_spec(desc);
   if (!spec.has_value()) return res;
   if (instrument) spec->instrument = instrument;
+  if (spec_hook) spec_hook(*spec);
 
   const auto t0 = std::chrono::steady_clock::now();
-  const scenario::ScenarioResult r = scenario::run_paper_scenario(*spec);
+  scenario::ScenarioResult r = scenario::run_paper_scenario(*spec);
   res.wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
   // Publish this worker's hot-path op counts so --profile output is
@@ -202,6 +204,15 @@ RunResult execute_run(const RunDescriptor& desc,
   res.fluid_steady_sec = r.fluid_stats.steady_detected_sec;
   res.fluid_jumps = r.fluid_stats.jumps;
   res.fluid_events_elided = r.fluid_stats.events_elided_est;
+  res.cert_attempts = r.fluid_stats.cert_attempts;
+  res.cert_rejects_min_skip = r.fluid_stats.cert_reject_min_skip;
+  res.cert_rejects_drift = r.fluid_stats.cert_reject_drift;
+  res.cert_rejects_agreement = r.fluid_stats.cert_reject_agreement;
+  res.cert_mean_dwell_at_accept =
+      r.fluid_stats.jumps > 0
+          ? r.fluid_stats.cert_dwell_at_accept_sum / static_cast<double>(r.fluid_stats.jumps)
+          : 0.0;
+  res.audit = std::move(r.audit_report);
   res.digest = result_digest(r);
   res.ok = true;
   return res;
@@ -222,6 +233,25 @@ void record_metrics(stats::SweepAggregator& agg, const RunResult& r) {
   }
 }
 
+double estimate_eta_sec(const EtaSnapshot& snap) {
+  const std::size_t done = snap.done_fluid + snap.done_packet;
+  if (done == 0) return -1.0;
+  const double pooled =
+      (snap.wall_ms_fluid + snap.wall_ms_packet) / static_cast<double>(done);
+  const double avg_fluid =
+      snap.done_fluid > 0 ? snap.wall_ms_fluid / static_cast<double>(snap.done_fluid) : pooled;
+  const double avg_packet =
+      snap.done_packet > 0 ? snap.wall_ms_packet / static_cast<double>(snap.done_packet) : pooled;
+  double remaining_ms = avg_fluid * static_cast<double>(snap.pending_fluid) +
+                        avg_packet * static_cast<double>(snap.pending_packet);
+  // Busy runs get credit for the wall they have already burned; a run
+  // past its kind's average contributes zero, not a negative.
+  for (const EtaSnapshot::Busy& b : snap.busy) {
+    remaining_ms += std::max(0.0, (b.fluid ? avg_fluid : avg_packet) - b.elapsed_ms);
+  }
+  return remaining_ms / (1000.0 * static_cast<double>(std::max<std::size_t>(1, snap.workers)));
+}
+
 namespace {
 
 /// Shared sweep-progress board: workers post what they are doing,
@@ -230,6 +260,7 @@ namespace {
 struct ProgressBoard {
   struct Worker {
     bool busy = false;
+    bool fluid = false;  ///< the running descriptor's kind (see EtaSnapshot)
     std::string label;
     std::chrono::steady_clock::time_point start{};
   };
@@ -237,6 +268,16 @@ struct ProgressBoard {
   std::vector<Worker> workers;
   std::size_t done = 0;
   double done_wall_ms_sum = 0.0;
+  // Per-kind accounting for the ETA model: fluid fast-forward runs are
+  // far cheaper than packet runs, so their wall times never pool.
+  std::size_t done_fluid = 0;
+  std::size_t done_packet = 0;
+  double wall_ms_fluid = 0.0;
+  double wall_ms_packet = 0.0;
+  std::size_t started_fluid = 0;
+  std::size_t started_packet = 0;
+  std::size_t total_fluid = 0;
+  std::size_t total_packet = 0;
 };
 
 void print_heartbeat(std::ostream& os, ProgressBoard& board, std::size_t total,
@@ -248,11 +289,24 @@ void print_heartbeat(std::ostream& os, ProgressBoard& board, std::size_t total,
   for (const auto& w : board.workers) busy += w.busy ? 1 : 0;
   os << "[sweep] " << board.done << "/" << total << " done";
   if (board.done > 0 && board.done < total) {
-    const double eta_s = avg_ms * static_cast<double>(total - board.done) /
-                         (1000.0 * static_cast<double>(std::max<std::size_t>(1, board.workers.size())));
+    EtaSnapshot snap;
+    snap.workers = board.workers.size();
+    snap.done_fluid = board.done_fluid;
+    snap.done_packet = board.done_packet;
+    snap.wall_ms_fluid = board.wall_ms_fluid;
+    snap.wall_ms_packet = board.wall_ms_packet;
+    snap.pending_fluid = board.total_fluid - board.started_fluid;
+    snap.pending_packet = board.total_packet - board.started_packet;
+    for (const auto& w : board.workers) {
+      if (!w.busy) continue;
+      snap.busy.push_back(
+          {w.fluid, std::chrono::duration<double, std::milli>(now - w.start).count()});
+    }
+    const double eta_s = estimate_eta_sec(snap);
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.1f", eta_s);
-    os << ", avg " << static_cast<std::uint64_t>(avg_ms) << " ms/run, eta ~" << buf << " s";
+    os << ", avg " << static_cast<std::uint64_t>(avg_ms) << " ms/run";
+    if (eta_s >= 0.0) os << ", eta ~" << buf << " s";
   }
   if (busy > 0) {
     os << " |";
@@ -283,6 +337,9 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunDescriptor>& runs) 
 
   ProgressBoard board;
   board.workers.resize(pool_size);
+  for (const RunDescriptor& d : runs) {
+    (d.fluid ? board.total_fluid : board.total_packet) += 1;
+  }
 
   std::mutex done_mu;
   std::size_t done = 0;
@@ -314,12 +371,15 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunDescriptor>& runs) 
           const std::lock_guard<std::mutex> lock{board.mu};
           auto& w = board.workers[worker];
           w.busy = true;
+          w.fluid = runs[i].fluid;
           w.label = cell_key(runs[i]) + " r" + std::to_string(runs[i].repeat);
           w.start = start;
+          (runs[i].fluid ? board.started_fluid : board.started_packet) += 1;
         }
 
-        RunResult r = instrument_ && i == instrument_index_ ? execute_run(runs[i], instrument_)
-                                                            : execute_run(runs[i]);
+        RunResult r =
+            execute_run(runs[i], instrument_ && i == instrument_index_ ? instrument_ : nullptr,
+                        spec_hook_ && i == spec_hook_index_ ? spec_hook_ : nullptr);
         r.index = i;
         r.worker = worker == ThreadPool::kNotAWorker ? 0 : worker;
         r.wall_start_ms = std::chrono::duration<double, std::milli>(start - epoch).count();
@@ -329,6 +389,8 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunDescriptor>& runs) 
           board.workers[worker].busy = false;
           ++board.done;
           board.done_wall_ms_sum += r.wall_ms;
+          (runs[i].fluid ? board.done_fluid : board.done_packet) += 1;
+          (runs[i].fluid ? board.wall_ms_fluid : board.wall_ms_packet) += r.wall_ms;
         }
         const std::lock_guard<std::mutex> lock{done_mu};
         ++done;

@@ -111,6 +111,14 @@ struct RunResult {
   double fluid_steady_sec = 0.0;   ///< seconds spent in detected steady state
   std::uint64_t fluid_jumps = 0;   ///< number of fast-forward jumps taken
   std::uint64_t fluid_events_elided = 0;  ///< estimated events skipped
+  /// Certification-attempt accounting (always maintained by the fluid
+  /// controller; zeros for packet-mode runs).  Excluded from the digest
+  /// like the other fluid fields.
+  std::uint64_t cert_attempts = 0;
+  std::uint64_t cert_rejects_min_skip = 0;
+  std::uint64_t cert_rejects_drift = 0;
+  std::uint64_t cert_rejects_agreement = 0;
+  double cert_mean_dwell_at_accept = 0.0;  ///< detector ticks, mean over jumps
   double wall_ms = 0.0;  ///< worker wall-clock; excluded from the digest
   /// Wall-clock offset of this run's start from SweepRunner::run()'s
   /// epoch, and the pool worker that ran it.  Telemetry only (Chrome
@@ -118,6 +126,11 @@ struct RunResult {
   /// worker 0 for runs executed outside a sweep.
   double wall_start_ms = 0.0;
   std::size_t worker = 0;
+
+  /// Fairness-audit report, present only for runs whose spec enabled
+  /// the auditor (see SweepRunner::set_run_spec_hook).  Shared so
+  /// RunResult stays copyable for aggregation.
+  std::shared_ptr<telemetry::FairnessAuditReport> audit;
 
   /// FNV-1a over every per-flow counter and rate/cumulative sample of
   /// the run — the bit-identity witness for determinism checks.
@@ -133,16 +146,53 @@ struct RunResult {
 /// digest a whole sweep prints and manifests; identical for any --jobs.
 [[nodiscard]] std::uint64_t combined_digest(const std::vector<RunResult>& results);
 
+/// Arbitrary spec refinement applied after build_spec and before the
+/// run — the audit path uses it to flip ScenarioSpec::audit and attach
+/// probes on one chosen run.  Unlike `instrument`, a hook MAY change
+/// the run's event stream (the audit sampler does), so hooked runs are
+/// only --jobs-invariant if the hook itself is deterministic.
+using SpecHook = std::function<void(scenario::ScenarioSpec&)>;
+
 /// Build and execute one universe on the calling thread.  `instrument`,
 /// if set, is forwarded to the spec (see ScenarioSpec::instrument) —
 /// passive observation only, so the digest is unaffected.
 [[nodiscard]] RunResult execute_run(
-    const RunDescriptor& d, const scenario::ScenarioSpec::InstrumentFn& instrument = nullptr);
+    const RunDescriptor& d, const scenario::ScenarioSpec::InstrumentFn& instrument = nullptr,
+    const SpecHook& spec_hook = nullptr);
 
 /// Record a result's deterministic metrics (jain, events, drops,
 /// delivered, feedback, core_flow_state) into `agg` under the run's
 /// cell key.  wall_ms is deliberately not recorded (see aggregate.h).
 void record_metrics(stats::SweepAggregator& agg, const RunResult& r);
+
+/// Inputs to the heartbeat's ETA model, split by run kind.  Fluid
+/// fast-forward runs finish an order of magnitude faster than packet
+/// runs of the same scenario, so a pooled mean wall time skews the ETA
+/// badly on mixed grids; the estimator keeps per-kind averages.
+struct EtaSnapshot {
+  std::size_t workers = 1;
+  /// Completed-run counts and wall-time sums (ms), per kind.
+  std::size_t done_fluid = 0;
+  std::size_t done_packet = 0;
+  double wall_ms_fluid = 0.0;
+  double wall_ms_packet = 0.0;
+  /// Runs not yet started, per kind.
+  std::size_t pending_fluid = 0;
+  std::size_t pending_packet = 0;
+  /// Runs currently executing: kind + elapsed wall so far.
+  struct Busy {
+    bool fluid = false;
+    double elapsed_ms = 0.0;
+  };
+  std::vector<Busy> busy;
+};
+
+/// Estimated seconds until the sweep drains.  Per-kind completed-run
+/// averages (falling back to the pooled average while a kind has no
+/// completions yet); busy runs are credited the wall they have already
+/// spent.  Negative when nothing has completed (ETA unknown).  Pure
+/// function — unit-tested without threads.
+[[nodiscard]] double estimate_eta_sec(const EtaSnapshot& snap);
 
 class SweepRunner {
  public:
@@ -161,6 +211,14 @@ class SweepRunner {
   void set_run_instrument(std::size_t index, scenario::ScenarioSpec::InstrumentFn fn) {
     instrument_index_ = index;
     instrument_ = std::move(fn);
+  }
+
+  /// Refine exactly one run's spec (by descriptor index) before it
+  /// executes — how the audit path enables the fairness auditor on run
+  /// 0 only, keeping the rest of the grid digest-clean.  See SpecHook.
+  void set_run_spec_hook(std::size_t index, SpecHook fn) {
+    spec_hook_index_ = index;
+    spec_hook_ = std::move(fn);
   }
 
   /// Live progress heartbeat: every `interval_sec`, print one line to
@@ -182,6 +240,8 @@ class SweepRunner {
   Progress progress_;
   std::size_t instrument_index_ = static_cast<std::size_t>(-1);
   scenario::ScenarioSpec::InstrumentFn instrument_;
+  std::size_t spec_hook_index_ = static_cast<std::size_t>(-1);
+  SpecHook spec_hook_;
   std::ostream* heartbeat_os_ = nullptr;
   double heartbeat_interval_sec_ = 0.0;
 };

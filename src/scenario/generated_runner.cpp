@@ -165,7 +165,19 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
   }
   const bool fluid_on = fluid_cfg.enabled;
 
+  // The fairness audit follows the same serial-only rule (its gauges
+  // read live link state, its sampler adds engine events).
+  telemetry::FairnessAuditConfig audit_cfg = spec.audit;
+  if (audit_cfg.enabled && lp_mode) {
+    std::fprintf(stderr,
+                 "corelite: the fairness audit is not supported with --lp > 1; "
+                 "skipping the auditor for this run\n");
+    audit_cfg.enabled = false;
+  }
+  const bool audit_on = audit_cfg.enabled;
+
   sim::par::LpRuntime lp_rt{plan.lp_count, spec.seed, plan.lookahead, spec.lp_threads};
+  if (spec.lp_probe != nullptr) lp_rt.set_probe(spec.lp_probe);
   sim::Simulator& simulator = lp_rt.lp_sim(0);
   std::unique_ptr<sim::fluid::TimeWarp> warp;
   if (fluid_on) warp = std::make_unique<sim::fluid::TimeWarp>(simulator);
@@ -287,6 +299,7 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
     fs.egress = dst_node[f.dst_router];
     fs.weight = f.weight;
     fs.active = f.windows;
+    if (f.id >= 1 && f.id - 1 < spec.flood_pps.size()) fs.flood_pps = spec.flood_pps[f.id - 1];
     return fs;
   };
 
@@ -362,13 +375,15 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
   // packet size.  Access links participate too — they are fat by
   // construction, so they simply never bind in the water-filling.
   std::unique_ptr<sim::fluid::FluidController> fluid_ctl;
-  if (fluid_on) {
-    fluid_cfg.synth_sample_period = spec.cumulative_sample_period;
-    fluid_ctl = std::make_unique<sim::fluid::FluidController>(simulator, *warp, tracker,
-                                                              fluid_cfg, spec.duration);
+  // Per-flow constraint sets, shared by the fluid controller and the
+  // fairness auditor: walk the FIB path once per flow and dense-index
+  // every link encountered, with capacities in pkt/s of the generated
+  // packet size.  Access links participate too — they are fat by
+  // construction, so they simply never bind in the water-filling.
+  std::vector<double> path_caps;
+  std::vector<std::vector<std::uint32_t>> flow_links(flows.size());
+  if (fluid_on || audit_on) {
     std::unordered_map<const net::Link*, std::uint32_t> link_index;
-    std::vector<double> caps;
-    std::vector<std::vector<std::uint32_t>> flow_links(flows.size());
     for (std::size_t fi = 0; fi < flows.size(); ++fi) {
       const GenFlow& f = flows[fi];
       const std::vector<net::NodeId> hops =
@@ -376,15 +391,21 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
       for (std::size_t h = 0; h + 1 < hops.size(); ++h) {
         const net::Link* l = network.find_link(hops[h], hops[h + 1]);
         if (l == nullptr) continue;
-        auto [it, inserted] = link_index.emplace(l, static_cast<std::uint32_t>(caps.size()));
-        if (inserted) caps.push_back(l->rate().pps(topo.cfg.packet_size));
+        auto [it, inserted] = link_index.emplace(l, static_cast<std::uint32_t>(path_caps.size()));
+        if (inserted) path_caps.push_back(l->rate().pps(topo.cfg.packet_size));
         flow_links[fi].push_back(it->second);
       }
     }
-    fluid_ctl->set_link_capacities(std::move(caps));
+  }
+  if (fluid_on) {
+    fluid_cfg.synth_sample_period = spec.cumulative_sample_period;
+    fluid_ctl = std::make_unique<sim::fluid::FluidController>(simulator, *warp, tracker,
+                                                              fluid_cfg, spec.duration);
+    fluid_ctl->set_link_capacities(path_caps);
     for (std::size_t fi = 0; fi < flows.size(); ++fi) {
-      fluid_ctl->add_flow(flows[fi].id, flows[fi].weight, std::move(flow_links[fi]));
+      fluid_ctl->add_flow(flows[fi].id, flows[fi].weight, flow_links[fi]);
     }
+    if (spec.fluid_probe != nullptr) fluid_ctl->set_probe(spec.fluid_probe);
     fluid_ctl->start();
   }
 
@@ -447,6 +468,61 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
     }
   }
 
+  // Fairness auditor (opt-in, serial-only — audit_on already folds in
+  // the lp_mode fallback).  The oracle runs over the same per-path
+  // constraint sets the fluid controller uses; gauges watch the
+  // designated bottleneck links.
+  std::unique_ptr<telemetry::FairnessAuditor> auditor;
+  if (audit_on) {
+    std::vector<telemetry::FairnessAuditor::FlowInfo> audit_flows;
+    audit_flows.reserve(flows.size());
+    for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+      audit_flows.push_back({flows[fi].id, flows[fi].weight, flow_links[fi]});
+    }
+    // Activity oracle straight off the generated windows (`flows`
+    // outlives the run; ids are 1-based and unique by construction).
+    std::vector<const std::vector<net::ActiveInterval>*> act_of(wl.flows.num_flows + 1, nullptr);
+    for (const GenFlow& f : flows) {
+      if (f.id < act_of.size()) act_of[f.id] = &f.windows;
+    }
+    auto active_fn = [act_of = std::move(act_of)](net::FlowId id, double t_sec) {
+      if (id >= act_of.size() || act_of[id] == nullptr || act_of[id]->empty()) return true;
+      for (const auto& iv : *act_of[id]) {
+        if (t_sec >= iv.start.sec() && t_sec < iv.stop.sec()) return true;
+      }
+      return false;
+    };
+    auditor = std::make_unique<telemetry::FairnessAuditor>(
+        audit_cfg, tracker, path_caps, std::move(audit_flows), std::move(active_fn));
+    for (std::size_t i = 0; i < bottleneck_links.size(); ++i) {
+      net::Link* l = bottleneck_links[i];
+      if (l == nullptr) continue;
+      auditor->add_gauge("queue.bottleneck" + std::to_string(i), [l]() -> double {
+        return static_cast<double>(l->queued_data_packets());
+      });
+    }
+    if (spec.mechanism == Mechanism::Csfq) {
+      for (std::size_t i = 0; i < bottleneck_links.size(); ++i) {
+        if (bottleneck_links[i] == nullptr) continue;
+        const GenLink& gl = topo.links[topo.bottlenecks[i]];
+        const net::NodeId from = routers[gl.a];
+        const net::NodeId to = routers[gl.b];
+        for (const auto& c : csfq_cores) {
+          if (c->node() != from) continue;
+          const csfq::CsfqCoreRouter* core = c.get();
+          auditor->add_gauge("csfq.alpha.bottleneck" + std::to_string(i),
+                             [core, to]() -> double {
+                               const auto* pol = core->policy_for(to);
+                               return pol != nullptr ? pol->alpha() : 0.0;
+                             });
+        }
+      }
+    }
+    samplers.push_back(simulator.every(audit_cfg.window, [&simulator, aud = auditor.get()] {
+      aud->on_window(simulator.exp_now());
+    }));
+  }
+
   // Telemetry hook last, so collectors see the fully wired network.
   // Collector callbacks are not thread-safe, so the hook is serial-only.
   if (spec.instrument) {
@@ -482,6 +558,9 @@ ScenarioResult run_generated_scenario(const ScenarioSpec& spec) {
   // sweep's result digest covers generated runs identically.
   result.events_processed = lp_rt.events_processed();
   if (fluid_ctl) result.fluid_stats = fluid_ctl->stats();
+  if (auditor) {
+    result.audit_report = std::make_unique<telemetry::FairnessAuditReport>(auditor->take_report());
+  }
   result.unrouteable = network.unrouteable_count();
   for (net::NodeId r : routers) {
     std::size_t state = 0;

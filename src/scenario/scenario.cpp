@@ -160,6 +160,7 @@ net::FlowSpec make_flow_spec(const ScenarioSpec& spec, std::size_t i /*0-based*/
     fs.active = spec.activity[i];
   }
   if (i < spec.min_rates.size()) fs.min_rate_pps = spec.min_rates[i];
+  if (i < spec.flood_pps.size()) fs.flood_pps = spec.flood_pps[i];
   return fs;
 }
 
@@ -208,6 +209,7 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
   const bool fluid_on = fluid_cfg.enabled;
 
   sim::par::LpRuntime lp_rt{plan.lp_count, spec.seed, plan.lookahead, spec.lp_threads};
+  if (spec.lp_probe != nullptr) lp_rt.set_probe(spec.lp_probe);
   sim::Simulator& simulator = lp_rt.lp_sim(0);
   std::unique_ptr<sim::fluid::TimeWarp> warp;
   if (fluid_on) warp = std::make_unique<sim::fluid::TimeWarp>(simulator);
@@ -382,6 +384,7 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
       }
       fluid_ctl->add_flow(id, spec.weights.at(i), std::move(links));
     }
+    if (spec.fluid_probe != nullptr) fluid_ctl->set_probe(spec.fluid_probe);
     fluid_ctl->start();
   }
 
@@ -444,6 +447,77 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
     }
   }
 
+  // Fairness auditor (opt-in): per-window oracle-deviation telemetry on
+  // the serial engine only.  Its sampler adds simulation events — that
+  // is the audit-on/off digest split documented in ScenarioSpec::audit —
+  // and its gauges read live link/core state, so it follows the same
+  // serial-only precedent as the instrument hook below.
+  telemetry::FairnessAuditConfig audit_cfg = spec.audit;
+  if (audit_cfg.enabled && lp_mode) {
+    std::fprintf(stderr,
+                 "corelite: the fairness audit is not supported with --lp > 1; "
+                 "skipping the auditor for this run\n");
+    audit_cfg.enabled = false;
+  }
+  std::unique_ptr<telemetry::FairnessAuditor> auditor;
+  if (audit_cfg.enabled) {
+    std::vector<telemetry::FairnessAuditor::FlowInfo> audit_flows;
+    audit_flows.reserve(spec.num_flows);
+    for (std::size_t i = 0; i < spec.num_flows; ++i) {
+      const auto id = static_cast<net::FlowId>(i + 1);
+      telemetry::FairnessAuditor::FlowInfo fi;
+      fi.id = id;
+      fi.weight = spec.weights.at(i);
+      for (std::size_t l : PaperTopology::congested_links(id)) {
+        fi.links.push_back(static_cast<std::uint32_t>(l));
+      }
+      audit_flows.push_back(std::move(fi));
+    }
+    // Activity oracle over the spec's half-open windows (empty list =
+    // always on) — the same ground truth the edges schedule from.
+    auto active_fn = [&spec](net::FlowId id, double t_sec) {
+      const std::size_t i = static_cast<std::size_t>(id) - 1;
+      if (i >= spec.activity.size() || spec.activity[i].empty()) return true;
+      for (const auto& iv : spec.activity[i]) {
+        if (t_sec >= iv.start.sec() && t_sec < iv.stop.sec()) return true;
+      }
+      return false;
+    };
+    auditor = std::make_unique<telemetry::FairnessAuditor>(
+        audit_cfg, tracker,
+        std::vector<double>(PaperTopology::kCongestedLinks, topo.capacity_pps()),
+        std::move(audit_flows), std::move(active_fn));
+    // Engine gauges for the flight recorder: congested-link occupancy,
+    // plus the CSFQ fair-share estimate α on each congested link.
+    for (std::size_t i = 0; i < PaperTopology::kCongestedLinks; ++i) {
+      auditor->add_gauge("queue.core" + std::to_string(i),
+                         [&network, &topo, i]() -> double {
+                           auto* l = topo.congested_link(network, i);
+                           return l != nullptr
+                                      ? static_cast<double>(l->queued_data_packets())
+                                      : 0.0;
+                         });
+    }
+    if (spec.mechanism == Mechanism::Csfq) {
+      for (std::size_t i = 0; i < PaperTopology::kCongestedLinks; ++i) {
+        const net::NodeId from = topo.core(i);
+        const net::NodeId to = topo.core(i + 1);
+        for (const auto& c : csfq_cores) {
+          if (c->node() != from) continue;
+          const csfq::CsfqCoreRouter* core = c.get();
+          auditor->add_gauge("csfq.alpha.core" + std::to_string(i),
+                             [core, to]() -> double {
+                               const auto* pol = core->policy_for(to);
+                               return pol != nullptr ? pol->alpha() : 0.0;
+                             });
+        }
+      }
+    }
+    samplers.push_back(simulator.every(audit_cfg.window, [&simulator, aud = auditor.get()] {
+      aud->on_window(simulator.exp_now());
+    }));
+  }
+
   // Telemetry hook last, so collectors see the fully wired network.
   // Collector callbacks are not thread-safe, so the hook is serial-only.
   if (spec.instrument) {
@@ -482,6 +556,9 @@ ScenarioResult run_paper_scenario(const ScenarioSpec& spec) {
   // Global accounting.
   result.events_processed = lp_rt.events_processed();
   if (fluid_ctl) result.fluid_stats = fluid_ctl->stats();
+  if (auditor) {
+    result.audit_report = std::make_unique<telemetry::FairnessAuditReport>(auditor->take_report());
+  }
   result.unrouteable = network.unrouteable_count();
   for (net::NodeId c : topo.cores()) {
     std::size_t state = 0;

@@ -18,14 +18,19 @@
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
 #include "csfq/config.h"
 #include "net/flow.h"
 #include "qos/config.h"
 #include "scenario/flow_gen.h"
 #include "scenario/paper_topology.h"
 #include "sim/fluid/config.h"
+#include "sim/fluid/probe.h"
+#include "sim/parallel/lp_probe.h"
 #include "sim/units.h"
 #include "stats/flow_tracker.h"
+#include "telemetry/fairness_audit.h"
 
 namespace corelite::scenario {
 
@@ -57,6 +62,10 @@ struct ScenarioSpec {
   std::vector<std::vector<net::ActiveInterval>> activity;
   /// Optional per-flow minimum rate contracts (pkt/s); empty = none.
   std::vector<double> min_rates;
+  /// Optional unresponsive-flood injection: flood_pps[i] > 0 makes
+  /// 1-based flow i+1 ignore the adaptation protocol and blast at that
+  /// fixed rate (see net::FlowSpec::flood_pps).  Empty = no floods.
+  std::vector<double> flood_pps;
 
   sim::SimTime duration = sim::SimTime::seconds(80);
   std::uint64_t seed = 1;
@@ -82,6 +91,21 @@ struct ScenarioSpec {
   /// wall clock, with per-flow mean rates held within the cross-check
   /// tolerance (tests/fluid_crosscheck_test.cpp).
   sim::fluid::FluidConfig fluid{};
+
+  /// Fairness audit (opt-in, serial-only; lp > 1 warns and skips, like
+  /// the instrument hook).  The audit sampler adds simulation events,
+  /// so audit-on digests differ from audit-off — deterministically and
+  /// thread/jobs-invariantly; plain --telemetry must leave this off to
+  /// keep its bit-identity contract.
+  telemetry::FairnessAuditConfig audit{};
+
+  /// Observation probes (non-owning; must outlive the run).  lp_probe
+  /// receives per-window LP runtime measurements when lp > 1;
+  /// fluid_probe receives every fluid certification decision when the
+  /// fluid engine is on.  Both are pure observation — digests are
+  /// identical with or without them.
+  sim::par::LpProbe* lp_probe = nullptr;
+  sim::fluid::FluidProbe* fluid_probe = nullptr;
 
   qos::CoreliteConfig corelite{};
   csfq::CsfqConfig csfq{};
@@ -132,6 +156,8 @@ struct ScenarioResult {
   std::vector<stats::TimeSeries> queue_series;
   /// Fluid fast-forward outcome (all-zero when spec.fluid is off).
   sim::fluid::FluidStats fluid_stats{};
+  /// Fairness audit report (null unless spec.audit.enabled ran).
+  std::unique_ptr<telemetry::FairnessAuditReport> audit_report;
 };
 
 /// Build, run and measure one scenario.  Dispatches to the generated-

@@ -123,6 +123,18 @@ struct FluidStats {
   std::uint64_t synth_delivered = 0;
   std::uint64_t synth_sent = 0;
   std::uint64_t synth_dropped = 0;
+
+  // Certification-pipeline counters (always maintained; deterministic).
+  // An "attempt" is a tick that reached the gate cascade with full dwell
+  // and a complete measurement window; each reject names the gate that
+  // stopped it.  mean dwell at acceptance = cert_dwell_at_accept_sum /
+  // jumps.  These feed BENCH_scale.json fluid rows so detector
+  // auto-tuning has a measured baseline.
+  std::uint64_t cert_attempts = 0;
+  std::uint64_t cert_reject_min_skip = 0;
+  std::uint64_t cert_reject_drift = 0;
+  std::uint64_t cert_reject_agreement = 0;
+  double cert_dwell_at_accept_sum = 0.0;
 };
 
 }  // namespace corelite::sim::fluid

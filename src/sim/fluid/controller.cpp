@@ -138,6 +138,7 @@ void FluidController::tick() {
   // near-zero rate and would be extrapolated as silent.
   if (warp_.fired_count() != warp_fired_seen_) {
     warp_fired_seen_ = warp_.fired_count();
+    emit_cert(FluidCertEvent::Kind::kBoundaryReset, t, (t - win_start_).sec());
     dwell_ = 0;
     out_band_ = 0;
     reanchor_ = false;
@@ -206,6 +207,7 @@ void FluidController::tick() {
   // still strict — a jump needs consecutive in-band ticks.
   out_band_ = in_band ? 0 : out_band_ + 1;
   if (out_band_ >= 2) {
+    emit_cert(FluidCertEvent::Kind::kWindowReset, t, (t - win_start_).sec());
     reanchor_ = false;
     reset_window(t);
   }
@@ -244,12 +246,28 @@ void FluidController::tick() {
       capped = true;
     }
   }
-  if (!(target > t) || target - t < cfg_.min_skip) return;
+  stats_.cert_attempts += 1;
+  emit_cert(FluidCertEvent::Kind::kAttempt, t, window_sec);
+  if (!(target > t) || target - t < cfg_.min_skip) {
+    stats_.cert_reject_min_skip += 1;
+    emit_cert(FluidCertEvent::Kind::kRejectMinSkip, t, window_sec,
+              target > t ? (target - t).sec() : 0.0);
+    return;
+  }
   if (!halves_agree(t)) {
+    stats_.cert_reject_drift += 1;
+    emit_cert(FluidCertEvent::Kind::kRejectDrift, t, window_sec);
     slide_window();  // re-measure from the window's second half
     return;
   }
-  if (!solve_allocation(window_sec)) return;
+  if (!solve_allocation(window_sec)) {
+    stats_.cert_reject_agreement += 1;
+    emit_cert(FluidCertEvent::Kind::kRejectAgreement, t, window_sec);
+    return;
+  }
+  stats_.cert_dwell_at_accept_sum += static_cast<double>(dwell_);
+  emit_cert(FluidCertEvent::Kind::kAccept, t, window_sec, (target - t).sec());
+  if (capped) emit_cert(FluidCertEvent::Kind::kReanchor, t, window_sec, (target - t).sec());
   jump(target, capped);
 }
 
@@ -388,6 +406,18 @@ void FluidController::jump(SimTime target, bool capped) {
   // The runner's outer loop recomputes its engine-time deadline
   // (experiment_end - offset) after every stop.
   sim_.stop();
+}
+
+void FluidController::emit_cert(FluidCertEvent::Kind kind, SimTime t, double window_sec,
+                                double extra) {
+  if (probe_ == nullptr) return;
+  FluidCertEvent e;
+  e.kind = kind;
+  e.t_sec = t.sec();
+  e.dwell = dwell_;
+  e.window_sec = window_sec;
+  e.extra = extra;
+  probe_->on_cert_event(e);
 }
 
 }  // namespace corelite::sim::fluid

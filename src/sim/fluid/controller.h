@@ -25,6 +25,7 @@
 #include "net/types.h"
 #include "sim/fluid/allocator.h"
 #include "sim/fluid/config.h"
+#include "sim/fluid/probe.h"
 #include "sim/fluid/warp.h"
 #include "sim/simulator.h"
 #include "stats/flow_tracker.h"
@@ -50,6 +51,10 @@ class FluidController {
 
   /// Arm the periodic convergence check.  Call once, before the run.
   void start();
+
+  /// Attach a certification flight recorder.  Pure observation — the
+  /// controller's decisions are identical with or without one.
+  void set_probe(FluidProbe* probe) { probe_ = probe; }
 
   [[nodiscard]] const FluidStats& stats() const { return stats_; }
 
@@ -123,6 +128,7 @@ class FluidController {
   /// agreeing with it (within cfg_.agreement_band).
   [[nodiscard]] bool solve_allocation(double window_sec);
   void jump(SimTime target, bool capped);
+  void emit_cert(FluidCertEvent::Kind kind, SimTime t, double window_sec, double extra = 0.0);
 
   Simulator& sim_;
   TimeWarp& warp_;
@@ -152,6 +158,7 @@ class FluidController {
   /// the phase certificate no longer stands.
   bool reanchor_ = false;
   std::uint64_t warp_fired_seen_ = 0;  ///< warp fired_count() at last window reset
+  FluidProbe* probe_ = nullptr;
   FluidStats stats_;
 };
 

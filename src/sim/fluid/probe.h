@@ -1,0 +1,44 @@
+// Introspection hook for the fluid fast-forward controller's
+// certification pipeline.
+//
+// Every certify/reject/re-anchor decision the controller takes is
+// surfaced as a FluidCertEvent so a flight recorder (see
+// src/telemetry/engine_probe.h) can log dwell progress, gate outcomes
+// and jump spans — the data the ROADMAP's detector auto-tuning needs.
+// The probe is pure observation: the controller behaves identically
+// with or without one attached, and the deterministic certification
+// counters in FluidStats are maintained unconditionally.
+#pragma once
+
+#include <cstdint>
+
+namespace corelite::sim::fluid {
+
+struct FluidCertEvent {
+  enum class Kind : std::uint8_t {
+    kWindowReset,       ///< sustained out-of-band excursion voided the window
+    kBoundaryReset,     ///< a workload boundary fired mid-measurement
+    kAttempt,           ///< dwell + window complete; gates about to run
+    kRejectMinSkip,     ///< remaining span too short to be worth a jump
+    kRejectDrift,       ///< half-window means disagree (window slid)
+    kRejectAgreement,   ///< measured rates fail the water-filling oracle
+    kAccept,            ///< jump taken
+    kReanchor,          ///< the accepted jump was extrapolation-capped
+  };
+
+  Kind kind = Kind::kAttempt;
+  double t_sec = 0.0;       ///< experiment time of the decision
+  int dwell = 0;            ///< consecutive in-band checks at decision time
+  double window_sec = 0.0;  ///< measurement-window span at decision time
+  /// Kind-specific payload: kAccept/kReanchor carry the jump span in
+  /// seconds; kRejectMinSkip carries the (too-short) remaining span.
+  double extra = 0.0;
+};
+
+class FluidProbe {
+ public:
+  virtual ~FluidProbe() = default;
+  virtual void on_cert_event(const FluidCertEvent& e) = 0;
+};
+
+}  // namespace corelite::sim::fluid

@@ -1,0 +1,48 @@
+// Observation interface for the conservative parallel runtime.
+//
+// LpRuntime reports, per barrier window: how long each LP's event batch
+// took and how many events it processed (the measured per-LP load the
+// ROADMAP's LP-aware balancer needs), how long each worker sat in each
+// barrier, and the depth of every non-empty mailbox flush (cross-LP
+// traffic).  Threading contract: on_lp_window / on_mailbox_drain for LP
+// i are only ever called from the worker that owns LP i (i mod threads),
+// and on_barrier_wait(w, ...) only from worker w — an implementation
+// with per-LP / per-worker slots needs no locks.  Event and message
+// counts are thread-count-invariant (the same deterministic schedule is
+// replayed at any T); wall-clock figures naturally are not.
+//
+// No probe attached (the default) costs nothing: the runtime takes no
+// timestamps and the worker loop is unchanged.  The degenerate 1-LP
+// runtime never calls a probe — it has no windows, barriers or
+// mailboxes to report.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace corelite::sim::par {
+
+class LpProbe {
+ public:
+  virtual ~LpProbe() = default;
+
+  /// Called once per run_until on the calling thread, before workers
+  /// start.  `windows_estimate` = ceil(deadline / lookahead).
+  virtual void on_run_start(std::size_t lp_count, std::size_t threads,
+                            std::uint64_t windows_estimate) = 0;
+
+  /// LP `lp` ran its events for barrier window `window` in `run_ms`
+  /// wall milliseconds, processing `events` events.
+  virtual void on_lp_window(std::size_t lp, std::uint64_t window, double run_ms,
+                            std::uint64_t events) = 0;
+
+  /// Worker `w` waited `wait_ms` wall milliseconds in a barrier during
+  /// `window` (two barriers per window; calls accumulate).
+  virtual void on_barrier_wait(std::size_t worker, std::uint64_t window, double wait_ms) = 0;
+
+  /// A non-empty mailbox into `dst_lp` flushed `msgs` messages at the
+  /// end of `window`.
+  virtual void on_mailbox_drain(std::size_t dst_lp, std::uint64_t window, std::size_t msgs) = 0;
+};
+
+}  // namespace corelite::sim::par

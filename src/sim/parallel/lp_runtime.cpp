@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <thread>
 #include <utility>
@@ -71,7 +73,7 @@ void LpRuntime::post(std::size_t src_lp, std::size_t dst_lp, SimTime at,
   boxes_[src_lp * sims_.size() + dst_lp].msgs.push_back({at, std::move(fn)});
 }
 
-void LpRuntime::drain_mailboxes(std::size_t dst_lp) {
+void LpRuntime::drain_mailboxes(std::size_t dst_lp, std::uint64_t window) {
   // Fixed merge order: src LP ascending, FIFO within each mailbox.
   // Messages are scheduled into dst's queue here, which assigns their
   // tie-breaking sequence numbers — identical at any thread count
@@ -83,6 +85,7 @@ void LpRuntime::drain_mailboxes(std::size_t dst_lp) {
     Mailbox& box = boxes_[src * k + dst_lp];
     if (box.msgs.empty()) continue;
     ++hotpath_counters().mailbox_flushes;
+    if (probe_ != nullptr) probe_->on_mailbox_drain(dst_lp, window, box.msgs.size());
     for (Mailbox::Msg& m : box.msgs) {
       dst.at_detached(m.at, std::move(m.fn));
     }
@@ -94,16 +97,42 @@ void LpRuntime::worker_loop(std::size_t w, SimTime deadline, void* barrier) {
   auto& bar = *static_cast<std::barrier<>*>(barrier);
   const std::size_t k = sims_.size();
   const std::size_t t = threads_;
+  using Clock = std::chrono::steady_clock;
+  const auto ms_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  };
+  const bool probing = probe_ != nullptr;
   for (std::uint64_t window = 0;; ++window) {
     // Same expression every run: w_end is a deterministic double.
     SimTime w_end =
         SimTime::seconds(lookahead_.sec() * static_cast<double>(window + 1));
     if (!(w_end < deadline)) w_end = deadline;
-    for (std::size_t lp = w; lp < k; lp += t) sims_[lp]->run_until(w_end);
-    bar.arrive_and_wait();
+    for (std::size_t lp = w; lp < k; lp += t) {
+      if (!probing) {
+        sims_[lp]->run_until(w_end);
+        continue;
+      }
+      const std::uint64_t ev0 = sims_[lp]->events_processed();
+      const auto t0 = Clock::now();
+      sims_[lp]->run_until(w_end);
+      probe_->on_lp_window(lp, window, ms_since(t0), sims_[lp]->events_processed() - ev0);
+    }
+    if (probing) {
+      const auto b0 = Clock::now();
+      bar.arrive_and_wait();
+      probe_->on_barrier_wait(w, window, ms_since(b0));
+    } else {
+      bar.arrive_and_wait();
+    }
     if (w == 0) ++hotpath_counters().lp_barriers;
-    for (std::size_t lp = w; lp < k; lp += t) drain_mailboxes(lp);
-    bar.arrive_and_wait();
+    for (std::size_t lp = w; lp < k; lp += t) drain_mailboxes(lp, window);
+    if (probing) {
+      const auto b0 = Clock::now();
+      bar.arrive_and_wait();
+      probe_->on_barrier_wait(w, window, ms_since(b0));
+    } else {
+      bar.arrive_and_wait();
+    }
     if (w == 0) ++hotpath_counters().lp_barriers;
     if (w_end == deadline) break;
   }
@@ -121,6 +150,10 @@ void LpRuntime::run_until(SimTime deadline) {
   // window length the partition achieved.
   hotpath_counters().lookahead_ns +=
       static_cast<std::uint64_t>(lookahead_.sec() * 1e9);
+  if (probe_ != nullptr) {
+    const double windows = std::ceil(std::max(0.0, deadline.sec()) / lookahead_.sec());
+    probe_->on_run_start(sims_.size(), threads_, static_cast<std::uint64_t>(windows));
+  }
   std::barrier<> bar{static_cast<std::ptrdiff_t>(threads_)};
   std::vector<std::thread> extra;
   extra.reserve(threads_ - 1);

@@ -56,6 +56,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/parallel/lp_probe.h"
 #include "sim/simulator.h"
 #include "sim/units.h"
 
@@ -102,6 +103,11 @@ class LpRuntime {
   /// Sum of events processed across LPs.
   [[nodiscard]] std::uint64_t events_processed() const;
 
+  /// Attach an LP runtime profiler (see lp_probe.h).  Pure observation:
+  /// event order and digests are identical with or without one; with
+  /// none attached the worker loop takes no timestamps at all.
+  void set_probe(LpProbe* probe) { probe_ = probe; }
+
  private:
   struct Mailbox {
     struct Msg {
@@ -113,7 +119,7 @@ class LpRuntime {
     alignas(64) std::vector<Msg> msgs;
   };
 
-  void drain_mailboxes(std::size_t dst_lp);
+  void drain_mailboxes(std::size_t dst_lp, std::uint64_t window);
   void worker_loop(std::size_t w, SimTime deadline, void* barrier);
 
   std::vector<std::unique_ptr<Simulator>> sims_;
@@ -121,6 +127,7 @@ class LpRuntime {
   TimeDelta lookahead_ = TimeDelta::zero();
   std::size_t threads_ = 1;
   std::size_t budget_granted_ = 0;  ///< extra tokens held from ThreadBudget
+  LpProbe* probe_ = nullptr;
 };
 
 }  // namespace corelite::sim::par

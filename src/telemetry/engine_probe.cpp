@@ -1,0 +1,306 @@
+#include "telemetry/engine_probe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/json_writer.h"
+
+namespace corelite::telemetry {
+
+// ---------------------------------------------------------------- LpProfiler
+
+void LpProfiler::on_run_start(std::size_t lp_count, std::size_t threads,
+                              std::uint64_t windows_estimate) {
+  // Called on the orchestrating thread before workers spawn, so
+  // resizing the slot vectors here is race-free.
+  report_.lp_count = std::max(report_.lp_count, lp_count);
+  report_.threads = std::max(report_.threads, threads);
+  report_.windows_estimate = std::max(report_.windows_estimate, windows_estimate);
+  report_.runs += 1;
+  if (report_.lps.size() < lp_count) report_.lps.resize(lp_count);
+  if (report_.workers.size() < threads) report_.workers.resize(threads);
+}
+
+std::size_t LpProfiler::series_bucket(std::uint64_t window) const {
+  const std::uint64_t total = std::max<std::uint64_t>(report_.windows_estimate, 1);
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(kSeriesBuckets - 1, window * kSeriesBuckets / total));
+}
+
+void LpProfiler::on_lp_window(std::size_t lp, std::uint64_t window, double run_ms,
+                              std::uint64_t events) {
+  if (lp >= report_.lps.size()) return;
+  LpSummary& s = report_.lps[lp];  // single writer: LP's owning worker
+  s.windows += 1;
+  s.events += events;
+  s.run_ms += run_ms;
+  const std::size_t b = series_bucket(window);
+  s.events_series[b] += events;
+  s.run_ms_series[b] += run_ms;
+}
+
+void LpProfiler::on_barrier_wait(std::size_t worker, std::uint64_t /*window*/, double wait_ms) {
+  if (worker >= report_.workers.size()) return;
+  WorkerSummary& s = report_.workers[worker];  // single writer: worker itself
+  s.barrier_waits += 1;
+  s.barrier_wait_ms += wait_ms;
+  s.max_wait_ms = std::max(s.max_wait_ms, wait_ms);
+}
+
+void LpProfiler::on_mailbox_drain(std::size_t dst_lp, std::uint64_t /*window*/,
+                                  std::size_t msgs) {
+  if (dst_lp >= report_.lps.size() || msgs == 0) return;
+  LpSummary& s = report_.lps[dst_lp];  // single writer: dst's owning worker
+  s.drains += 1;
+  s.msgs_in += msgs;
+  std::size_t bucket = 0;
+  for (std::size_t m = msgs; m > 1 && bucket + 1 < kDepthBuckets; m >>= 1U) ++bucket;
+  s.flush_depth_log2[bucket] += 1;
+}
+
+// ------------------------------------------------------- FluidFlightRecorder
+
+std::string_view FluidFlightRecorder::kind_name(sim::fluid::FluidCertEvent::Kind k) {
+  using Kind = sim::fluid::FluidCertEvent::Kind;
+  switch (k) {
+    case Kind::kWindowReset: return "window_reset";
+    case Kind::kBoundaryReset: return "boundary_reset";
+    case Kind::kAttempt: return "attempt";
+    case Kind::kRejectMinSkip: return "reject_min_skip";
+    case Kind::kRejectDrift: return "reject_drift";
+    case Kind::kRejectAgreement: return "reject_agreement";
+    case Kind::kAccept: return "accept";
+    case Kind::kReanchor: return "reanchor";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------ trace renders
+
+void render_audit_trace(TraceWriter& trace, const FairnessAuditReport& report) {
+  constexpr int kPid = TraceWriter::kVirtualPid;
+  for (const AuditWindow& w : report.windows) {
+    const double ts = w.t1_sec * 1e6;
+    trace.add_counter(kPid, "audit.jain", ts, "jain", w.jain);
+    trace.add_counter(kPid, "audit.max_abs_deviation", ts, "max_abs_dev", w.max_abs_deviation);
+    trace.add_counter(kPid, "audit.violations", ts, "violations",
+                      static_cast<double>(w.violations));
+  }
+  // One deviation series for the run's overall worst offender, so the
+  // failure is a plotted line rather than a number in a table.
+  if (report.worst_flow != net::kInvalidFlow) {
+    const std::string series = "flow " + std::to_string(report.worst_flow);
+    for (const AuditWindow& w : report.windows) {
+      for (const AuditFlowSample& s : w.flows) {
+        if (s.id != report.worst_flow) continue;
+        trace.add_counter(kPid, "audit.worst_flow_deviation", w.t1_sec * 1e6, series,
+                          s.deviation);
+        break;
+      }
+    }
+  }
+  if (report.watchdog_fired) {
+    trace.add_instant(kPid, 0, "fairness watchdog FIRED", "audit",
+                      report.watchdog_t_sec * 1e6);
+  }
+}
+
+void render_lp_trace(TraceWriter& trace, const LpProfiler::Report& report) {
+  if (report.lp_count == 0) return;
+  constexpr int kPid = TraceWriter::kEnginePid;
+  trace.set_process_name(kPid, "LP runtime (ms of run wall time)");
+  // Per-LP tracks: downsampled execution spans laid end to end on each
+  // LP's own thread row; the span's arg carries the bucket event count.
+  for (std::size_t lp = 0; lp < report.lps.size(); ++lp) {
+    const LpProfiler::LpSummary& s = report.lps[lp];
+    const int tid = static_cast<int>(lp);
+    trace.set_thread_name(kPid, tid, "LP " + std::to_string(lp));
+    double cursor_us = 0.0;
+    for (std::size_t b = 0; b < LpProfiler::kSeriesBuckets; ++b) {
+      const double dur_us = s.run_ms_series[b] * 1000.0;
+      if (dur_us <= 0.0 && s.events_series[b] == 0) continue;
+      trace.add_complete(kPid, tid, "bucket " + std::to_string(b), "lp-run", cursor_us,
+                         std::max(dur_us, 0.001), "events",
+                         static_cast<double>(s.events_series[b]));
+      cursor_us += std::max(dur_us, 0.001);
+    }
+    trace.add_counter(kPid, "lp.events", static_cast<double>(lp), "LP " + std::to_string(lp),
+                      static_cast<double>(s.events));
+  }
+  for (std::size_t w = 0; w < report.workers.size(); ++w) {
+    trace.add_counter(kPid, "lp.barrier_wait_ms", static_cast<double>(w),
+                      "worker " + std::to_string(w), report.workers[w].barrier_wait_ms);
+  }
+}
+
+void render_fluid_cert_trace(TraceWriter& trace, const FluidFlightRecorder& recorder) {
+  constexpr int kPid = TraceWriter::kVirtualPid;
+  for (const sim::fluid::FluidCertEvent& e : recorder.events()) {
+    const std::string name = "fluid " + std::string(FluidFlightRecorder::kind_name(e.kind));
+    trace.add_instant(kPid, 0, name, "fluid-cert", e.t_sec * 1e6);
+  }
+}
+
+// ------------------------------------------------------------- audit JSON
+
+namespace {
+
+void write_flow_sample(std::ostream& os, const AuditFlowSample& s) {
+  os << "{\"id\": " << s.id << ", \"weight\": " << stats::json_number(s.weight)
+     << ", \"rate_pps\": " << stats::json_number(s.rate_pps)
+     << ", \"sent_pps\": " << stats::json_number(s.sent_pps)
+     << ", \"normalized\": " << stats::json_number(s.normalized)
+     << ", \"oracle_pps\": " << stats::json_number(s.oracle_pps)
+     << ", \"fair_share_pps\": " << stats::json_number(s.fair_share_pps)
+     << ", \"deviation\": " << stats::json_number(s.deviation)
+     << ", \"overage\": " << stats::json_number(s.overage)
+     << ", \"active\": " << (s.active ? "true" : "false")
+     << ", \"measurable\": " << (s.measurable ? "true" : "false") << "}";
+}
+
+void write_window(std::ostream& os, const AuditWindow& w, const char* indent) {
+  os << indent << "{\"index\": " << w.index << ", \"t0_sec\": " << stats::json_number(w.t0_sec)
+     << ", \"t1_sec\": " << stats::json_number(w.t1_sec)
+     << ", \"jain\": " << stats::json_number(w.jain)
+     << ", \"max_abs_deviation\": " << stats::json_number(w.max_abs_deviation)
+     << ", \"worst_flow\": " << (w.worst_flow == net::kInvalidFlow ? -1 : static_cast<long long>(w.worst_flow))
+     << ", \"worst_deviation\": " << stats::json_number(w.worst_deviation)
+     << ", \"active_flows\": " << w.active_flows
+     << ", \"measurable_flows\": " << w.measurable_flows
+     << ", \"violations\": " << w.violations
+     << ", \"boundary\": " << (w.boundary ? "true" : "false")
+     << ", \"spans_jump\": " << (w.spans_jump ? "true" : "false")
+     << ", \"violating\": " << (w.violating ? "true" : "false") << ",\n"
+     << indent << " \"flows\": [";
+  for (std::size_t i = 0; i < w.flows.size(); ++i) {
+    if (i != 0) os << ", ";
+    write_flow_sample(os, w.flows[i]);
+  }
+  os << "],\n" << indent << " \"gauges\": [";
+  for (std::size_t i = 0; i < w.gauges.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << stats::json_number(w.gauges[i]);
+  }
+  os << "]}";
+}
+
+void write_fairness(std::ostream& os, const FairnessAuditReport& r) {
+  os << "  \"fairness\": {\n"
+     << "    \"window_sec\": " << stats::json_number(r.config.window.sec()) << ",\n"
+     << "    \"band\": " << stats::json_number(r.config.band) << ",\n"
+     << "    \"watchdog_windows\": " << r.config.watchdog_windows << ",\n"
+     << "    \"grace_windows\": " << r.config.grace_windows << ",\n"
+     << "    \"rate_floor_pps\": " << stats::json_number(r.config.rate_floor_pps) << ",\n"
+     << "    \"watchdog_enabled\": " << (r.config.watchdog_enabled ? "true" : "false") << ",\n"
+     << "    \"watchdog_fired\": " << (r.watchdog_fired ? "true" : "false") << ",\n"
+     << "    \"watchdog_t_sec\": " << stats::json_number(r.watchdog_t_sec) << ",\n"
+     << "    \"watchdog_window\": " << r.watchdog_window << ",\n"
+     << "    \"min_jain\": " << stats::json_number(r.min_jain) << ",\n"
+     << "    \"worst_deviation\": " << stats::json_number(r.worst_deviation) << ",\n"
+     << "    \"worst_flow\": "
+     << (r.worst_flow == net::kInvalidFlow ? -1 : static_cast<long long>(r.worst_flow)) << ",\n"
+     << "    \"worst_t_sec\": " << stats::json_number(r.worst_t_sec) << ",\n"
+     << "    \"gauge_names\": [";
+  for (std::size_t i = 0; i < r.gauge_names.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << "\"" << stats::json_escape(r.gauge_names[i]) << "\"";
+  }
+  os << "],\n    \"windows\": [\n";
+  for (std::size_t i = 0; i < r.windows.size(); ++i) {
+    write_window(os, r.windows[i], "      ");
+    os << (i + 1 < r.windows.size() ? ",\n" : "\n");
+  }
+  os << "    ],\n    \"flight_recorder\": [\n";
+  for (std::size_t i = 0; i < r.flight_recorder.size(); ++i) {
+    write_window(os, r.flight_recorder[i], "      ");
+    os << (i + 1 < r.flight_recorder.size() ? ",\n" : "\n");
+  }
+  os << "    ]\n  }";
+}
+
+void write_engine(std::ostream& os, const LpProfiler::Report& r) {
+  os << "  \"engine\": {\n"
+     << "    \"lp_count\": " << r.lp_count << ",\n"
+     << "    \"threads\": " << r.threads << ",\n"
+     << "    \"windows_estimate\": " << r.windows_estimate << ",\n"
+     << "    \"runs\": " << r.runs << ",\n"
+     << "    \"lps\": [\n";
+  for (std::size_t lp = 0; lp < r.lps.size(); ++lp) {
+    const LpProfiler::LpSummary& s = r.lps[lp];
+    os << "      {\"lp\": " << lp << ", \"windows\": " << s.windows
+       << ", \"events\": " << s.events << ", \"run_ms\": " << stats::json_number(s.run_ms)
+       << ", \"drains\": " << s.drains << ", \"msgs_in\": " << s.msgs_in
+       << ", \"flush_depth_log2\": [";
+    // Trim trailing zero buckets to keep the document small.
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < LpProfiler::kDepthBuckets; ++b) {
+      if (s.flush_depth_log2[b] != 0) last = b + 1;
+    }
+    for (std::size_t b = 0; b < last; ++b) {
+      if (b != 0) os << ", ";
+      os << s.flush_depth_log2[b];
+    }
+    os << "]}";
+    os << (lp + 1 < r.lps.size() ? ",\n" : "\n");
+  }
+  os << "    ],\n    \"workers\": [\n";
+  for (std::size_t w = 0; w < r.workers.size(); ++w) {
+    const LpProfiler::WorkerSummary& s = r.workers[w];
+    os << "      {\"worker\": " << w << ", \"barrier_waits\": " << s.barrier_waits
+       << ", \"barrier_wait_ms\": " << stats::json_number(s.barrier_wait_ms)
+       << ", \"max_wait_ms\": " << stats::json_number(s.max_wait_ms) << "}";
+    os << (w + 1 < r.workers.size() ? ",\n" : "\n");
+  }
+  os << "    ]\n  }";
+}
+
+void write_fluid_cert(std::ostream& os, const FluidFlightRecorder& rec,
+                      const sim::fluid::FluidStats* stats) {
+  os << "  \"fluid_cert\": {\n";
+  if (stats != nullptr) {
+    const double accepts = static_cast<double>(stats->jumps);
+    os << "    \"attempts\": " << stats->cert_attempts << ",\n"
+       << "    \"reject_min_skip\": " << stats->cert_reject_min_skip << ",\n"
+       << "    \"reject_drift\": " << stats->cert_reject_drift << ",\n"
+       << "    \"reject_agreement\": " << stats->cert_reject_agreement << ",\n"
+       << "    \"accepts\": " << stats->jumps << ",\n"
+       << "    \"mean_dwell_at_accept\": "
+       << stats::json_number(accepts > 0.0 ? stats->cert_dwell_at_accept_sum / accepts : 0.0)
+       << ",\n";
+  }
+  os << "    \"dropped_events\": " << rec.dropped() << ",\n    \"events\": [\n";
+  const auto& evs = rec.events();
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const sim::fluid::FluidCertEvent& e = evs[i];
+    os << "      {\"kind\": \"" << FluidFlightRecorder::kind_name(e.kind)
+       << "\", \"t_sec\": " << stats::json_number(e.t_sec) << ", \"dwell\": " << e.dwell
+       << ", \"window_sec\": " << stats::json_number(e.window_sec)
+       << ", \"extra\": " << stats::json_number(e.extra) << "}";
+    os << (i + 1 < evs.size() ? ",\n" : "\n");
+  }
+  os << "    ]\n  }";
+}
+
+}  // namespace
+
+void write_audit_json(std::ostream& os, const AuditDocument& doc) {
+  os << "{\n  \"audit_schema\": \"corelite-audit-v1\",\n"
+     << "  \"scenario\": \"" << stats::json_escape(doc.scenario) << "\",\n"
+     << "  \"mechanism\": \"" << stats::json_escape(doc.mechanism) << "\",\n"
+     << "  \"seed\": " << doc.seed;
+  if (doc.fairness != nullptr) {
+    os << ",\n";
+    write_fairness(os, *doc.fairness);
+  }
+  if (doc.engine != nullptr) {
+    os << ",\n";
+    write_engine(os, *doc.engine);
+  }
+  if (doc.fluid_cert != nullptr) {
+    os << ",\n";
+    write_fluid_cert(os, *doc.fluid_cert, doc.fluid_stats);
+  }
+  os << "\n}\n";
+}
+
+}  // namespace corelite::telemetry

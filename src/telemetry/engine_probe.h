@@ -1,0 +1,140 @@
+// Engine introspection: the LP runtime profiler, the fluid-
+// certification flight recorder, and the renderers that turn both plus
+// the fairness audit into Chrome-trace tracks and the audit JSON
+// document (`corelite-audit-v1`, validated by tools/check_telemetry.py
+// and folded into HTML by tools/fairness_report.py).
+//
+// LpProfiler implements sim::par::LpProbe with one padded slot per LP
+// and per worker — LpProbe's threading contract (single writer per
+// slot) means no locks anywhere.  Per-LP event/message counts are
+// thread-count-invariant (tests pin this); wall-clock figures are not.
+// Window-resolved activity is downsampled into kSeriesBuckets fixed
+// buckets so a million-window run still renders as bounded per-LP trace
+// tracks (pid 3).
+//
+// FluidFlightRecorder implements sim::fluid::FluidProbe: an append-only
+// bounded log of every certification decision, the data ROADMAP's
+// detector auto-tuning needs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/fluid/config.h"
+#include "sim/fluid/probe.h"
+#include "sim/parallel/lp_probe.h"
+#include "telemetry/fairness_audit.h"
+#include "telemetry/trace.h"
+
+namespace corelite::telemetry {
+
+class LpProfiler final : public sim::par::LpProbe {
+ public:
+  /// Fixed downsampling resolution for the per-LP trace tracks.
+  static constexpr std::size_t kSeriesBuckets = 128;
+  /// log2 buckets for mailbox flush depths (bucket i: depth in
+  /// [2^(i-1), 2^i), bucket 0: depth 1).
+  static constexpr std::size_t kDepthBuckets = 20;
+
+  struct LpSummary {
+    std::uint64_t windows = 0;  ///< barrier windows this LP executed
+    std::uint64_t events = 0;   ///< events processed across all windows
+    double run_ms = 0.0;        ///< wall time inside run_until batches
+    std::uint64_t drains = 0;   ///< non-empty mailbox flushes received
+    std::uint64_t msgs_in = 0;  ///< cross-LP messages received
+    std::array<std::uint64_t, kDepthBuckets> flush_depth_log2{};
+    std::array<std::uint64_t, kSeriesBuckets> events_series{};
+    std::array<double, kSeriesBuckets> run_ms_series{};
+  };
+
+  struct WorkerSummary {
+    std::uint64_t barrier_waits = 0;
+    double barrier_wait_ms = 0.0;
+    double max_wait_ms = 0.0;
+  };
+
+  struct Report {
+    std::size_t lp_count = 0;
+    std::size_t threads = 0;
+    std::uint64_t windows_estimate = 0;
+    std::uint64_t runs = 0;  ///< run_until invocations observed
+    std::vector<LpSummary> lps;
+    std::vector<WorkerSummary> workers;
+  };
+
+  void on_run_start(std::size_t lp_count, std::size_t threads,
+                    std::uint64_t windows_estimate) override;
+  void on_lp_window(std::size_t lp, std::uint64_t window, double run_ms,
+                    std::uint64_t events) override;
+  void on_barrier_wait(std::size_t worker, std::uint64_t window, double wait_ms) override;
+  void on_mailbox_drain(std::size_t dst_lp, std::uint64_t window, std::size_t msgs) override;
+
+  /// Snapshot after run_until returned (no workers running).
+  [[nodiscard]] const Report& report() const { return report_; }
+
+ private:
+  [[nodiscard]] std::size_t series_bucket(std::uint64_t window) const;
+
+  Report report_;
+};
+
+/// Bounded append-only log of fluid certification decisions.
+class FluidFlightRecorder final : public sim::fluid::FluidProbe {
+ public:
+  explicit FluidFlightRecorder(std::size_t capacity = 4096) : capacity_{capacity} {}
+
+  void on_cert_event(const sim::fluid::FluidCertEvent& e) override {
+    if (events_.size() < capacity_) {
+      events_.push_back(e);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] const std::vector<sim::fluid::FluidCertEvent>& events() const { return events_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  [[nodiscard]] static std::string_view kind_name(sim::fluid::FluidCertEvent::Kind k);
+
+ private:
+  std::size_t capacity_;
+  std::vector<sim::fluid::FluidCertEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+// --------------------------------------------------------------------------
+// Chrome-trace rendering (post-run; costs the engine nothing).
+
+/// Fairness-audit counter series (Jain, max |deviation|, violations) on
+/// the virtual-time process, plus an instant event where the watchdog
+/// fired and one per-flow deviation series for the worst offender.
+void render_audit_trace(TraceWriter& trace, const FairnessAuditReport& report);
+
+/// Per-LP tracks on TraceWriter::kEnginePid: one thread per LP with
+/// downsampled event-rate spans, plus barrier-wait summary counters.
+void render_lp_trace(TraceWriter& trace, const LpProfiler::Report& report);
+
+/// Certification decisions as instants on the virtual-time process.
+void render_fluid_cert_trace(TraceWriter& trace, const FluidFlightRecorder& recorder);
+
+// --------------------------------------------------------------------------
+// Audit JSON (schema "corelite-audit-v1").
+
+struct AuditDocument {
+  std::string scenario;
+  std::string mechanism;
+  std::uint64_t seed = 0;
+  const FairnessAuditReport* fairness = nullptr;          ///< null = section omitted
+  const LpProfiler::Report* engine = nullptr;             ///< null = section omitted
+  const FluidFlightRecorder* fluid_cert = nullptr;        ///< null = section omitted
+  const sim::fluid::FluidStats* fluid_stats = nullptr;    ///< cert counters, optional
+};
+
+void write_audit_json(std::ostream& os, const AuditDocument& doc);
+
+}  // namespace corelite::telemetry

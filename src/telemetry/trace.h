@@ -32,9 +32,13 @@ namespace corelite::telemetry {
 
 class TraceWriter {
  public:
-  /// Process ids of the two clock domains (see file comment).
+  /// Process ids of the clock domains (see file comment).  kEnginePid
+  /// carries per-LP runtime-profiler tracks (engine_probe.h) — wall
+  /// milliseconds of LP execution, separate from the sweep's pid 2 so
+  /// run-internal and harness parallelism don't share tracks.
   static constexpr int kVirtualPid = 1;
   static constexpr int kWallPid = 2;
+  static constexpr int kEnginePid = 3;
 
   /// Name a process / thread track (ph "M" metadata events).
   void set_process_name(int pid, std::string name);

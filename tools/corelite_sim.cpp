@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -29,6 +30,7 @@
 #include "stats/csv_writer.h"
 #include "stats/json_writer.h"
 #include "stats/fairness.h"
+#include "telemetry/engine_probe.h"
 #include "telemetry/harness.h"
 #include "telemetry/metrics.h"
 
@@ -37,6 +39,25 @@ namespace rn = corelite::runner;
 namespace tel = corelite::telemetry;
 
 namespace {
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss{text};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::string join_list(const std::vector<std::string>& items) {
+  std::string out;
+  for (const auto& s : items) {
+    if (!out.empty()) out += ",";
+    out += s;
+  }
+  return out;
+}
 
 /// --telemetry / --trace-out / --manifest / --heartbeat, shared by the
 /// single-run and sweep paths.
@@ -49,7 +70,7 @@ struct TelemetryArgs {
   static TelemetryArgs from(const corelite::cli::ArgParser& parser) {
     TelemetryArgs t;
     t.trace_path = parser.get_string("trace-out");
-    t.on = parser.get_flag("telemetry") || !t.trace_path.empty();
+    t.on = parser.get_flag("telemetry") || !t.trace_path.empty() || parser.get_flag("audit");
     t.manifest_path =
         parser.was_set("manifest") ? parser.get_string("manifest") : "run_manifest.json";
     t.heartbeat_sec = parser.get_double("heartbeat");
@@ -66,6 +87,85 @@ void register_telemetry_options(corelite::cli::ArgParser& parser) {
                     "run-manifest path (written when telemetry is on)");
   parser.add_double("heartbeat", 0.0,
                     "sweep mode: print live progress to stderr every N seconds (0 = off)");
+  parser.add_flag("audit",
+                  "run the fairness auditor: per-window oracle-deviation telemetry + watchdog "
+                  "(implies --telemetry; adds audit sampler events to the run)");
+  parser.add_string("audit-out", "fairness_audit.json",
+                    "audit JSON document path (written when --audit is on)");
+  parser.add_double("audit-window", 6.4, "audit measurement window in seconds");
+  parser.add_double("audit-band", 0.40,
+                    "relative oracle-deviation band; beyond it a flow's window violates");
+  parser.add_int("audit-watchdog", 4,
+                 "consecutive violating windows before the watchdog fires (0 = disarm)");
+  parser.add_string("flood", "",
+                    "inject unresponsive floods: comma-separated flow:pps pairs, e.g. "
+                    "'3:400,7:250' (sources ignore the adaptation protocol)");
+}
+
+/// --audit family, shared by the single-run and sweep paths.
+struct AuditArgs {
+  bool on = false;
+  std::string out_path;
+  tel::FairnessAuditConfig cfg;
+  std::vector<double> flood_pps;  ///< 0-sized when --flood absent
+  bool flood_malformed = false;
+
+  static AuditArgs from(const corelite::cli::ArgParser& parser) {
+    AuditArgs a;
+    a.on = parser.get_flag("audit");
+    a.out_path = parser.get_string("audit-out");
+    a.cfg.enabled = a.on;
+    a.cfg.window = corelite::sim::TimeDelta::seconds(
+        std::max(1e-3, parser.get_double("audit-window")));
+    a.cfg.band = parser.get_double("audit-band");
+    const auto wd = parser.get_int("audit-watchdog");
+    a.cfg.watchdog_enabled = wd > 0;
+    if (wd > 0) a.cfg.watchdog_windows = static_cast<int>(wd);
+    if (parser.was_set("flood")) {
+      const std::string text = parser.get_string("flood");
+      for (const std::string& item : split_list(text)) {
+        const auto colon = item.find(':');
+        const long id = std::strtol(item.c_str(), nullptr, 10);
+        const double pps = colon == std::string::npos
+                               ? -1.0
+                               : std::strtod(item.c_str() + colon + 1, nullptr);
+        if (colon == std::string::npos || id < 1 || !(pps > 0.0)) {
+          a.flood_malformed = true;
+          break;
+        }
+        if (static_cast<std::size_t>(id) > a.flood_pps.size()) a.flood_pps.resize(id, 0.0);
+        a.flood_pps[id - 1] = pps;
+      }
+    }
+    return a;
+  }
+};
+
+bool write_audit_file(const tel::AuditDocument& doc, const std::string& path) {
+  std::ofstream os{path};
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  tel::write_audit_json(os, doc);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return true;
+}
+
+/// Fold the audit outcome into the trace (if any) and the manifest.
+void render_audit_outcome(const tel::FairnessAuditReport* fairness,
+                          const tel::LpProfiler& lp_profiler,
+                          const tel::FluidFlightRecorder& flight, tel::TraceWriter* trace,
+                          tel::RunManifest& manifest) {
+  if (trace != nullptr) {
+    if (fairness != nullptr) tel::render_audit_trace(*trace, *fairness);
+    if (lp_profiler.report().runs > 0) tel::render_lp_trace(*trace, lp_profiler.report());
+    if (!flight.events().empty()) tel::render_fluid_cert_trace(*trace, flight);
+  }
+  if (fairness != nullptr) {
+    manifest.extra.emplace_back("audit_windows", std::to_string(fairness->windows.size()));
+    manifest.extra.emplace_back("audit_watchdog", fairness->watchdog_fired ? "1" : "0");
+  }
 }
 
 // --profile: the always-on hot-path op counters, aggregated across every
@@ -96,25 +196,6 @@ void print_hotpath_profile() {
               static_cast<unsigned long long>(c.cross_lp_events),
               static_cast<unsigned long long>(c.mailbox_flushes));
   std::printf("  lp lookahead         %12.3f ms\n", c.lookahead_ns / 1e6);
-}
-
-std::vector<std::string> split_list(const std::string& text) {
-  std::vector<std::string> out;
-  std::stringstream ss{text};
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
-std::string join_list(const std::vector<std::string>& items) {
-  std::string out;
-  for (const auto& s : items) {
-    if (!out.empty()) out += ",";
-    out += s;
-  }
-  return out;
 }
 
 // Sweep mode: seed × scenario × mechanism grid on a worker pool.
@@ -163,16 +244,37 @@ int run_sweep(const corelite::cli::ArgParser& parser) {
                runs.size(), grid.scenarios.size(), grid.mechanisms.size(), grid.repeats, jobs);
 
   const TelemetryArgs tele = TelemetryArgs::from(parser);
+  const AuditArgs audit = AuditArgs::from(parser);
+  if (audit.flood_malformed) {
+    std::fprintf(stderr, "malformed --flood list (expect flow:pps pairs)\n");
+    return 2;
+  }
   tel::PhaseTimer phases;
   phases.start("setup");
   tel::TraceWriter trace;
   std::unique_ptr<tel::LinkTraceCollector> collector;
+  tel::LpProfiler lp_profiler;
+  tel::FluidFlightRecorder flight;
 
   rn::SweepRunner sweep_runner{jobs};
   if (!tele.trace_path.empty()) {
     // Virtual-time tracks come from run 0 only: one representative
     // universe, no observer cost on the rest of the grid.
     sweep_runner.set_run_instrument(0, tel::congested_link_instrument(trace, collector));
+  }
+  if (audit.on || !audit.flood_pps.empty() || tele.on) {
+    // The audit (and the engine probes) ride run 0 only: the rest of
+    // the grid keeps its digest-clean event stream, so the combined
+    // digest stays --jobs-invariant even with the auditor on.
+    sweep_runner.set_run_spec_hook(0, [&audit, &lp_profiler, &flight, &tele](
+                                          sc::ScenarioSpec& spec) {
+      if (audit.on) spec.audit = audit.cfg;
+      if (!audit.flood_pps.empty()) spec.flood_pps = audit.flood_pps;
+      if (tele.on) {
+        spec.lp_probe = &lp_profiler;
+        spec.fluid_probe = &flight;
+      }
+    });
   }
   if (tele.heartbeat_sec > 0.0) sweep_runner.set_heartbeat(&std::cerr, tele.heartbeat_sec);
   if (!parser.get_flag("quiet")) {
@@ -248,13 +350,29 @@ int run_sweep(const corelite::cli::ArgParser& parser) {
   }
   if (parser.get_flag("profile")) print_hotpath_profile();
 
+  const tel::FairnessAuditReport* fairness =
+      !results.empty() && results[0].audit ? results[0].audit.get() : nullptr;
+  if (audit.on) {
+    tel::AuditDocument doc;
+    doc.scenario = join_list(grid.scenarios);
+    doc.mechanism = join_list(mech_names);
+    doc.seed = results.empty() ? grid.base_seed : results[0].desc.seed;
+    doc.fairness = fairness;
+    if (lp_profiler.report().runs > 0) doc.engine = &lp_profiler.report();
+    if (!flight.events().empty()) doc.fluid_cert = &flight;
+    if (!write_audit_file(doc, audit.out_path)) return 1;
+    if (fairness != nullptr && fairness->watchdog_fired) {
+      std::fprintf(stderr,
+                   "fairness watchdog FIRED at %.1f s (window %llu) — see %s\n",
+                   fairness->watchdog_t_sec,
+                   static_cast<unsigned long long>(fairness->watchdog_window),
+                   audit.out_path.c_str());
+    }
+  }
+
   if (tele.on) {
     const std::uint64_t digest = rn::combined_digest(results);
     std::printf("result digest: %s\n", tel::digest_hex(digest).c_str());
-    if (!tele.trace_path.empty()) {
-      tel::add_wall_spans(trace, results);
-      if (!tel::write_trace_file(trace, tele.trace_path, std::cerr)) return 1;
-    }
     phases.stop();
     tel::RunManifest manifest;
     manifest.tool = "corelite_sim";
@@ -271,6 +389,13 @@ int run_sweep(const corelite::cli::ArgParser& parser) {
         "hw_threads", std::to_string(corelite::sim::par::ThreadBudget::hardware_threads()));
     if (grid.lp > 1) manifest.extra.emplace_back("lp", std::to_string(grid.lp));
     if (!tele.trace_path.empty()) manifest.extra.emplace_back("trace", tele.trace_path);
+    render_audit_outcome(fairness, lp_profiler, flight,
+                         tele.trace_path.empty() ? nullptr : &trace, manifest);
+    if (audit.on) manifest.extra.emplace_back("audit", audit.out_path);
+    if (!tele.trace_path.empty()) {
+      tel::add_wall_spans(trace, results);
+      if (!tel::write_trace_file(trace, tele.trace_path, std::cerr)) return 1;
+    }
     if (!tel::write_manifest_file(manifest, tele.manifest_path, std::cerr)) return 1;
   }
   return 0;
@@ -340,12 +465,25 @@ int main(int argc, char** argv) {
   if (!spec.has_value()) return 2;
 
   const TelemetryArgs tele = TelemetryArgs::from(parser);
+  const AuditArgs audit = AuditArgs::from(parser);
+  if (audit.flood_malformed) {
+    std::fprintf(stderr, "malformed --flood list (expect flow:pps pairs)\n");
+    return 2;
+  }
   tel::PhaseTimer phases;
   phases.start("setup");
   tel::TraceWriter trace;
   std::unique_ptr<tel::LinkTraceCollector> collector;
+  tel::LpProfiler lp_profiler;
+  tel::FluidFlightRecorder flight;
   if (!tele.trace_path.empty()) {
     spec->instrument = tel::congested_link_instrument(trace, collector);
+  }
+  if (audit.on) spec->audit = audit.cfg;
+  if (!audit.flood_pps.empty()) spec->flood_pps = audit.flood_pps;
+  if (tele.on) {
+    spec->lp_probe = &lp_profiler;
+    spec->fluid_probe = &flight;
   }
 
   std::fprintf(stderr, "running %s / %s for %.0f s (seed %llu)...\n",
@@ -454,20 +592,28 @@ int main(int argc, char** argv) {
   }
   if (parser.get_flag("profile")) print_hotpath_profile();
 
+  if (audit.on) {
+    tel::AuditDocument doc;
+    doc.scenario = parser.get_string("scenario");
+    doc.mechanism = sc::mechanism_name(spec->mechanism);
+    doc.seed = spec->seed;
+    doc.fairness = result.audit_report.get();
+    if (lp_profiler.report().runs > 0) doc.engine = &lp_profiler.report();
+    if (!flight.events().empty()) doc.fluid_cert = &flight;
+    if (result.fluid_stats.enabled) doc.fluid_stats = &result.fluid_stats;
+    if (!write_audit_file(doc, audit.out_path)) return 1;
+    if (result.audit_report != nullptr && result.audit_report->watchdog_fired) {
+      std::fprintf(stderr,
+                   "fairness watchdog FIRED at %.1f s (window %llu) — see %s\n",
+                   result.audit_report->watchdog_t_sec,
+                   static_cast<unsigned long long>(result.audit_report->watchdog_window),
+                   audit.out_path.c_str());
+    }
+  }
+
   if (tele.on) {
     const std::uint64_t digest = rn::result_digest(result);
     std::printf("result digest: %s\n", tel::digest_hex(digest).c_str());
-    if (!tele.trace_path.empty()) {
-      // One wall-clock span for the single run, so a single-run trace
-      // also carries both clock domains.
-      trace.set_process_name(tel::TraceWriter::kWallPid, "wall-clock (us since start)");
-      trace.set_thread_name(tel::TraceWriter::kWallPid, 0, "main");
-      trace.add_complete(tel::TraceWriter::kWallPid, 0,
-                         parser.get_string("scenario") + "/" + sc::mechanism_name(spec->mechanism),
-                         "run", 0.0, run_ms * 1000.0, "events",
-                         static_cast<double>(result.events_processed));
-      if (!tel::write_trace_file(trace, tele.trace_path, std::cerr)) return 1;
-    }
     phases.stop();
     tel::RunManifest manifest;
     manifest.tool = "corelite_sim";
@@ -490,6 +636,20 @@ int main(int argc, char** argv) {
       manifest.extra.emplace_back("fluid_jumps", std::to_string(result.fluid_stats.jumps));
     }
     if (!tele.trace_path.empty()) manifest.extra.emplace_back("trace", tele.trace_path);
+    render_audit_outcome(result.audit_report.get(), lp_profiler, flight,
+                         tele.trace_path.empty() ? nullptr : &trace, manifest);
+    if (audit.on) manifest.extra.emplace_back("audit", audit.out_path);
+    if (!tele.trace_path.empty()) {
+      // One wall-clock span for the single run, so a single-run trace
+      // also carries both clock domains.
+      trace.set_process_name(tel::TraceWriter::kWallPid, "wall-clock (us since start)");
+      trace.set_thread_name(tel::TraceWriter::kWallPid, 0, "main");
+      trace.add_complete(tel::TraceWriter::kWallPid, 0,
+                         parser.get_string("scenario") + "/" + sc::mechanism_name(spec->mechanism),
+                         "run", 0.0, run_ms * 1000.0, "events",
+                         static_cast<double>(result.events_processed));
+      if (!tel::write_trace_file(trace, tele.trace_path, std::cerr)) return 1;
+    }
     if (!tel::write_manifest_file(manifest, tele.manifest_path, std::cerr)) return 1;
   }
   return 0;

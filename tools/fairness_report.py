@@ -1,0 +1,313 @@
+#!/usr/bin/env python3
+"""Fold fairness-audit JSON documents (and optionally BENCH_scale.json)
+into one self-contained HTML report.
+
+    python3 tools/fairness_report.py audit_fig5_corelite.json ... \
+        --bench BENCH_scale.json --out fairness_report.html
+
+Each audit document (schema "corelite-audit-v1", written by
+corelite_sim --audit) becomes a section: run summary, inline SVG
+sparklines of the per-window Jain index and max |oracle deviation|
+against the configured band, the worst per-flow offenders, the
+flight-recorder dump when the watchdog fired, and — when present — the
+LP runtime profile and the fluid-certification decision log.  BENCH
+rows contribute a scaling table with the certification-attempt columns.
+
+Output is a single HTML file with no external assets (inline CSS +
+SVG), so it can be archived as a CI artifact and opened anywhere.
+Stdlib only.
+"""
+
+import argparse
+import html
+import json
+import sys
+
+PAGE_STYLE = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto; max-width: 70em;
+       color: #1a1a2e; padding: 0 1em; }
+h1 { border-bottom: 2px solid #1a1a2e; padding-bottom: .2em; }
+h2 { margin-top: 2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #bbb; padding: .25em .6em; text-align: right; }
+th { background: #eef; }
+td.l, th.l { text-align: left; }
+.ok { color: #0a7a2f; font-weight: 600; }
+.bad { color: #b00020; font-weight: 600; }
+.spark { vertical-align: middle; }
+.meta { color: #555; font-size: 90%; }
+"""
+
+SPARK_W = 360
+SPARK_H = 48
+
+
+def esc(s):
+    return html.escape(str(s))
+
+
+def sparkline(values, band=None, lo=None, hi=None, color="#2255cc"):
+    """Inline SVG polyline over `values`; optional horizontal band line."""
+    if not values:
+        return "<span class='meta'>no data</span>"
+    vlo = min(values + ([band] if band is not None else []) + ([lo] if lo is not None else []))
+    vhi = max(values + ([band] if band is not None else []) + ([hi] if hi is not None else []))
+    if vhi - vlo < 1e-12:
+        vhi = vlo + 1.0
+    pad = 4
+
+    def x(i):
+        if len(values) == 1:
+            return SPARK_W / 2
+        return pad + (SPARK_W - 2 * pad) * i / (len(values) - 1)
+
+    def y(v):
+        return pad + (SPARK_H - 2 * pad) * (1 - (v - vlo) / (vhi - vlo))
+
+    pts = " ".join(f"{x(i):.1f},{y(v):.1f}" for i, v in enumerate(values))
+    parts = [
+        f"<svg class='spark' width='{SPARK_W}' height='{SPARK_H}' "
+        f"viewBox='0 0 {SPARK_W} {SPARK_H}'>"
+    ]
+    if band is not None:
+        by = y(band)
+        parts.append(
+            f"<line x1='0' y1='{by:.1f}' x2='{SPARK_W}' y2='{by:.1f}' "
+            "stroke='#b00020' stroke-dasharray='4 3' stroke-width='1'/>"
+        )
+    parts.append(
+        f"<polyline points='{pts}' fill='none' stroke='{color}' stroke-width='1.5'/>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def verdict_cell(fired):
+    if fired:
+        return "<td class='bad'>FIRED</td>"
+    return "<td class='ok'>silent</td>"
+
+
+def window_rows(windows, gauge_names, limit=None):
+    out = [
+        "<table><tr><th>#</th><th>t (s)</th><th>Jain</th><th>max |dev|</th>"
+        "<th>worst flow</th><th>viol.</th><th>flags</th>"
+    ]
+    out.extend(f"<th>{esc(g)}</th>" for g in gauge_names)
+    out.append("</tr>")
+    shown = windows if limit is None else windows[-limit:]
+    for w in shown:
+        flags = []
+        if w.get("boundary"):
+            flags.append("boundary")
+        if w.get("spans_jump"):
+            flags.append("jump")
+        cls = " class='bad'" if w.get("violating") else ""
+        out.append(
+            f"<tr{cls}><td>{w['index']}</td>"
+            f"<td>{w['t0_sec']:.1f}&ndash;{w['t1_sec']:.1f}</td>"
+            f"<td>{w['jain']:.3f}</td><td>{w['max_abs_deviation']:.3f}</td>"
+            f"<td>{w['worst_flow']}</td><td>{w['violations']}</td>"
+            f"<td class='l'>{' '.join(flags)}</td>"
+        )
+        for g in w.get("gauges", []):
+            out.append(f"<td>{g:.1f}</td>")
+        out.append("</tr>")
+    out.append("</table>")
+    return "".join(out)
+
+
+def fairness_section(doc):
+    f = doc["fairness"]
+    windows = f.get("windows", [])
+    jain = [w["jain"] for w in windows]
+    maxdev = [w["max_abs_deviation"] for w in windows]
+    fired = f.get("watchdog_fired", False)
+    out = []
+    out.append(
+        "<table><tr><th class='l'>watchdog</th><th>windows</th><th>min Jain</th>"
+        "<th>worst deviation</th><th>worst flow</th><th>band</th></tr><tr>"
+    )
+    out.append(verdict_cell(fired))
+    out.append(
+        f"<td>{len(windows)}</td><td>{f.get('min_jain', 1.0):.3f}</td>"
+        f"<td>{f.get('worst_deviation', 0.0):+.3f}</td>"
+        f"<td>{f.get('worst_flow', 0)}</td><td>{f.get('band', 0.0):.2f}</td></tr></table>"
+    )
+    out.append(
+        f"<p>Jain index per window: {sparkline(jain, lo=0.0, hi=1.0, color='#0a7a2f')}<br>"
+        f"max |oracle deviation| per window (dashed = band): "
+        f"{sparkline(maxdev, band=f.get('band'), lo=0.0)}</p>"
+    )
+
+    # Worst offenders across the whole run: flows ranked by how often
+    # they exceeded the band, capped so big populations stay readable.
+    strikes = {}
+    for w in windows:
+        for s in w.get("flows", []):
+            mag = max(abs(s["deviation"]), max(0.0, s.get("overage", 0.0)))
+            if s.get("measurable") and mag > f.get("band", 0.4):
+                strikes.setdefault(s["id"], []).append((w["index"], mag))
+    if strikes:
+        ranked = sorted(strikes.items(), key=lambda kv: -len(kv[1]))[:8]
+        out.append("<h3>Out-of-band flows</h3><table><tr><th>flow</th>"
+                   "<th>windows out of band</th><th>worst |dev/over|</th></tr>")
+        for fid, hits in ranked:
+            worst = max(m for _, m in hits)
+            out.append(f"<tr><td>{fid}</td><td>{len(hits)}</td><td>{worst:.3f}</td></tr>")
+        out.append("</table>")
+
+    if fired:
+        out.append(
+            f"<h3>Flight recorder (tripped at window {f.get('watchdog_window')}, "
+            f"t = {f.get('watchdog_t_sec', 0.0):.1f} s)</h3>"
+        )
+        out.append(window_rows(f.get("flight_recorder", []), f.get("gauge_names", [])))
+    else:
+        out.append("<h3>Last windows</h3>")
+        out.append(window_rows(windows, f.get("gauge_names", []), limit=8))
+    return "".join(out)
+
+
+def engine_section(eng):
+    out = [
+        f"<h3>LP runtime profile ({eng['lp_count']} LPs, {eng['threads']} threads, "
+        f"{eng['runs']} run-until batches)</h3>",
+        "<table><tr><th>LP</th><th>windows</th><th>events</th><th>run ms</th>"
+        "<th>mailbox drains</th><th>msgs in</th></tr>",
+    ]
+    for lp in eng.get("lps", []):
+        out.append(
+            f"<tr><td>{lp['lp']}</td><td>{lp['windows']}</td><td>{lp['events']}</td>"
+            f"<td>{lp['run_ms']:.1f}</td><td>{lp['drains']}</td><td>{lp['msgs_in']}</td></tr>"
+        )
+    out.append("</table><table><tr><th>worker</th><th>barrier waits</th>"
+               "<th>wait ms</th><th>max wait ms</th></tr>")
+    for w in eng.get("workers", []):
+        out.append(
+            f"<tr><td>{w['worker']}</td><td>{w['barrier_waits']}</td>"
+            f"<td>{w['barrier_wait_ms']:.1f}</td><td>{w['max_wait_ms']:.2f}</td></tr>"
+        )
+    out.append("</table>")
+    return "".join(out)
+
+
+def fluid_cert_section(fc):
+    out = [
+        "<h3>Fluid certification</h3>",
+        "<table><tr><th>attempts</th><th>rejects (min-skip)</th>"
+        "<th>rejects (drift)</th><th>rejects (agreement)</th><th>accepts</th>"
+        "<th>mean dwell at accept</th></tr>",
+        f"<tr><td>{fc['attempts']}</td><td>{fc['reject_min_skip']}</td>"
+        f"<td>{fc['reject_drift']}</td><td>{fc['reject_agreement']}</td>"
+        f"<td>{fc['accepts']}</td><td>{fc['mean_dwell_at_accept']:.1f}</td></tr></table>",
+    ]
+    events = fc.get("events", [])
+    if events:
+        dwell = [e["dwell"] for e in events]
+        out.append(f"<p>dwell at each decision: {sparkline(dwell, lo=0)}</p>")
+        accepts = [e for e in events if e["kind"] in ("accept", "reanchor")]
+        if accepts:
+            out.append("<table><tr><th>t (s)</th><th>kind</th><th>dwell</th>"
+                       "<th>jump span (s)</th></tr>")
+            for e in accepts[:20]:
+                out.append(
+                    f"<tr><td>{e['t_sec']:.1f}</td><td class='l'>{esc(e['kind'])}</td>"
+                    f"<td>{e['dwell']}</td><td>{e['extra']:.1f}</td></tr>"
+                )
+            out.append("</table>")
+    if fc.get("dropped_events"):
+        out.append(f"<p class='meta'>{fc['dropped_events']} decisions beyond the "
+                   "recorder capacity were dropped.</p>")
+    return "".join(out)
+
+
+def bench_section(bench):
+    rows = bench.get("rows", [])
+    out = [
+        "<h2>Scaling bench (BENCH_scale.json)</h2>",
+        f"<p class='meta'>hw_threads = {bench.get('hw_threads', '?')}</p>",
+        "<table><tr><th>flows</th><th>lp</th><th>fluid</th><th>wall ms</th>"
+        "<th>Jain</th><th>cert attempts</th><th>min-skip</th><th>drift</th>"
+        "<th>agreement</th><th>dwell@accept</th></tr>",
+    ]
+    for r in rows:
+        out.append(
+            f"<tr><td>{r.get('flows', '?')}</td><td>{r.get('lp', '?')}</td>"
+            f"<td>{'yes' if r.get('fluid') else ''}</td>"
+            f"<td>{r.get('wall_ms', 0):.0f}</td><td>{r.get('jain', 0):.3f}</td>"
+            f"<td>{r.get('cert_attempts', 0)}</td>"
+            f"<td>{r.get('cert_rejects_min_skip', 0)}</td>"
+            f"<td>{r.get('cert_rejects_drift', 0)}</td>"
+            f"<td>{r.get('cert_rejects_agreement', 0)}</td>"
+            f"<td>{r.get('cert_mean_dwell_at_accept', 0):.1f}</td></tr>"
+        )
+    out.append("</table>")
+    return "".join(out)
+
+
+def build_report(audit_docs, bench):
+    body = ["<h1>Fairness audit report</h1>"]
+    fired_any = False
+    for path, doc in audit_docs:
+        f = doc.get("fairness")
+        fired = bool(f and f.get("watchdog_fired"))
+        fired_any = fired_any or fired
+        body.append(
+            f"<h2>{esc(doc.get('scenario', '?'))} / {esc(doc.get('mechanism', '?'))} "
+            f"(seed {doc.get('seed', '?')})</h2>"
+            f"<p class='meta'>{esc(path)}</p>"
+        )
+        if f:
+            body.append(fairness_section(doc))
+        else:
+            body.append("<p class='meta'>no fairness section (audit was off).</p>")
+        if doc.get("engine"):
+            body.append(engine_section(doc["engine"]))
+        if doc.get("fluid_cert"):
+            body.append(fluid_cert_section(doc["fluid_cert"]))
+    if bench is not None:
+        body.append(bench_section(bench))
+    title = "Fairness audit report"
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{title}</title><style>{PAGE_STYLE}</style></head><body>"
+        + "".join(body)
+        + "</body></html>"
+    ), fired_any
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("audits", nargs="+", help="corelite-audit-v1 JSON files")
+    parser.add_argument("--bench", help="BENCH_scale.json to fold in")
+    parser.add_argument("--out", default="fairness_report.html", help="output HTML path")
+    args = parser.parse_args()
+
+    docs = []
+    for path in args.audits:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        schema = doc.get("audit_schema")
+        if schema != "corelite-audit-v1":
+            print(f"fairness_report: {path}: unexpected audit_schema {schema!r}",
+                  file=sys.stderr)
+            return 1
+        docs.append((path, doc))
+    bench = None
+    if args.bench:
+        with open(args.bench, encoding="utf-8") as f:
+            bench = json.load(f)
+
+    page, fired_any = build_report(docs, bench)
+    with open(args.out, "w", encoding="utf-8") as f:
+        f.write(page)
+    print(f"fairness_report: wrote {args.out} ({len(docs)} audit section(s)"
+          + (", bench table" if bench else "")
+          + (", WATCHDOG FIRED in at least one section" if fired_any else "")
+          + ")")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
